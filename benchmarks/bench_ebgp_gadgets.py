@@ -1,0 +1,57 @@
+"""Sec. VI-C — eBGP gadget analysis and experimentation.
+
+Regenerates the narrative results:
+
+* GOOD GADGET: analyzer says safe; executions converge; convergence time
+  and message cost grow with the number of embedded gadget copies;
+* BAD GADGET: analyzer says unsafe; the execution never converges ("the
+  protocol continued to transmit a high rate of update messages
+  indefinitely");
+* DISAGREE: analyzer says unsafe (the documented strictness false
+  positive) yet executions converge, taking longer as the fraction of
+  conflicting links grows.
+"""
+
+from repro.experiments import (
+    bad_gadget_run,
+    disagree_sweep,
+    format_runs,
+    good_gadget_scaling,
+)
+
+
+def test_good_gadget_scaling(benchmark, save_result):
+    runs = benchmark.pedantic(
+        lambda: good_gadget_scaling(copies=(1, 2, 4, 8), seed=1),
+        rounds=1, iterations=1)
+    save_result("vi_c_good_gadget", format_runs(runs, "GOOD GADGET scaling"))
+    assert all(r.safe_verdict and r.converged for r in runs)
+    messages = [r.messages for r in runs]
+    assert messages == sorted(messages)
+    assert messages[-1] > messages[0]
+
+
+def test_bad_gadget_divergence(benchmark, save_result):
+    run = benchmark.pedantic(
+        lambda: bad_gadget_run(seed=1, until=10.0), rounds=1, iterations=1)
+    save_result("vi_c_bad_gadget", format_runs([run], "BAD GADGET"))
+    assert not run.safe_verdict
+    assert not run.converged
+    # High sustained update rate until the cap.
+    assert run.messages > 1_000
+    benchmark.extra_info["messages"] = run.messages
+
+
+def test_disagree_conflicting_links(benchmark, save_result):
+    runs = benchmark.pedantic(
+        lambda: disagree_sweep(fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+                               pairs=8, seed=1),
+        rounds=1, iterations=1)
+    save_result("vi_c_disagree", format_runs(runs, "DISAGREE sweep"))
+    assert all(r.converged for r in runs)
+    assert all(not r.safe_verdict or f == 0.0
+               for r, f in zip(runs, (0.0, 0.25, 0.5, 0.75, 1.0)))
+    # Convergence slows as the conflict fraction rises (ends of the sweep).
+    assert runs[-1].convergence_s > runs[0].convergence_s
+    benchmark.extra_info["series"] = [
+        round(r.convergence_s, 3) for r in runs]

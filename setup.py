@@ -1,0 +1,10 @@
+"""Thin setup.py kept for offline environments without the ``wheel`` package.
+
+``pip install -e .`` on such environments falls back to the legacy
+``setup.py develop`` code path, which this file enables.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of FSR (Formally Safe Routing), SIGCOMM 2011.
+
+FSR analyzes and implements inter-domain routing policies from a single
+algebraic representation:
+
+* :mod:`repro.algebra` — routing algebras, lexical products, policy library,
+  SPP instances and BGP gadgets;
+* :mod:`repro.smt` — integer difference-logic solver (Yices substitute);
+* :mod:`repro.analysis` — safety analysis (strict monotonicity as constraint
+  satisfaction, unsat-core pinpointing, composition rule);
+* :mod:`repro.ndlog` — Network Datalog engine and algebra→NDlog codegen
+  (RapidNet substitute);
+* :mod:`repro.net` — discrete-event network simulator (ns-3 substitute);
+* :mod:`repro.protocols` — GPV, plain path-vector, and HLP engines;
+* :mod:`repro.topology` — CAIDA-like / Rocketfuel-like / iBGP / HLP topology
+  generators;
+* :mod:`repro.config` — router-configuration → algebra translation;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "algebra",
+    "analysis",
+    "config",
+    "experiments",
+    "ndlog",
+    "net",
+    "protocols",
+    "smt",
+    "topology",
+    "__version__",
+]

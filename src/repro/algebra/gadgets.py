@@ -1,0 +1,186 @@
+"""The BGP gadget zoo (paper Secs. III-B, IV-C, VI-B, VI-C).
+
+All gadgets are :class:`~repro.algebra.spp.SPPInstance` constructors:
+
+* :func:`disagree` — two nodes that each prefer routing through the other;
+  converges, but can oscillate between its two stable states (unsafe by the
+  strict-monotonicity test);
+* :func:`bad_gadget` — the canonical three-node instance with **no** stable
+  solution; never converges;
+* :func:`good_gadget` — a cycle-broken variant that is provably safe;
+* :func:`ibgp_figure3` — the six-node iBGP route-reflection instance of the
+  paper's Figure 3 (three reflectors a/b/c, three egresses d/e/f holding
+  external routes r1/r2/r3); its encoding yields exactly 18 constraints and
+  is unsat;
+* :func:`ibgp_figure3_fixed` — the repaired configuration (each reflector
+  prefers its own client) which is sat;
+* :func:`replicate` — k disjoint copies of a gadget sharing one destination
+  (the Sec. VI-C scaling workload);
+* :func:`disagree_chain` — a row of DISAGREE pairs with a configurable
+  fraction of conflicting links (the Sec. VI-C convergence workload).
+"""
+
+from __future__ import annotations
+
+from .spp import Path, SPPInstance
+
+#: Conventional single destination used by the eBGP gadgets.
+DEST = "0"
+
+
+def disagree() -> SPPInstance:
+    """DISAGREE: two stable states, oscillates between them before settling."""
+    permitted = {
+        "1": [("1", "2", DEST), ("1", DEST)],
+        "2": [("2", "1", DEST), ("2", DEST)],
+    }
+    return SPPInstance.build("disagree", DEST, permitted)
+
+
+def bad_gadget() -> SPPInstance:
+    """BAD GADGET: three nodes in a preference cycle; no stable solution."""
+    permitted = {
+        "1": [("1", "2", DEST), ("1", DEST)],
+        "2": [("2", "3", DEST), ("2", DEST)],
+        "3": [("3", "1", DEST), ("3", DEST)],
+    }
+    return SPPInstance.build("bad-gadget", DEST, permitted)
+
+
+def good_gadget() -> SPPInstance:
+    """GOOD GADGET: the preference cycle of BAD GADGET broken at node 3.
+
+    Nodes 1 and 2 still prefer routing through their clockwise neighbor,
+    but node 3 prefers its direct route, so a unique stable assignment
+    exists and the strict-monotonicity encoding is satisfiable.
+    """
+    permitted = {
+        "1": [("1", "2", DEST), ("1", DEST)],
+        "2": [("2", "3", DEST), ("2", DEST)],
+        "3": [("3", DEST), ("3", "1", DEST)],
+    }
+    return SPPInstance.build("good-gadget", DEST, permitted)
+
+
+def _figure3(prefer_other_client: bool) -> SPPInstance:
+    """Common constructor for the Figure-3 iBGP instance and its fix.
+
+    Reflectors a, b, c form a full mesh; clients d, e, f hang off a, b, c
+    respectively and each holds an externally learned route (r1, r2, r3) to
+    the destination, modelled as the virtual node ``0``.
+    """
+    a, b, c, d, e, f = "a", "b", "c", "d", "e", "f"
+    O = DEST
+
+    aber2: Path = (a, b, e, O)
+    adr1: Path = (a, d, O)
+    bcfr3: Path = (b, c, f, O)
+    ber2: Path = (b, e, O)
+    cadr1: Path = (c, a, d, O)
+    cfr3: Path = (c, f, O)
+    r1: Path = (d, O)
+    daber2: Path = (d, a, b, e, O)
+    dacfr3: Path = (d, a, c, f, O)
+    r2: Path = (e, O)
+    ebadr1: Path = (e, b, a, d, O)
+    ebcfr3: Path = (e, b, c, f, O)
+    r3: Path = (f, O)
+    fcber2: Path = (f, c, b, e, O)
+    fcadr1: Path = (f, c, a, d, O)
+
+    if prefer_other_client:
+        # The broken configuration: each reflector prefers the route through
+        # another reflector's client over its own client's route.
+        reflector_rankings = {
+            a: [aber2, adr1],
+            b: [bcfr3, ber2],
+            c: [cadr1, cfr3],
+        }
+        name = "ibgp-figure3"
+    else:
+        reflector_rankings = {
+            a: [adr1, aber2],
+            b: [ber2, bcfr3],
+            c: [cfr3, cadr1],
+        }
+        name = "ibgp-figure3-fixed"
+
+    permitted = {
+        **reflector_rankings,
+        d: [r1, daber2, dacfr3],
+        e: [r2, ebadr1, ebcfr3],
+        f: [r3, fcber2, fcadr1],
+    }
+    display = {
+        aber2: "aber2", adr1: "adr1", bcfr3: "bcfr3", ber2: "ber2",
+        cadr1: "cadr1", cfr3: "cfr3", r1: "r1", daber2: "daber2",
+        dacfr3: "dacfr3", r2: "r2", ebadr1: "ebadr1", ebcfr3: "ebcfr3",
+        r3: "r3", fcber2: "fcber2", fcadr1: "fcadr1",
+    }
+    # The reflector full mesh includes sessions not used by any permitted
+    # path in the fixed variant (e.g. a-c).
+    extra = [(a, b), (a, c), (b, c)]
+    return SPPInstance.build(name, O, permitted, extra_edges=extra,
+                             display_names=display)
+
+
+def ibgp_figure3() -> SPPInstance:
+    """The paper's Figure-3 iBGP instance (unsafe: reflector preference cycle)."""
+    return _figure3(prefer_other_client=True)
+
+
+def ibgp_figure3_fixed() -> SPPInstance:
+    """Figure 3 with each reflector preferring its own client (safe)."""
+    return _figure3(prefer_other_client=False)
+
+
+def replicate(instance: SPPInstance, copies: int) -> SPPInstance:
+    """Build ``copies`` disjoint renamed copies sharing one destination.
+
+    Node ``n`` of copy ``i`` becomes ``n#i``.  This is the Sec. VI-C scaling
+    workload ("the input topology contains one or more gadgets on a subset
+    of the nodes").
+    """
+    if copies < 1:
+        raise ValueError("need at least one copy")
+    permitted: dict[str, list[Path]] = {}
+    for i in range(copies):
+        def rename(node: str, i: int = i) -> str:
+            return node if node == instance.destination else f"{node}#{i}"
+
+        for node, paths in instance.permitted.items():
+            renamed = [tuple(rename(n) for n in path) for path in paths]
+            permitted[rename(node)] = renamed
+    return SPPInstance.build(
+        f"{instance.name}-x{copies}", instance.destination, permitted)
+
+
+def disagree_chain(pairs: int, conflict_fraction: float = 1.0) -> SPPInstance:
+    """A row of node pairs attached to one destination.
+
+    ``conflict_fraction`` of the pairs are DISAGREE pairs (each node prefers
+    the route through its partner — a "conflicting link" in the paper's
+    Sec. VI-C terminology); the rest prefer their direct routes.  Lowering
+    the fraction speeds convergence, which is the DISAGREE experiment's
+    independent variable.
+    """
+    if pairs < 1:
+        raise ValueError("need at least one pair")
+    if not 0.0 <= conflict_fraction <= 1.0:
+        raise ValueError("conflict_fraction must be within [0, 1]")
+    conflicted = round(pairs * conflict_fraction)
+    permitted: dict[str, list[Path]] = {}
+    for i in range(pairs):
+        left, right = f"L{i}", f"R{i}"
+        direct_l: Path = (left, DEST)
+        direct_r: Path = (right, DEST)
+        via_r: Path = (left, right, DEST)
+        via_l: Path = (right, left, DEST)
+        if i < conflicted:
+            permitted[left] = [via_r, direct_l]
+            permitted[right] = [via_l, direct_r]
+        else:
+            permitted[left] = [direct_l, via_r]
+            permitted[right] = [direct_r, via_l]
+    return SPPInstance.build(
+        f"disagree-chain-{pairs}-{conflict_fraction:.2f}", DEST, permitted)

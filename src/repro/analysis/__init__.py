@@ -1,0 +1,35 @@
+"""Automated safety analysis: algebra → constraints → verdict.
+
+* :mod:`repro.analysis.encoder` — the three-step algebra→constraints
+  translation (paper Sec. IV-B);
+* :mod:`repro.analysis.safety` — :class:`SafetyAnalyzer` producing
+  :class:`SafetyReport` (sat→model, unsat→minimal core mapped back to the
+  policy configuration);
+* :mod:`repro.analysis.composition` — the lexical-product decision rule;
+* :mod:`repro.analysis.modelcheck` — explicit-state oscillation traces and
+  stable-state enumeration (the paper's Sec. VIII future-work item).
+"""
+
+from .composition import analyze_product
+from .dispute import DisputeDigraph, build_dispute_digraph, is_dispute_free
+from .encoder import ConstraintSource, Encoding, encode, sig_name
+from .modelcheck import ModelChecker, ModelCheckResult, Trace
+from .modelcheck import check as model_check
+from .safety import SafetyAnalyzer, SafetyReport
+
+__all__ = [
+    "ConstraintSource",
+    "DisputeDigraph",
+    "Encoding",
+    "ModelCheckResult",
+    "ModelChecker",
+    "SafetyAnalyzer",
+    "SafetyReport",
+    "Trace",
+    "analyze_product",
+    "build_dispute_digraph",
+    "encode",
+    "is_dispute_free",
+    "model_check",
+    "sig_name",
+]

@@ -1,0 +1,80 @@
+"""Safety of lexical products (paper Sec. IV-B, "Policy compositions").
+
+The decision rule, quoting the paper:
+
+    Analysis starts from algebra A; if it is strictly monotonic, the
+    composed policy is safe.  If A is monotonic, then B is checked.  If B is
+    strictly monotonic, then the composed algebra is safe, otherwise it is
+    deemed unsafe.  If A is not even monotonic, the composed policy is
+    deemed unsafe.
+
+This lets FSR certify e.g. Gao-Rexford guideline A (monotonic only) composed
+with shortest hop-count (strictly monotonic) — the configuration used for
+the Fig. 4 convergence experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..algebra.product import LexicalProduct
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .safety import SafetyAnalyzer, SafetyReport
+
+
+def analyze_product(product: LexicalProduct,
+                    analyzer: "SafetyAnalyzer") -> "SafetyReport":
+    """Apply the composition rule; returns a composite report."""
+    from .safety import SafetyReport
+
+    first_report = analyzer.analyze(product.first)
+    if first_report.safe:
+        return SafetyReport(
+            algebra_name=product.name,
+            safe=True,
+            method="composition",
+            strictly_monotonic=True,
+            monotonic=True,
+            detail=(f"component A ({product.first.name}) is strictly "
+                    "monotonic, so the product is"),
+        )
+
+    first_monotonic = bool(first_report.monotonic)
+    if not first_monotonic:
+        return SafetyReport(
+            algebra_name=product.name,
+            safe=False,
+            method="composition",
+            strictly_monotonic=False,
+            monotonic=False,
+            core=first_report.core,
+            core_atoms=first_report.core_atoms,
+            detail=(f"component A ({product.first.name}) is not even "
+                    "monotonic, so the product is deemed unsafe"),
+        )
+
+    second_report = analyzer.analyze(product.second)
+    if second_report.safe:
+        return SafetyReport(
+            algebra_name=product.name,
+            safe=True,
+            method="composition",
+            strictly_monotonic=True,
+            monotonic=True,
+            detail=(f"A ({product.first.name}) is monotonic and B "
+                    f"({product.second.name}) is strictly monotonic, so "
+                    "the lexical product is strictly monotonic"),
+        )
+    return SafetyReport(
+        algebra_name=product.name,
+        safe=False,
+        method="composition",
+        strictly_monotonic=False,
+        monotonic=bool(second_report.monotonic),
+        core=second_report.core,
+        core_atoms=second_report.core_atoms,
+        detail=(f"A ({product.first.name}) is only monotonic and B "
+                f"({product.second.name}) is not strictly monotonic; the "
+                "product is deemed unsafe"),
+    )

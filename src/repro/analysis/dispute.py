@@ -1,0 +1,136 @@
+"""Dispute-digraph analysis of SPP instances (Griffin-Shepherd-Wilfong).
+
+The paper's safety analysis reduces strict monotonicity to constraint
+solving.  The classic combinatorial account of the same phenomenon is the
+*dispute digraph* of GSW's Stable Paths Problem work (paper reference
+[12]): a digraph over permitted paths with
+
+* **transmission arcs** ``P -> (u,v)P`` — learning P at v lets u adopt its
+  one-hop extension (the strict-monotonicity relation);
+* **ranking arcs** ``Q -> R`` — node u strictly prefers Q to R, so
+  adopting Q suppresses R (the per-node preference relation).
+
+A cycle alternating through both relations is a dispute wheel; an acyclic
+digraph guarantees safety.  This is precisely the constraint graph of the
+SMT encoding (every arc is a strict ``<``), so acyclicity coincides with
+satisfiability — a solver-free cross-check of the analyzer's verdict,
+which the test suite exploits on the whole gadget zoo and on randomly
+generated instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.spp import Path, SPPInstance
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A digraph arc with its kind ('transmission' or 'ranking')."""
+
+    src: Path
+    dst: Path
+    kind: str
+
+
+@dataclass
+class DisputeDigraph:
+    """The dispute digraph of one SPP instance."""
+
+    instance: SPPInstance
+    arcs: list[Arc] = field(default_factory=list)
+    adjacency: dict[Path, list[Arc]] = field(default_factory=dict)
+
+    def successors(self, path: Path) -> list[Arc]:
+        return self.adjacency.get(path, [])
+
+    @property
+    def transmission_arcs(self) -> list[Arc]:
+        return [a for a in self.arcs if a.kind == "transmission"]
+
+    @property
+    def ranking_arcs(self) -> list[Arc]:
+        return [a for a in self.arcs if a.kind == "ranking"]
+
+    def find_cycle(self) -> list[Arc] | None:
+        """A directed cycle, or None when the digraph is acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[Path, int] = {}
+        stack_arcs: list[Arc] = []
+
+        def dfs(path: Path) -> list[Arc] | None:
+            color[path] = GREY
+            for arc in self.successors(path):
+                state = color.get(arc.dst, WHITE)
+                if state == GREY:
+                    # Unwind to the cycle start.
+                    cycle = [arc]
+                    for held in reversed(stack_arcs):
+                        cycle.append(held)
+                        if held.src == arc.dst:
+                            break
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    stack_arcs.append(arc)
+                    found = dfs(arc.dst)
+                    stack_arcs.pop()
+                    if found is not None:
+                        return found
+            color[path] = BLACK
+            return None
+
+        for path in self.instance.all_paths():
+            if color.get(path, WHITE) == WHITE:
+                found = dfs(path)
+                if found is not None:
+                    return found
+        return None
+
+    @property
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def describe_cycle(self) -> str | None:
+        cycle = self.find_cycle()
+        if cycle is None:
+            return None
+        lines = ["dispute cycle:"]
+        for arc in cycle:
+            lines.append(f"  {self.instance.path_name(arc.src)} "
+                         f"--{arc.kind}--> "
+                         f"{self.instance.path_name(arc.dst)}")
+        return "\n".join(lines)
+
+
+def build_dispute_digraph(instance: SPPInstance) -> DisputeDigraph:
+    """Construct the dispute digraph of ``instance``."""
+    instance.validate()
+    digraph = DisputeDigraph(instance=instance)
+    permitted_at = {node: list(paths)
+                    for node, paths in instance.permitted.items()}
+
+    def add(src: Path, dst: Path, kind: str) -> None:
+        arc = Arc(src, dst, kind)
+        digraph.arcs.append(arc)
+        digraph.adjacency.setdefault(src, []).append(arc)
+
+    for node, paths in permitted_at.items():
+        # Ranking arcs: better -> worse along each node's ranked chain
+        # (consecutive pairs generate the transitive relation).
+        for better, worse in zip(paths, paths[1:]):
+            add(better, worse, "ranking")
+        # Transmission arcs: a permitted tail enables its extension.
+        for extension in paths:
+            if len(extension) < 3:
+                continue
+            tail = extension[1:]
+            if instance.is_permitted(tail):
+                add(tail, extension, "transmission")
+    return digraph
+
+
+def is_dispute_free(instance: SPPInstance) -> bool:
+    """True iff the dispute digraph is acyclic (a safety guarantee)."""
+    return build_dispute_digraph(instance).is_acyclic

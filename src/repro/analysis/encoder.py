@@ -1,0 +1,109 @@
+"""Algebra → integer constraints (paper Sec. IV-B, the three-step process).
+
+* **Step 1** — each signature becomes a positive-integer variable;
+* **Step 2** — each declared preference ``s1 REL s2`` becomes the integer
+  comparison ``s1 REL s2``;
+* **Step 3** — each ⊕ entry ``s' = l ⊕ s`` (with ``s' ≠ φ``) becomes
+  ``s < s'`` for strict monotonicity, or ``s <= s'`` for plain monotonicity.
+
+The resulting :class:`~repro.smt.terms.ConstraintSystem` goes to the
+difference-logic solver; the :class:`Encoding` keeps the bidirectional maps
+needed to translate models and unsat cores back into policy terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..algebra.base import MonoEntry, PrefStatement, Rel, RoutingAlgebra, Signature
+from ..smt import Atom, ConstraintSystem, IntVar
+
+#: A constraint's provenance: either a declared preference or a ⊕ entry.
+ConstraintSource = Union[PrefStatement, MonoEntry]
+
+
+@dataclass
+class Encoding:
+    """A constraint system plus the maps back to the source algebra."""
+
+    algebra: RoutingAlgebra
+    system: ConstraintSystem = field(default_factory=ConstraintSystem)
+    var_of: dict[Signature, IntVar] = field(default_factory=dict)
+    sig_of: dict[IntVar, Signature] = field(default_factory=dict)
+    source_of: dict[int, ConstraintSource] = field(default_factory=dict)
+
+    #: Constraint counts by kind, for reporting (the paper quotes
+    #: "259 constraints for strict monotonicity, 292 for rankings").
+    preference_count: int = 0
+    monotonicity_count: int = 0
+
+    def variable(self, sig: Signature) -> IntVar:
+        """Step 1: intern a signature as a positive-integer variable."""
+        var = self.var_of.get(sig)
+        if var is None:
+            var = IntVar(sig_name(sig, index=len(self.var_of)))
+            self.var_of[sig] = var
+            self.sig_of[var] = sig
+        return var
+
+    def sources_for(self, atoms: list[Atom]) -> list[ConstraintSource]:
+        """Map solver atoms (e.g. an unsat core) back to policy entries."""
+        return [self.source_of[a.uid] for a in atoms if a.uid in self.source_of]
+
+    def model_signatures(self, model: dict[IntVar, int]) -> dict[Signature, int]:
+        """Translate a solver model into signature-indexed form."""
+        return {self.sig_of[var]: value for var, value in model.items()
+                if var in self.sig_of}
+
+
+def sig_name(sig: Signature, index: int = 0) -> str:
+    """A readable, deterministic variable name for a signature."""
+    if isinstance(sig, str):
+        return sig
+    if isinstance(sig, tuple) and all(isinstance(part, str) for part in sig):
+        return "r_" + "".join(sig)
+    if isinstance(sig, int):
+        return f"n{sig}"
+    return f"s{index}"
+
+
+_REL_BUILDERS = {
+    Rel.STRICT: Atom.lt,
+    Rel.WEAK: Atom.le,
+    Rel.EQUAL: Atom.eq,
+}
+
+
+def encode(algebra: RoutingAlgebra, strict: bool = True) -> Encoding:
+    """Run the three-step encoding; ``strict=False`` checks plain monotonicity.
+
+    Raises :class:`NotImplementedError` for infinite-Σ algebras — callers
+    should consult :attr:`RoutingAlgebra.closed_form_monotonicity` first
+    (the analyzer does).
+    """
+    encoding = Encoding(algebra=algebra)
+
+    # Step 2: preference constraints.
+    for statement in algebra.preference_statements():
+        v1 = encoding.variable(statement.s1)
+        v2 = encoding.variable(statement.s2)
+        builder = _REL_BUILDERS[statement.rel]
+        atom = builder(v1, v2, origin=statement.origin or "pref")
+        encoding.system.add(atom)
+        encoding.source_of[atom.uid] = statement
+        encoding.preference_count += 1
+
+    # Step 3: (strict) monotonicity constraints.
+    for entry in algebra.mono_entries():
+        v_in = encoding.variable(entry.sig)
+        v_out = encoding.variable(entry.result)
+        if strict:
+            atom = Atom.lt(v_in, v_out, origin=entry.origin or "mono")
+        else:
+            atom = Atom.le(v_in, v_out, origin=entry.origin or "mono")
+        encoding.system.add(atom)
+        encoding.source_of[atom.uid] = entry
+        encoding.monotonicity_count += 1
+
+    return encoding

@@ -1,0 +1,243 @@
+"""Explicit-state model checking of SPP dynamics (paper Sec. VIII).
+
+The paper's future-work item: "exploit the close connection between NDlog
+programs and state-transition systems ... use a model-checker to generate
+traces of protocol oscillations for unsafe policy configurations."
+
+This module implements that for SPP instances, using the standard SPVP
+(Simple Path Vector Protocol) abstraction:
+
+* a **state** assigns each node its currently selected permitted path (or
+  None); the destination permanently "selects" the trivial path;
+* a node's **best response** is its highest-ranked permitted path whose
+  next hop currently selects the path's tail — i.e. the route the neighbor
+  is actually advertising;
+* **sync** dynamics activate every node simultaneously (deterministic);
+  **async** dynamics activate one node at a time (non-deterministic, and
+  explored exhaustively).
+
+Facilities:
+
+* :func:`stable_states` — every fixpoint (stable routing trees).  BAD
+  GADGET has none, DISAGREE exactly two, GOOD GADGET exactly one;
+* :func:`find_oscillation` — a concrete oscillation trace: a lasso
+  (prefix + cycle) of states under the chosen dynamics, or None;
+* :meth:`ModelChecker.run_sync` — the deterministic synchronous execution
+  from a given state (converges or laps into a cycle).
+
+State spaces are exponential in instance size; the checker is intended for
+gadget-scale instances (the paper's use case) and guards itself with a
+state budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..algebra.spp import Path, SPPInstance
+
+#: A state maps each non-destination node to its selected path (or None).
+State = tuple[tuple[str, Path | None], ...]
+
+
+@dataclass
+class Trace:
+    """A lasso-shaped execution: ``prefix`` then ``cycle`` repeating."""
+
+    prefix: list[State]
+    cycle: list[State]
+
+    @property
+    def is_oscillation(self) -> bool:
+        return len(self.cycle) > 1
+
+    def describe(self, instance: SPPInstance) -> str:
+        """Human-readable rendering with the paper's path names."""
+        def fmt(state: State) -> str:
+            parts = []
+            for node, path in state:
+                name = instance.path_name(path) if path else "-"
+                parts.append(f"{node}:{name}")
+            return "{" + ", ".join(parts) + "}"
+
+        lines = ["oscillation trace:" if self.is_oscillation
+                 else "converging trace:"]
+        for i, state in enumerate(self.prefix):
+            lines.append(f"  t{i}: {fmt(state)}")
+        lines.append("  -- cycle --" if self.is_oscillation
+                     else "  -- fixpoint --")
+        for i, state in enumerate(self.cycle):
+            lines.append(f"  c{i}: {fmt(state)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of :func:`check`."""
+
+    stable: list[dict[str, Path]]
+    oscillation: Trace | None
+    states_explored: int
+    exhausted_budget: bool = False
+
+    @property
+    def has_stable_state(self) -> bool:
+        return bool(self.stable)
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when exploration exceeds the state budget."""
+
+
+class ModelChecker:
+    """SPVP state-transition semantics of one SPP instance."""
+
+    def __init__(self, instance: SPPInstance, max_states: int = 200_000):
+        instance.validate()
+        self.instance = instance
+        self.max_states = max_states
+        self.nodes = sorted(instance.permitted)
+
+    # -- semantics -------------------------------------------------------------
+
+    def initial_state(self) -> State:
+        return tuple((node, None) for node in self.nodes)
+
+    def best_response(self, state: State, node: str) -> Path | None:
+        """Highest-ranked permitted path consistent with current selections."""
+        held = dict(state)
+        for path in self.instance.permitted[node]:
+            next_hop = path[1]
+            if next_hop == self.instance.destination:
+                return path  # direct route: always advertised
+            if held.get(next_hop) == path[1:]:
+                return path
+        return None
+
+    def step_sync(self, state: State) -> State:
+        return tuple((node, self.best_response(state, node))
+                     for node, _ in state)
+
+    def step_async(self, state: State, node: str) -> State:
+        response = self.best_response(state, node)
+        return tuple((n, response if n == node else current)
+                     for n, current in state)
+
+    def is_stable(self, state: State) -> bool:
+        return all(self.best_response(state, node) == selected
+                   for node, selected in state)
+
+    # -- stable-state enumeration ------------------------------------------------
+
+    def stable_states(self) -> list[dict[str, Path]]:
+        """All fixpoints, by exhaustive assignment enumeration.
+
+        Raises :class:`BudgetExceeded` when the assignment space outgrows
+        ``max_states``.
+        """
+        space = 1
+        options: list[list[Path | None]] = []
+        for node in self.nodes:
+            node_options: list[Path | None] = [None]
+            node_options.extend(self.instance.permitted[node])
+            options.append(node_options)
+            space *= len(node_options)
+            if space > self.max_states:
+                raise BudgetExceeded(
+                    f"{space} assignments exceed the budget "
+                    f"({self.max_states})")
+        stable = []
+        for combo in itertools.product(*options):
+            state = tuple(zip(self.nodes, combo))
+            if self.is_stable(state):
+                stable.append({node: path for node, path in state
+                               if path is not None})
+        return stable
+
+    # -- trace generation ----------------------------------------------------------
+
+    def run_sync(self, start: State | None = None) -> Trace:
+        """Deterministic synchronous run until fixpoint or state revisit."""
+        state = start if start is not None else self.initial_state()
+        seen: dict[State, int] = {}
+        history: list[State] = []
+        while state not in seen:
+            if len(history) > self.max_states:
+                raise BudgetExceeded("synchronous run exceeded budget")
+            seen[state] = len(history)
+            history.append(state)
+            state = self.step_sync(state)
+        loop_start = seen[state]
+        return Trace(prefix=history[:loop_start],
+                     cycle=history[loop_start:])
+
+    def find_oscillation(self, mode: str = "sync") -> Trace | None:
+        """A reachable oscillation under the chosen dynamics, or None.
+
+        ``sync``: follow the deterministic run; an oscillation is a revisit
+        cycle longer than one state.  ``async``: depth-first search over
+        single-node activations for any reachable cycle of changing states.
+        """
+        if mode == "sync":
+            trace = self.run_sync()
+            return trace if trace.is_oscillation else None
+        if mode != "async":
+            raise ValueError(f"unknown mode {mode!r}")
+        return self._find_async_cycle()
+
+    def _find_async_cycle(self) -> Trace | None:
+        start = self.initial_state()
+        on_path: dict[State, int] = {}
+        path: list[State] = []
+        finished: set[State] = set()
+        explored = 0
+
+        def dfs(state: State) -> Trace | None:
+            nonlocal explored
+            explored += 1
+            if explored > self.max_states:
+                raise BudgetExceeded("async exploration exceeded budget")
+            on_path[state] = len(path)
+            path.append(state)
+            for node in self.nodes:
+                successor = self.step_async(state, node)
+                if successor == state:
+                    continue
+                if successor in on_path:
+                    cycle = path[on_path[successor]:]
+                    return Trace(prefix=path[:on_path[successor]],
+                                 cycle=list(cycle))
+                if successor not in finished:
+                    found = dfs(successor)
+                    if found is not None:
+                        return found
+            path.pop()
+            del on_path[state]
+            finished.add(state)
+            return None
+
+        return dfs(start)
+
+
+def check(instance: SPPInstance, mode: str = "sync",
+          max_states: int = 200_000) -> ModelCheckResult:
+    """One-call model check: stable states + oscillation search."""
+    checker = ModelChecker(instance, max_states=max_states)
+    exhausted = False
+    try:
+        stable = checker.stable_states()
+    except BudgetExceeded:
+        stable = []
+        exhausted = True
+    try:
+        oscillation = checker.find_oscillation(mode=mode)
+    except BudgetExceeded:
+        oscillation = None
+        exhausted = True
+    return ModelCheckResult(
+        stable=stable,
+        oscillation=oscillation,
+        states_explored=0 if exhausted else len(stable),
+        exhausted_budget=exhausted,
+    )

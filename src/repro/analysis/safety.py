@@ -1,0 +1,193 @@
+"""Automated safety analysis (paper Sec. IV).
+
+By Sobrinho's theorem (paper Thm. 4.1) a strictly monotonic algebra makes
+any path-vector protocol converge.  :class:`SafetyAnalyzer` decides strict
+monotonicity by compiling the algebra to integer constraints and invoking
+the difference-logic solver:
+
+* ``sat``   → the algebra is strictly monotonic → **provably safe**, with a
+  concrete integer instantiation of the signatures (the paper's
+  ``C=1, P=2, R=2``);
+* ``unsat`` → not strictly monotonic → reported unsafe (a *sufficient*
+  condition, so false positives are possible, paper Sec. IV-A), with a
+  minimal unsatisfiable core mapped back to the policy entries.
+
+Closed-form (infinite-Σ) algebras are discharged through their analytic
+certificate, cross-checked on a finite sample.  Lexical products use the
+composition rule of :mod:`repro.analysis.composition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.base import RoutingAlgebra, Signature
+from ..algebra.product import LexicalProduct
+from ..algebra.spp import SPPAlgebra, SPPInstance
+from ..smt import Atom, DifferenceSolver
+from .encoder import ConstraintSource, encode
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of analyzing one policy configuration.
+
+    ``safe`` is the headline verdict (strict monotonicity established).
+    ``monotonic`` is filled in when the analyzer also ran the non-strict
+    check (always for unsafe verdicts — it distinguishes "merely lacks a
+    tie-breaker" from "fundamentally cyclic").
+    """
+
+    algebra_name: str
+    safe: bool
+    method: str  # "smt" | "closed-form" | "composition"
+    strictly_monotonic: bool
+    monotonic: bool | None = None
+    model: dict[Signature, int] = field(default_factory=dict)
+    core: list[ConstraintSource] = field(default_factory=list)
+    core_atoms: list[Atom] = field(default_factory=list)
+    constraint_count: int = 0
+    preference_count: int = 0
+    monotonicity_count: int = 0
+    detail: str = ""
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        verdict = "SAFE (strictly monotonic)" if self.safe else "NOT PROVED SAFE"
+        lines = [f"{self.algebra_name}: {verdict} [{self.method}]"]
+        if self.constraint_count:
+            lines.append(
+                f"  constraints: {self.constraint_count} "
+                f"({self.preference_count} preference, "
+                f"{self.monotonicity_count} monotonicity)")
+        if self.safe and self.model:
+            assignment = ", ".join(
+                f"{sig}={val}" for sig, val in sorted(
+                    self.model.items(), key=lambda kv: str(kv[0])))
+            lines.append(f"  model: {assignment}")
+        if not self.safe:
+            if self.monotonic is not None:
+                lines.append(f"  monotonic (non-strict): {self.monotonic}")
+            if self.core:
+                lines.append("  unsat core:")
+                for source in self.core:
+                    lines.append(f"    {source.origin or '?'}: {source}")
+        if self.detail:
+            lines.append(f"  note: {self.detail}")
+        return "\n".join(lines)
+
+
+class SafetyAnalyzer:
+    """Front door of the analysis pipeline (Fig. 1, right-hand path)."""
+
+    def __init__(self, solver: DifferenceSolver | None = None):
+        self.solver = solver or DifferenceSolver()
+
+    # -- public API ----------------------------------------------------------
+
+    def analyze(self, policy: RoutingAlgebra | SPPInstance) -> SafetyReport:
+        """Full analysis: strict check, plus mono check when strict fails."""
+        algebra = self._as_algebra(policy)
+        if isinstance(algebra, LexicalProduct):
+            from .composition import analyze_product
+            return analyze_product(algebra, self)
+        if not algebra.is_finite:
+            return self._analyze_closed_form(algebra)
+        return self._analyze_finite(algebra)
+
+    def check_strict(self, policy: RoutingAlgebra | SPPInstance) -> bool:
+        """True iff the policy is strictly monotonic."""
+        return self.analyze(policy).safe
+
+    def check_monotone(self, policy: RoutingAlgebra | SPPInstance) -> bool:
+        """True iff the policy is (at least non-strictly) monotonic."""
+        algebra = self._as_algebra(policy)
+        if isinstance(algebra, LexicalProduct):
+            from .composition import analyze_product
+            report = analyze_product(algebra, self)
+            return bool(report.monotonic) or report.safe
+        if not algebra.is_finite:
+            certificate = algebra.closed_form_monotonicity
+            if certificate is None:
+                raise NotImplementedError(
+                    f"{algebra.name}: infinite Σ and no certificate")
+            return certificate.monotonic
+        encoding = encode(algebra, strict=False)
+        return self.solver.solve(encoding.system).is_sat
+
+    def enumerate_cores(
+        self, policy: RoutingAlgebra | SPPInstance, limit: int = 16
+    ) -> list[list[ConstraintSource]]:
+        """All disjoint conflicts — the paper's iterative repair workflow."""
+        algebra = self._as_algebra(policy)
+        encoding = encode(algebra, strict=True)
+        cores = self.solver.all_cores(encoding.system, limit=limit)
+        return [encoding.sources_for(core) for core in cores]
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _as_algebra(policy: RoutingAlgebra | SPPInstance) -> RoutingAlgebra:
+        if isinstance(policy, SPPInstance):
+            return SPPAlgebra(policy)
+        return policy
+
+    def _analyze_finite(self, algebra: RoutingAlgebra) -> SafetyReport:
+        encoding = encode(algebra, strict=True)
+        result = self.solver.solve(encoding.system)
+        report = SafetyReport(
+            algebra_name=algebra.name,
+            safe=result.is_sat,
+            method="smt",
+            strictly_monotonic=result.is_sat,
+            constraint_count=len(encoding.system),
+            preference_count=encoding.preference_count,
+            monotonicity_count=encoding.monotonicity_count,
+        )
+        if result.is_sat:
+            report.model = encoding.model_signatures(result.model)
+            report.monotonic = True
+        else:
+            report.core_atoms = result.core
+            report.core = encoding.sources_for(result.core)
+            mono_encoding = encode(algebra, strict=False)
+            report.monotonic = self.solver.solve(mono_encoding.system).is_sat
+        return report
+
+    def _analyze_closed_form(self, algebra: RoutingAlgebra) -> SafetyReport:
+        certificate = algebra.closed_form_monotonicity
+        if certificate is None:
+            raise NotImplementedError(
+                f"{algebra.name}: infinite Σ requires a closed-form "
+                "monotonicity certificate")
+        self._spot_check_certificate(algebra, certificate.strictly_monotonic)
+        return SafetyReport(
+            algebra_name=algebra.name,
+            safe=certificate.strictly_monotonic,
+            method="closed-form",
+            strictly_monotonic=certificate.strictly_monotonic,
+            monotonic=certificate.monotonic,
+            detail=certificate.justification,
+        )
+
+    def _spot_check_certificate(self, algebra: RoutingAlgebra,
+                                claims_strict: bool) -> None:
+        """Falsify a wrong certificate on a finite sample (defence in depth)."""
+        from ..algebra.base import PHI, Pref
+
+        for sig in algebra.sample_signatures(12):
+            for label in algebra.labels():
+                extended = algebra.oplus(label, sig)
+                if extended is PHI:
+                    continue
+                pref = algebra.preference(sig, extended)
+                if claims_strict and pref is not Pref.BETTER:
+                    raise AssertionError(
+                        f"{algebra.name}: certificate claims strict "
+                        f"monotonicity but {label} (+) {sig} = {extended} "
+                        f"is not strictly worse than {sig}")
+                if pref is Pref.WORSE:
+                    raise AssertionError(
+                        f"{algebra.name}: certificate claims monotonicity "
+                        f"but {label} (+) {sig} = {extended} is preferred "
+                        f"to {sig}")

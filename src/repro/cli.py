@@ -1,0 +1,182 @@
+"""Command-line front end: ``python -m repro <command> ...``.
+
+Gives operators and researchers the paper's workflows without writing
+Python:
+
+* ``analyze <gadget>`` — safety verdict + unsat core for a built-in gadget;
+* ``run <gadget>`` — execute the generated NDlog implementation and report
+  convergence / message counts;
+* ``modelcheck <gadget>`` — stable states and an oscillation trace;
+* ``analyze-config <file> [--dest NODE]`` — validate router configuration
+  files and (given a destination) analyze the implied SPP instance;
+* ``figure {fig4,fig5,fig6} [--quick]`` — regenerate an evaluation figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .algebra import (
+    SPPInstance,
+    bad_gadget,
+    disagree,
+    good_gadget,
+    ibgp_figure3,
+    ibgp_figure3_fixed,
+)
+from .analysis import ModelChecker, SafetyAnalyzer
+from .ndlog import deploy_spp
+
+GADGETS: dict[str, Callable[[], SPPInstance]] = {
+    "good": good_gadget,
+    "bad": bad_gadget,
+    "disagree": disagree,
+    "figure3": ibgp_figure3,
+    "figure3-fixed": ibgp_figure3_fixed,
+}
+
+
+def _gadget(name: str) -> SPPInstance:
+    try:
+        return GADGETS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown gadget {name!r}; choose from {sorted(GADGETS)}")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    instance = _gadget(args.gadget)
+    print(instance)
+    print()
+    print(SafetyAnalyzer().analyze(instance).summary())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    instance = _gadget(args.gadget)
+    runtime = deploy_spp(instance, seed=args.seed, jitter_s=0.003)
+    reason = runtime.sim.run(until=args.until, max_events=args.max_events)
+    stats = runtime.sim.stats
+    if reason == "quiescent":
+        print(f"converged at t={stats.convergence_time:.3f}s "
+              f"({stats.messages_sent} messages)")
+        for node in sorted(instance.permitted):
+            rows = runtime.table_rows(node, "localOpt")
+            if rows:
+                print(f"  {node}: {instance.path_name(rows[0][3])}")
+    else:
+        print(f"did not converge within {args.until}s "
+              f"({stats.messages_sent} messages, stop reason: {reason})")
+    return 0
+
+
+def cmd_modelcheck(args: argparse.Namespace) -> int:
+    instance = _gadget(args.gadget)
+    checker = ModelChecker(instance)
+    stable = checker.stable_states()
+    print(f"stable solutions: {len(stable)}")
+    for state in stable:
+        rendered = {node: instance.path_name(path)
+                    for node, path in sorted(state.items())}
+        print(f"  {rendered}")
+    trace = checker.find_oscillation(mode=args.mode)
+    if trace is None:
+        print("no oscillation under these dynamics")
+    else:
+        print(trace.describe(instance))
+    return 0
+
+
+def cmd_analyze_config(args: argparse.Namespace) -> int:
+    from .config import ConfigError, parse_configs, to_spp
+    try:
+        with open(args.file) as handle:
+            configs = parse_configs(handle.read())
+    except (OSError, ConfigError) as error:
+        print(f"configuration rejected: {error}", file=sys.stderr)
+        return 1
+    print(f"{len(configs)} router stanzas validated")
+    if args.dest:
+        try:
+            instance = to_spp(configs, args.dest)
+        except ConfigError as error:
+            print(f"cannot derive SPP: {error}", file=sys.stderr)
+            return 1
+        print(instance)
+        print()
+        print(SafetyAnalyzer().analyze(instance).summary())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "fig4":
+        from .experiments import figure4_sweep, format_series
+        depths = (3, 5) if args.quick else (3, 5, 7, 9, 11, 13, 16)
+        points = figure4_sweep(depths, seed=1,
+                               max_nodes=40 if args.quick else 160)
+        print(format_series(points, "CAIDA-Sim"))
+    elif args.name == "fig5":
+        from .experiments import figure5_study, format_figure5
+        print(format_figure5(figure5_study(
+            seed=0, window_s=1.0 if args.quick else 2.0,
+            analyze=not args.quick)))
+    elif args.name == "fig6":
+        from .experiments import figure6_study, format_figure6
+        if args.quick:
+            results = figure6_study(seed=1, domains=3, nodes_per_domain=6,
+                                    cross_links=8, until=30.0)
+        else:
+            results = figure6_study(seed=0, until=60.0)
+        print(format_figure6(results))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSR: formal analysis and implementation toolkit "
+                    "for safe inter-domain routing (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="safety verdict for a gadget")
+    p.add_argument("gadget", choices=sorted(GADGETS))
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("run", help="execute a gadget's implementation")
+    p.add_argument("gadget", choices=sorted(GADGETS))
+    p.add_argument("--until", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--max-events", type=int, default=100_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("modelcheck",
+                       help="stable states and oscillation traces")
+    p.add_argument("gadget", choices=sorted(GADGETS))
+    p.add_argument("--mode", choices=("sync", "async"), default="sync")
+    p.set_defaults(fn=cmd_modelcheck)
+
+    p = sub.add_parser("analyze-config",
+                       help="validate router configuration files")
+    p.add_argument("file")
+    p.add_argument("--dest", default=None)
+    p.set_defaults(fn=cmd_analyze_config)
+
+    p = sub.add_parser("figure", help="regenerate an evaluation figure")
+    p.add_argument("name", choices=("fig4", "fig5", "fig6"))
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

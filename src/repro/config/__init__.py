@@ -1,0 +1,17 @@
+"""Router-configuration front end: config files → algebra / topology."""
+
+from .router_config import (
+    ConfigError,
+    RouterConfig,
+    parse_configs,
+    to_network,
+    to_spp,
+)
+
+__all__ = [
+    "ConfigError",
+    "RouterConfig",
+    "parse_configs",
+    "to_network",
+    "to_spp",
+]

@@ -1,0 +1,181 @@
+"""Router configuration → algebra translation (paper Sec. I / III).
+
+"Router configuration files can be automatically translated into the
+algebraic representation, easing the adoption of FSR."  This module
+implements that front end for a compact, vendor-ish configuration format:
+
+.. code-block:: text
+
+    router A
+      neighbor B customer
+      neighbor C peer
+      prefer B C          ! optional explicit egress ranking
+    router B
+      neighbor A provider
+
+Semantics:
+
+* ``neighbor N rel`` declares the business relationship (``customer`` /
+  ``provider`` / ``peer``) of N *as seen from the declaring router*;
+  relationships must be declared consistently on both ends (customer ⟷
+  provider, peer ⟷ peer) — :func:`parse_configs` validates this, catching
+  the classic cross-AS misconfiguration;
+* ``prefer`` optionally ranks neighbors for tie-breaking.
+
+Outputs:
+
+* :func:`to_network` — a labelled :class:`~repro.net.network.Network` ready
+  for a Gao-Rexford-style deployment (``label_fn`` chooses plain or
+  product labels);
+* :func:`to_spp` — with explicit ``prefer`` lines and a destination, a
+  concrete :class:`~repro.algebra.spp.SPPInstance` for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..algebra.spp import Path, SPPInstance
+from ..net.network import Network
+
+_COMPLEMENT = {"customer": "provider", "provider": "customer", "peer": "peer"}
+_REL_TO_LABEL = {"customer": "c", "provider": "p", "peer": "r"}
+
+
+class ConfigError(ValueError):
+    """Raised on malformed or inconsistent router configurations."""
+
+
+@dataclass
+class RouterConfig:
+    """One router's parsed stanza."""
+
+    name: str
+    neighbors: dict[str, str] = field(default_factory=dict)  # name -> rel
+    preferences: list[str] = field(default_factory=list)
+
+
+def parse_configs(text: str) -> dict[str, RouterConfig]:
+    """Parse a multi-router configuration; validates cross-consistency."""
+    configs: dict[str, RouterConfig] = {}
+    current: RouterConfig | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("!", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == "router":
+            if len(tokens) != 2:
+                raise ConfigError(f"bad router line: {raw_line!r}")
+            name = tokens[1]
+            if name in configs:
+                raise ConfigError(f"duplicate router stanza: {name}")
+            current = RouterConfig(name=name)
+            configs[name] = current
+        elif keyword == "neighbor":
+            if current is None:
+                raise ConfigError("neighbor line outside a router stanza")
+            if len(tokens) != 3 or tokens[2].lower() not in _COMPLEMENT:
+                raise ConfigError(f"bad neighbor line: {raw_line!r}")
+            current.neighbors[tokens[1]] = tokens[2].lower()
+        elif keyword == "prefer":
+            if current is None:
+                raise ConfigError("prefer line outside a router stanza")
+            current.preferences = tokens[1:]
+        else:
+            raise ConfigError(f"unknown keyword {keyword!r}")
+    _validate(configs)
+    return configs
+
+
+def _validate(configs: dict[str, RouterConfig]) -> None:
+    for name, config in configs.items():
+        for neighbor, rel in config.neighbors.items():
+            other = configs.get(neighbor)
+            if other is None:
+                raise ConfigError(
+                    f"{name} references undeclared router {neighbor}")
+            back = other.neighbors.get(name)
+            if back is None:
+                raise ConfigError(
+                    f"{neighbor} does not declare its session with {name}")
+            if back != _COMPLEMENT[rel]:
+                raise ConfigError(
+                    f"inconsistent relationship: {name} says {neighbor} is "
+                    f"its {rel}, but {neighbor} says {name} is its {back} "
+                    f"(expected {_COMPLEMENT[rel]})")
+        for preferred in config.preferences:
+            if preferred not in config.neighbors:
+                raise ConfigError(
+                    f"{name} prefers unknown neighbor {preferred}")
+
+
+def to_network(configs: dict[str, RouterConfig],
+               label_fn: Callable[[str], Hashable] = lambda rel: rel,
+               **link_kwargs) -> Network:
+    """Build the labelled topology.
+
+    ``label(u, v)`` becomes the class of v from u's viewpoint, matching the
+    convention of :mod:`repro.algebra.extended`.
+    """
+    network = Network(name="from-configs")
+    for name, config in configs.items():
+        network.add_node(name)
+        for neighbor, rel in config.neighbors.items():
+            if network.has_link(name, neighbor):
+                continue
+            label_uv = label_fn(_REL_TO_LABEL[rel])
+            back = configs[neighbor].neighbors[name]
+            label_vu = label_fn(_REL_TO_LABEL[back])
+            network.add_link(name, neighbor, label_ab=label_uv,
+                             label_ba=label_vu, **link_kwargs)
+    return network
+
+
+def to_spp(configs: dict[str, RouterConfig], destination: str,
+           name: str = "from-configs") -> SPPInstance:
+    """Derive an SPP instance from ``prefer`` rankings.
+
+    Each router's permitted paths are its one-hop-extended routes through
+    its preferred neighbors (in `prefer` order, direct route first when the
+    destination is adjacent), recursively restricted to the neighbor's own
+    first preference — a conservative approximation of the routes the
+    configuration would realise.
+    """
+    if destination not in configs:
+        raise ConfigError(f"unknown destination {destination}")
+
+    best_path: dict[str, Path] = {destination: (destination,)}
+
+    def resolve(router: str, visiting: frozenset) -> Path | None:
+        if router in best_path:
+            return best_path[router]
+        if router in visiting:
+            return None
+        config = configs[router]
+        order = config.preferences or sorted(config.neighbors)
+        for neighbor in order:
+            sub = resolve(neighbor, visiting | {router})
+            if sub is not None and router not in sub:
+                best_path[router] = (router,) + sub
+                return best_path[router]
+        return None
+
+    permitted: dict[str, list[Path]] = {}
+    for router, config in configs.items():
+        if router == destination:
+            continue
+        paths: list[Path] = []
+        order = config.preferences or sorted(config.neighbors)
+        for neighbor in order:
+            if neighbor == destination:
+                paths.append((router, destination))
+                continue
+            sub = resolve(neighbor, frozenset({router}))
+            if sub is not None and router not in sub:
+                paths.append((router,) + sub)
+        if paths:
+            permitted[router] = paths
+    return SPPInstance.build(name, destination, permitted)

@@ -1,0 +1,67 @@
+"""SPP extraction from protocol executions (paper Sec. VI-B).
+
+"In the absence of real router configurations, we extract the per-node
+rankings from NDlog implementation runs as follows.  We execute the GPV
+protocol ... and populate the permitted paths of each router based on its
+incoming route advertisements.  These permitted paths are then sorted based
+on IGP costs ... to generate per-node rankings."
+
+:func:`extract_spp` turns a :class:`~repro.protocols.gpv.GPVEngine` run
+(with ``log_routes=True``) into an :class:`~repro.algebra.spp.SPPInstance`
+ready for the safety analyzer, closing the loop between the implementation
+and analysis halves of FSR.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from ..algebra.spp import Path, SPPInstance
+from ..protocols.gpv import GPVEngine
+
+#: Ranks a logged (node, signature, path) entry; lower is more preferred.
+RankKey = Callable[[str, object, Path], tuple]
+
+
+def extract_spp(engine: GPVEngine, destination: str, *,
+                rank_key: RankKey | None = None,
+                name: str | None = None) -> SPPInstance:
+    """Build an SPP instance from the routes a run actually advertised.
+
+    ``rank_key(node, sig, path)`` orders each node's permitted paths; the
+    default sorts by the engine's algebra preference (which for the iBGP
+    study means IGP cost to the egress).  Only routes toward
+    ``destination`` are considered; duplicates are collapsed to the first
+    observation.
+    """
+    algebra = engine.algebra
+    permitted: dict[str, list[Path]] = {}
+    sig_of: dict[tuple[str, Path], object] = {}
+    for node, dest, sig, path in engine.route_log:
+        if dest != destination:
+            continue
+        key = (node, path)
+        if key in sig_of:
+            continue
+        sig_of[key] = sig
+        permitted.setdefault(node, []).append(path)
+
+    def order(node: str, paths: list[Path]) -> list[Path]:
+        if rank_key is not None:
+            return sorted(paths, key=lambda p: rank_key(
+                node, sig_of[(node, p)], p))
+
+        def compare(p1: Path, p2: Path) -> int:
+            s1, s2 = sig_of[(node, p1)], sig_of[(node, p2)]
+            if algebra.better(s1, s2):
+                return -1
+            if algebra.better(s2, s1):
+                return 1
+            return -1 if (len(p1), p1) <= (len(p2), p2) else 1
+
+        return sorted(paths, key=functools.cmp_to_key(compare))
+
+    ranked = {node: order(node, paths) for node, paths in permitted.items()}
+    return SPPInstance.build(
+        name or f"extracted:{engine.network.name}", destination, ranked)

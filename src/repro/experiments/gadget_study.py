@@ -1,0 +1,87 @@
+"""Sec. VI-C: eBGP gadget analysis and experimentation.
+
+Three workloads, each pairing the analyzer's verdict with the generated
+implementation's observed dynamics:
+
+* **GOOD GADGET scaling** — k disjoint gadget copies; everything converges,
+  with convergence time and message cost growing in k (route recomputation:
+  better-but-longer paths overwrite earlier choices);
+* **BAD GADGET** — unsat and the execution never quiesces (update rate
+  stays high until the cap);
+* **DISAGREE** — unsat (not strictly monotonic) yet convergent: a chain of
+  node pairs with a configurable fraction of "conflicting links"
+  (both endpoints prefer routing through each other); convergence slows as
+  the fraction grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.gadgets import bad_gadget, disagree_chain, good_gadget, replicate
+from ..algebra.spp import SPPInstance
+from ..analysis.safety import SafetyAnalyzer
+from ..ndlog.codegen import deploy_spp
+
+
+@dataclass
+class GadgetRun:
+    """Analysis verdict plus execution dynamics for one instance."""
+
+    name: str
+    safe_verdict: bool
+    converged: bool
+    convergence_s: float
+    messages: int
+
+
+def run_gadget(instance: SPPInstance, *, seed: int = 0,
+               jitter_s: float = 0.003,
+               until: float = 30.0,
+               max_events: int = 300_000,
+               analyze: bool = True) -> GadgetRun:
+    """Analyze and execute one SPP instance on the NDlog runtime."""
+    verdict = SafetyAnalyzer().analyze(instance).safe if analyze else False
+    runtime = deploy_spp(instance, seed=seed, jitter_s=jitter_s)
+    reason = runtime.sim.run(until=until, max_events=max_events)
+    stats = runtime.sim.stats
+    return GadgetRun(
+        name=instance.name,
+        safe_verdict=verdict,
+        converged=(reason == "quiescent"),
+        convergence_s=min(stats.convergence_time, until),
+        messages=stats.messages_sent,
+    )
+
+
+def good_gadget_scaling(copies: tuple[int, ...] = (1, 2, 4, 8), *,
+                        seed: int = 0) -> list[GadgetRun]:
+    """GOOD GADGET replicated k times: all converge, cost grows with k."""
+    return [run_gadget(replicate(good_gadget(), k), seed=seed + k)
+            for k in copies]
+
+
+def bad_gadget_run(*, seed: int = 0, until: float = 10.0) -> GadgetRun:
+    """BAD GADGET: unsat and divergent."""
+    return run_gadget(bad_gadget(), seed=seed, until=until,
+                      max_events=200_000)
+
+
+def disagree_sweep(fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                   *, pairs: int = 8, seed: int = 0,
+                   until: float = 120.0) -> list[GadgetRun]:
+    """DISAGREE: convergence time grows with the conflicting-link fraction."""
+    return [run_gadget(disagree_chain(pairs, fraction), seed=seed,
+                       until=until, max_events=2_000_000)
+            for fraction in fractions]
+
+
+def format_runs(runs: list[GadgetRun], title: str) -> str:
+    lines = [title,
+             f"{'instance':>28} {'safe?':>6} {'conv':>5} {'time(s)':>8} "
+             f"{'msgs':>8}"]
+    for r in runs:
+        lines.append(f"{r.name:>28} {'yes' if r.safe_verdict else 'no':>6} "
+                     f"{'yes' if r.converged else 'no':>5} "
+                     f"{r.convergence_s:>8.3f} {r.messages:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Figure 5 + Sec. VI-B: pinpointing iBGP configuration errors.
+
+The full workflow the paper demonstrates on the Rocketfuel AS-1755
+topology:
+
+1. build the router graph and a 6-level / 53-reflector session hierarchy,
+   with hot-potato (IGP-cost) route selection;
+2. optionally embed the Figure-3 gadget (three top reflectors whose IGP
+   costs prefer each other's client egress);
+3. **analysis path**: run GPV logging received routes, extract the SPP
+   instance, encode (hundreds of constraints) and solve — the gadget run
+   is unsat with a ~6-constraint minimal core naming exactly the gadget
+   routers; the fixed run is sat;
+4. **experiment path**: measure bandwidth-over-time for both
+   configurations (Fig. 5's Gadget vs NoGadget curves) and report the
+   communication-overhead and convergence-time reductions the fix buys
+   (paper: 91% and 82%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.encoder import encode
+from ..analysis.safety import SafetyAnalyzer, SafetyReport
+from ..algebra.spp import SPPAlgebra, SPPInstance
+from ..net.stats import BandwidthPoint
+from ..protocols.gpv import GPVEngine
+from ..topology.ibgp import EXT_DEST, IBGPConfig, IGPCostAlgebra, make_ibgp_config
+from ..topology.rocketfuel import rocketfuel_like
+from .extraction import extract_spp
+
+
+@dataclass
+class IBGPRunResult:
+    """One configuration's simulation + analysis outcome."""
+
+    gadget: bool
+    converged: bool
+    convergence_s: float
+    messages: int
+    total_mb: float
+    bandwidth: list[BandwidthPoint] = field(default_factory=list)
+    spp: SPPInstance | None = None
+    report: SafetyReport | None = None
+    preference_constraints: int = 0
+    monotonicity_constraints: int = 0
+    core_nodes: list[str] = field(default_factory=list)
+    #: Router sets of every disjoint unsat core (the paper's iterative
+    #: repair loop: "remove all unsatisfiable cores one by one").
+    all_core_nodes: list[list[str]] = field(default_factory=list)
+
+
+@dataclass
+class Figure5Result:
+    """The Gadget/NoGadget pair plus the headline reductions."""
+
+    gadget: IBGPRunResult
+    fixed: IBGPRunResult
+    comm_reduction: float  # fraction of bytes the fix removes
+    convergence_reduction: float
+    gadget_members: list[str]
+    core_hits_gadget: bool
+
+
+def run_configuration(config: IBGPConfig, *, seed: int = 0,
+                      window_s: float = 2.0,
+                      bin_s: float = 0.02,
+                      analyze: bool = True) -> IBGPRunResult:
+    """Simulate one iBGP configuration and (optionally) analyze it."""
+    algebra = IGPCostAlgebra(config)
+    engine = GPVEngine(config.session_net, algebra, [EXT_DEST], seed=seed,
+                       log_routes=True)
+    reason = engine.run(until=window_s, max_events=20_000_000)
+    stats = engine.sim.stats
+    node_count = config.session_net.node_count() - 1  # exclude EXT
+    result = IBGPRunResult(
+        gadget=bool(config.gadget_members),
+        converged=(reason == "quiescent"),
+        convergence_s=min(stats.convergence_time, window_s),
+        messages=stats.messages_sent,
+        total_mb=stats.bytes_sent_total / 1e6,
+        bandwidth=stats.bandwidth_series(node_count, bin_s=bin_s,
+                                         until=window_s),
+    )
+    if analyze:
+        spp = extract_spp(
+            engine, EXT_DEST,
+            rank_key=lambda node, sig, path: (config.cost(node, sig[1]),
+                                              len(path), path))
+        encoding = encode(SPPAlgebra(spp))
+        analyzer = SafetyAnalyzer()
+        report = analyzer.analyze(spp)
+        result.spp = spp
+        result.report = report
+        result.preference_constraints = encoding.preference_count
+        result.monotonicity_constraints = encoding.monotonicity_count
+        result.core_nodes = _core_routers(report.core)
+        if not report.safe:
+            # An oscillating run logs transient paths that can expose
+            # several independent conflicts; enumerate them all, as the
+            # paper's repair loop does.
+            for core in analyzer.enumerate_cores(spp, limit=16):
+                result.all_core_nodes.append(_core_routers(core))
+    return result
+
+
+def _core_routers(core) -> list[str]:
+    return sorted({
+        source.origin.split("[", 1)[1].rstrip("]")
+        for source in core
+        if "[" in (source.origin or "")
+    })
+
+
+def figure5_study(*, seed: int = 0, window_s: float = 2.0,
+                  bin_s: float = 0.02,
+                  analyze: bool = True) -> Figure5Result:
+    """Run both configurations on the same router graph and compare."""
+    router_net = rocketfuel_like(seed=seed)
+    gadget_config = make_ibgp_config(router_net, seed=seed, embed_gadget=True)
+    fixed_config = make_ibgp_config(router_net, seed=seed, embed_gadget=False)
+
+    gadget = run_configuration(gadget_config, seed=seed, window_s=window_s,
+                               bin_s=bin_s, analyze=analyze)
+    fixed = run_configuration(fixed_config, seed=seed, window_s=window_s,
+                              bin_s=bin_s, analyze=analyze)
+
+    comm_reduction = 0.0
+    if gadget.total_mb > 0:
+        comm_reduction = 1.0 - fixed.total_mb / gadget.total_mb
+    convergence_reduction = 0.0
+    if gadget.convergence_s > 0:
+        convergence_reduction = 1.0 - fixed.convergence_s / gadget.convergence_s
+
+    members = set(gadget_config.gadget_members)
+    core_sets = gadget.all_core_nodes or [gadget.core_nodes]
+    core_hits = any(routers and set(routers) <= members
+                    for routers in core_sets)
+    return Figure5Result(
+        gadget=gadget,
+        fixed=fixed,
+        comm_reduction=comm_reduction,
+        convergence_reduction=convergence_reduction,
+        gadget_members=gadget_config.gadget_members,
+        core_hits_gadget=core_hits,
+    )
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Readable report in the shape of the paper's Sec. VI-B narrative."""
+    g, f = result.gadget, result.fixed
+    lines = [
+        "Figure 5 — iBGP with embedded gadget vs fixed configuration",
+        f"  Gadget:   converged={g.converged} conv={g.convergence_s:.3f}s "
+        f"msgs={g.messages} traffic={g.total_mb:.3f} MB",
+        f"  NoGadget: converged={f.converged} conv={f.convergence_s:.3f}s "
+        f"msgs={f.messages} traffic={f.total_mb:.3f} MB",
+        f"  communication reduction after fix: "
+        f"{result.comm_reduction:.0%} (paper: 91%)",
+        f"  convergence-time reduction after fix: "
+        f"{result.convergence_reduction:.0%} (paper: 82%)",
+    ]
+    if g.report is not None:
+        lines += [
+            f"  gadget SPP constraints: {g.monotonicity_constraints} "
+            f"monotonicity + {g.preference_constraints} rankings "
+            "(paper: 259 + 292)",
+            f"  gadget verdict: "
+            f"{'unsat' if not g.report.safe else 'sat'}, core size "
+            f"{len(g.report.core)} (paper: 6)",
+            f"  disjoint conflicts found: {len(g.all_core_nodes)}; "
+            f"router sets: {g.all_core_nodes}",
+            f"  some conflict lies within the embedded gadget "
+            f"{result.gadget_members}: {result.core_hits_gadget}",
+        ]
+    if f.report is not None:
+        lines.append(
+            f"  fixed verdict: {'sat' if f.report.safe else 'unsat'} "
+            "(paper: sat)")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""NDlog program texts: the GPV mechanism (paper Sec. V-A).
+
+``GPV_PAPER`` is the four-rule program exactly as printed in the paper —
+kept for reference and parser coverage.  ``GPV`` is the executable variant
+actually deployed by FSR, differing only in the bookkeeping a running
+implementation needs (RapidNet's real GPV carries the same):
+
+* ``materialize`` declarations with the keys that give BGP's
+  adjacency-RIB-in semantics — ``sig`` is keyed by (node, neighbor,
+  destination) so a neighbor's fresh advertisement *replaces* its old one;
+* an explicit destination column ``D`` threaded through (the paper's
+  program stores it implicitly in the path via ``f_last``);
+* ``f_combine`` folding the import filter, the ⊕P concatenation and the
+  AS-path loop check into the received signature (φ when filtered), and
+  ``f_exportSig`` folding the export filter *and* split-horizon (don't
+  advertise a route to its own next hop) on the sending side — both
+  produce φ, and a φ advertisement is exactly a BGP withdraw, replacing
+  the stale route in the neighbor's adjacency RIB.  Without the φ flow a
+  node whose best route now goes *through* a neighbor would leave its old
+  advertisement dangling there, and DISAGREE would "converge" into a
+  mutual forwarding loop.
+"""
+
+GPV_PAPER = """
+gpvRecv sig(@U,SNew,PNew) :- msg(@U,V,D,S,P),
+    PNew = f_concatPath(U,P), V = f_head(P),
+    SNew = f_concatSig(L,S), label(@U,V,L),
+    f_import(L,S) = true.
+
+gpvStore route(@U,D,S,P) :- sig(@U,S,P), D = f_last(P).
+
+gpvSelect localOpt(@U,D,a_pref<S>,P) :- route(@U,D,S,P).
+
+gpvSend msg(@N,U,D,S,P) :- localOpt(@U,D,S,P),
+    label(@U,N,L), f_export(L,S) = true.
+"""
+
+GPV = """
+materialize(label, infinity, infinity, keys(1,2)).
+materialize(sig, infinity, infinity, keys(1,2,3)).
+materialize(localOpt, infinity, infinity, keys(1,2)).
+
+gpvRecv sig(@U,V,D,SNew,PNew) :- msg(@U,V,D,S,P),
+    label(@U,V,L),
+    SNew := f_combine(L,S,P,U),
+    PNew := f_concatPath(U,P).
+
+gpvSelect localOpt(@U,D,a_pref<S>,P) :- sig(@U,V,D,S,P).
+
+gpvSend msg(@N,U,D,SExp,P) :- localOpt(@U,D,S,P),
+    label(@U,N,L),
+    N != D,
+    SExp := f_exportSig(L,S,P,N).
+"""

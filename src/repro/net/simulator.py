@@ -1,0 +1,154 @@
+"""Discrete-event network simulator (the reproduction's ns-3 stand-in).
+
+The paper executes generated NDlog programs on RapidNet over ns-3 in
+*simulation mode*, and over real sockets in *deployment mode*.  This module
+provides the simulation substrate both our NDlog runtime and the native
+protocol engines run on:
+
+* a time-ordered event loop with deterministic tie-breaking;
+* message transport over :class:`~repro.net.network.Network` links with
+  per-direction FIFO serialization (transmission delay = size / bandwidth),
+  propagation latency, and seeded jitter;
+* per-node byte/message accounting feeding the bandwidth-over-time figures
+  (Figs. 5 and 6);
+* quiescence detection: ``run()`` returns when no events remain, which for
+  safe policies is the convergence instant — unsafe policies hit the
+  event/time caps instead (that is how BAD GADGET's divergence shows up).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .network import Network
+from .stats import StatsCollector
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+@dataclass
+class Message:
+    """An in-flight protocol message."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+
+
+class StopReason:
+    """Why :meth:`Simulator.run` returned."""
+
+    QUIESCENT = "quiescent"
+    TIME_LIMIT = "time-limit"
+    EVENT_LIMIT = "event-limit"
+    STOPPED = "stopped"
+
+
+class Simulator:
+    """Event loop + message transport over a :class:`Network`.
+
+    Protocol engines register a per-node message handler with
+    :meth:`attach`; :meth:`send` transports a message between neighbors.
+    Handlers and timers run inside the loop; everything is deterministic
+    for a given seed.
+    """
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self.rng = random.Random(seed)
+        self.stats = StatsCollector()
+        self.now = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._handlers: dict[str, Callable[[str, Any], None]] = {}
+        #: Per-direction earliest free time of each link (FIFO serialization).
+        self._link_free_at: dict[tuple[str, str], float] = {}
+        self._stopped = False
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, node: str, handler: Callable[[str, Any], None]) -> None:
+        """Register ``handler(src, payload)`` as ``node``'s receive callback."""
+        if node not in self.network.nodes():
+            raise KeyError(f"unknown node {node}")
+        self._handlers[node] = handler
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       _Event(self.now + delay, next(self._seq), action))
+
+    def at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute time ``when`` (>= now)."""
+        self.schedule(max(0.0, when - self.now), action)
+
+    def stop(self) -> None:
+        """Abort the run at the end of the current event."""
+        self._stopped = True
+
+    # -- transport ----------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
+        """Transmit a message to a *neighbor* over the connecting link.
+
+        Models FIFO serialization per link direction: a burst of updates
+        queues behind itself, which is what makes oscillating configurations
+        visibly saturate links in the Fig. 5 traces.
+        """
+        link = self.network.link(src, dst)
+        direction = (src, dst)
+        start = max(self.now, self._link_free_at.get(direction, 0.0))
+        tx_done = start + link.transmission_delay(size_bytes)
+        self._link_free_at[direction] = tx_done
+        jitter = self.rng.uniform(0.0, link.jitter_s) if link.jitter_s else 0.0
+        arrival = tx_done + link.latency_s + jitter
+        self.stats.record_send(self.now, src, dst, size_bytes)
+        message = Message(src, dst, payload, size_bytes)
+        self.at(arrival, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        self.stats.record_receive(self.now, message.src, message.dst,
+                                  message.size_bytes)
+        if handler is not None:
+            handler(message.src, message.payload)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> str:
+        """Drain the event queue; returns a :class:`StopReason` constant."""
+        processed = 0
+        self._stopped = False
+        while self._queue:
+            if self._stopped:
+                return StopReason.STOPPED
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return StopReason.TIME_LIMIT
+            if max_events is not None and processed >= max_events:
+                return StopReason.EVENT_LIMIT
+            heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            event.action()
+            processed += 1
+        return StopReason.QUIESCENT
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

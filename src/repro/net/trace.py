@@ -1,0 +1,111 @@
+"""Execution tracing for simulation runs.
+
+The paper's demo (reference [7]) visualizes protocol convergence as a
+timeline of advertisements and route changes.  :class:`Tracer` provides
+that for any simulator-based engine: attach it before ``run()`` and it
+records every transmitted message and every route change, then renders a
+text timeline or answers queries (events in a window, per-node activity,
+quiet periods).
+
+The tracer wraps the simulator's ``send`` and the stats collector's
+``record_route_change`` non-invasively, so it composes with every engine
+(GPV, HLP, NDlog runtime) without touching their code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str  # 'send' | 'route'
+    node: str
+    detail: str
+
+
+@dataclass
+class Tracer:
+    """Event recorder for one simulator."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _sim: Simulator | None = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, sim: Simulator) -> "Tracer":
+        """Start recording ``sim``'s sends and route changes."""
+        if self._sim is not None:
+            raise RuntimeError("tracer is already attached")
+        self._sim = sim
+        original_send = sim.send
+        original_route = sim.stats.record_route_change
+
+        def traced_send(src: str, dst: str, payload: Any,
+                        size_bytes: int) -> None:
+            self.events.append(TraceEvent(
+                sim.now, "send", src,
+                f"-> {dst} ({size_bytes} B, {_describe(payload)})"))
+            original_send(src, dst, payload, size_bytes)
+
+        def traced_route(now: float, node: str) -> None:
+            self.events.append(TraceEvent(now, "route", node,
+                                          "best route changed"))
+            original_route(now, node)
+
+        sim.send = traced_send
+        sim.stats.record_route_change = traced_route
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def by_node(self, node: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def route_changes(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "route"]
+
+    def quiet_after(self) -> float:
+        """Timestamp of the last recorded event (0.0 when none)."""
+        return max((e.time for e in self.events), default=0.0)
+
+    # -- rendering ------------------------------------------------------------------
+
+    def timeline(self, limit: int = 50, width: int = 72) -> str:
+        """A text timeline of the first ``limit`` events."""
+        lines = [f"{'t(s)':>9}  {'node':<8} event"]
+        for event in self.events[:limit]:
+            text = f"{event.time:>9.4f}  {event.node:<8} "
+            text += ("ROUTE  " if event.kind == "route" else "SEND   ")
+            text += event.detail
+            lines.append(text[:width])
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def activity_histogram(self, bin_s: float = 0.1) -> dict[float, int]:
+        """Events per time bin — the shape of convergence at a glance."""
+        bins: dict[float, int] = {}
+        for event in self.events:
+            key = round(int(event.time / bin_s) * bin_s, 9)
+            bins[key] = bins.get(key, 0) + 1
+        return dict(sorted(bins.items()))
+
+
+def _describe(payload: Any) -> str:
+    name = type(payload).__name__
+    dest = getattr(payload, "dest", None)
+    if dest is not None:
+        return f"{name} dest={dest}"
+    if isinstance(payload, tuple) and len(payload) == 2:
+        return f"{payload[0]} tuple"
+    return name

@@ -1,0 +1,23 @@
+"""Protocol engines: GPV (path vector over an algebra), PV baseline, HLP.
+
+* :mod:`repro.protocols.gpv` — the native Generalized Path Vector engine,
+  semantically equal to the NDlog GPV program (asserted by tests);
+* :mod:`repro.protocols.pv` — plain path-vector baseline for Fig. 6;
+* :mod:`repro.protocols.hlp` — Hybrid Link-state/Path-vector with cost
+  hiding (Sec. VI-D).
+"""
+
+from .gpv import Advertisement, GPVEngine
+from .hlp import DOMAIN_ATTR, ExtRecord, FpvAdvert, HLPEngine, Lsa
+from .pv import make_pv
+
+__all__ = [
+    "Advertisement",
+    "DOMAIN_ATTR",
+    "ExtRecord",
+    "FpvAdvert",
+    "GPVEngine",
+    "HLPEngine",
+    "Lsa",
+    "make_pv",
+]

@@ -1,0 +1,415 @@
+"""Native Generalized Path Vector engine.
+
+Semantically identical to the NDlog GPV program interpreted by
+:class:`~repro.ndlog.runtime.NDlogRuntime` (the equivalence is asserted by
+the integration tests, the operational counterpart of the paper's
+Theorem 5.1), but implemented directly in Python so large topologies — the
+CAIDA subgraphs of Fig. 4 and the 87-router Rocketfuel instance of
+Fig. 5 — simulate quickly.
+
+Per node and destination the engine keeps
+
+* an adjacency-RIB-in: the latest (signature, path) advertised by each
+  neighbor, φ-signatures marking withdrawn routes;
+* the selected best route (algebra preference, sticky under ties);
+* an adjacency-RIB-out per neighbor for dedup and φ-suppression.
+
+Route propagation applies, in order: export filter and split horizon on the
+sender (φ on the wire = withdraw), then import filter, loop check, and ⊕P
+concatenation on the receiver — the ⊕E / ⊕I / ⊕P decomposition that the
+extended algebra of paper Sec. III-A exists to express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from ..algebra.base import PHI, RoutingAlgebra, Signature
+from ..algebra.extended import ExtendedAlgebra
+from ..net.network import Network
+from ..net.simulator import Simulator
+from ..net.sizes import update_size
+
+Path = tuple
+Route = tuple  # (signature, path)
+
+
+@dataclass
+class _NodeState:
+    #: Routes per (neighbor, destination): a tuple because multipath
+    #: advertisements can carry several (paper's top-k extension).
+    rib_in: dict[tuple[str, str], tuple] = field(default_factory=dict)
+    #: Raw advertisements as received, pre-⊕ — kept so a label change on a
+    #: link can re-derive the combined routes (policy/metric perturbation).
+    adj_in: dict[tuple[str, str], "Advertisement"] = field(default_factory=dict)
+    best: dict[str, Route] = field(default_factory=dict)
+    rib_out: dict[tuple[str, str], tuple] = field(default_factory=dict)
+    out_buffer: dict[tuple[str, str], "Advertisement"] = field(default_factory=dict)
+    flush_scheduled: bool = False
+
+
+@dataclass
+class Advertisement:
+    """Wire format: the sender's current best route for one destination.
+
+    Under multipath operation (``top_k > 1``, the paper's Sec. VI-D
+    "propagating the top-k paths instead of the current best"), up to
+    ``k - 1`` additional routes ride along in ``alternates``.
+    """
+
+    dest: str
+    sig: Signature
+    path: Path
+    alternates: tuple = ()
+
+    def routes(self) -> list[Route]:
+        return [(self.sig, self.path), *self.alternates]
+
+    def wire_size(self) -> int:
+        size = update_size(len(self.path))
+        for _sig, path in self.alternates:
+            size += update_size(len(path)) - 19  # alternates share a header
+        return size
+
+
+class GPVEngine:
+    """Path-vector protocol parameterised by a routing algebra.
+
+    ``route_log`` (enabled with ``log_routes=True``) records every non-φ
+    route accepted into a RIB-in — the raw material for SPP extraction
+    (paper Sec. VI-B extracts per-node permitted paths from received
+    advertisements).
+    """
+
+    def __init__(self, network: Network, algebra: RoutingAlgebra,
+                 destinations: Iterable[str], *,
+                 seed: int = 0,
+                 batch_interval: float | None = None,
+                 log_routes: bool = False,
+                 top_k: int = 1):
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        self.network = network
+        self.algebra = algebra
+        self.destinations = list(destinations)
+        self.sim = Simulator(network, seed=seed)
+        self.batch_interval = batch_interval
+        self.log_routes = log_routes
+        self.top_k = top_k
+        self.route_log: list[tuple[str, str, Signature, Path]] = []
+        self._states = {node: _NodeState() for node in network.nodes()}
+        for node in network.nodes():
+            self.sim.attach(node, self._make_handler(node))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Inject origination routes (one-hop paths to each destination)."""
+        for dest in self.destinations:
+            for neighbor in self.network.neighbors(dest):
+                label = self.network.label(neighbor, dest)
+                if label is None:
+                    continue
+                try:
+                    sig = self.algebra.origin_signature(label)
+                except (KeyError, NotImplementedError):
+                    continue
+                if sig is PHI:
+                    continue
+                route = (sig, (neighbor, dest))
+                state = self._states[neighbor]
+                state.rib_in[(neighbor, dest)] = (route,)
+                self.sim.at(0.0, lambda n=neighbor, d=dest: self._reselect(n, d))
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> str:
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    # -- queries ----------------------------------------------------------------
+
+    def best_route(self, node: str, dest: str) -> Route | None:
+        route = self._states[node].best.get(dest)
+        if route is None or route[0] is PHI:
+            return None
+        return route
+
+    def best_path(self, node: str, dest: str) -> Path | None:
+        route = self.best_route(node, dest)
+        return route[1] if route else None
+
+    def known_routes(self, node: str, dest: str) -> list[Route]:
+        """Every usable route in the node's RIB-in, most preferred first."""
+        return self._ranked(self._candidates(self._states[node], dest))
+
+    def converged_everywhere(self) -> bool:
+        """Does every node hold a route to every (other) destination?"""
+        return self.reachable_fraction() == 1.0
+
+    def reachable_fraction(self) -> float:
+        """Fraction of (node, destination) pairs holding a route.
+
+        Policy filtering can legitimately leave pairs unreachable (e.g.
+        Gao-Rexford never routes between two customers of disjoint
+        hierarchies joined only by a peering), so 1.0 is not always the
+        converged value — quiescence is.
+        """
+        pairs = 0
+        reachable = 0
+        for node in self.network.nodes():
+            for dest in self.destinations:
+                if node == dest:
+                    continue
+                pairs += 1
+                if self.best_route(node, dest) is not None:
+                    reachable += 1
+        return reachable / pairs if pairs else 1.0
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take the link between ``a`` and ``b`` down at the current time.
+
+        Both endpoints drop every route learned from the other (including
+        originations over the link), reselect, and the resulting changes —
+        possibly withdraws (φ advertisements) — propagate through the
+        normal machinery.  This is BGP session failure, and it exercises
+        the full withdraw path: downstream nodes whose best route used the
+        link must fall back or lose the destination entirely.
+        """
+        self.network.remove_link(a, b)
+        for node, gone in ((a, b), (b, a)):
+            state = self._states[node]
+            affected = []
+            for (neighbor, dest) in list(state.rib_in):
+                if neighbor == gone:
+                    del state.rib_in[(neighbor, dest)]
+                    state.adj_in.pop((neighbor, dest), None)
+                    affected.append(dest)
+                elif dest == gone and neighbor == node:
+                    # Origination over the failed link.
+                    del state.rib_in[(neighbor, dest)]
+                    affected.append(dest)
+            # RIB-out entries toward the vanished neighbor are void.
+            for key in [k for k in state.rib_out if k[0] == gone]:
+                del state.rib_out[key]
+            for key in [k for k in state.out_buffer if k[0] == gone]:
+                del state.out_buffer[key]
+            for dest in affected:
+                self._reselect_after_loss(node, dest)
+
+    def _reselect_after_loss(self, node: str, dest: str) -> None:
+        """Reselection that can *withdraw*: the best route may be gone."""
+        state = self._states[node]
+        winner: Route | None = None
+        for route in self._candidates(state, dest):
+            if route[0] is PHI:
+                continue
+            if winner is None or self.algebra.better(route[0], winner[0]):
+                winner = route
+        current = state.best.get(dest)
+        if winner is None:
+            if current is None or current[0] is PHI:
+                return
+            lost = (PHI, (node,))
+            state.best[dest] = lost
+            self.sim.stats.record_route_change(self.sim.now, node)
+            self._advertise(node, dest, lost)
+            return
+        if current == winner:
+            return
+        state.best[dest] = winner
+        self.sim.stats.record_route_change(self.sim.now, node)
+        self._advertise(node, dest, winner)
+
+    def perturb_link(self, a: str, b: str, *, label_ab=None,
+                     label_ba=None) -> None:
+        """Change a link's directed labels at the current sim time.
+
+        Each endpoint re-derives the routes it had received over the link
+        (the raw advertisements are kept pre-⊕) and re-runs selection —
+        the path-vector reaction to a metric or policy change.
+        """
+        if label_ab is not None:
+            self.network.set_label(a, b, label_ab)
+        if label_ba is not None:
+            self.network.set_label(b, a, label_ba)
+        for node, src in ((a, b), (b, a)):
+            state = self._states[node]
+            for (neighbor, dest), adv in list(state.adj_in.items()):
+                if neighbor == src:
+                    self._receive(node, src, adv)
+            # Locally originated one-hop routes over this link change too.
+            if src in self.destinations:
+                label = self.network.label(node, src)
+                try:
+                    sig = self.algebra.origin_signature(label)
+                except (KeyError, NotImplementedError):
+                    sig = PHI
+                if sig is not PHI:
+                    state.rib_in[(node, src)] = ((sig, (node, src)),)
+                    self._reselect(node, src)
+
+    # -- receive side ---------------------------------------------------------------
+
+    def _make_handler(self, node: str):
+        def handler(src: str, payload: Advertisement) -> None:
+            self._receive(node, src, payload)
+        return handler
+
+    def _receive(self, node: str, src: str, adv: Advertisement) -> None:
+        label = self.network.label(node, src)
+        state = self._states[node]
+        state.adj_in[(src, adv.dest)] = adv
+        combined = []
+        for sig, path in adv.routes():
+            new_sig = self._combine(label, sig, path, node)
+            new_path = (node,) + tuple(path)
+            combined.append((new_sig, new_path))
+            if self.log_routes and new_sig is not PHI:
+                self.route_log.append((node, adv.dest, new_sig, new_path))
+        new = tuple(combined)
+        if state.rib_in.get((src, adv.dest)) == new:
+            return
+        state.rib_in[(src, adv.dest)] = new
+        self._reselect(node, adv.dest)
+
+    def _combine(self, label: Hashable, sig: Signature, path: Path,
+                 node: str) -> Signature:
+        """Receive-side ⊕: loop check, import filter (⊕I), then ⊕P."""
+        if sig is PHI or node in path:
+            return PHI
+        if isinstance(self.algebra, ExtendedAlgebra):
+            if not self.algebra.import_allows(label, sig):
+                return PHI
+            return self.algebra.concat(label, sig)
+        return self.algebra.oplus(label, sig)
+
+    # -- selection --------------------------------------------------------------------
+
+    def _candidates(self, state: _NodeState, dest: str) -> list[Route]:
+        return [route for (_, d), routes in state.rib_in.items()
+                if d == dest for route in routes]
+
+    def _ranked(self, candidates: list[Route]) -> list[Route]:
+        """Non-φ candidates, most preferred first, deduplicated by path."""
+        import functools
+
+        seen: set[Path] = set()
+        unique = []
+        for route in candidates:
+            if route[0] is PHI or route[1] in seen:
+                continue
+            seen.add(route[1])
+            unique.append(route)
+
+        def compare(r1: Route, r2: Route) -> int:
+            if self.algebra.better(r1[0], r2[0]):
+                return -1
+            if self.algebra.better(r2[0], r1[0]):
+                return 1
+            return -1 if (len(r1[1]), r1[1]) <= (len(r2[1]), r2[1]) else 1
+
+        unique.sort(key=functools.cmp_to_key(compare))
+        return unique
+
+    def _reselect(self, node: str, dest: str) -> None:
+        state = self._states[node]
+        candidates = self._candidates(state, dest)
+        winner: Route | None = None
+        for route in candidates:
+            if winner is None or self.algebra.better(route[0], winner[0]):
+                winner = route
+        if winner is None:
+            return
+        current = state.best.get(dest)
+        selected = winner
+        if current is not None and current != winner:
+            # Stickiness: keep the current selection on ties while it is
+            # still offered.
+            if (not self.algebra.better(winner[0], current[0])
+                    and current in candidates):
+                selected = current
+        if selected != current:
+            state.best[dest] = selected
+            self.sim.stats.record_route_change(self.sim.now, node)
+            self._advertise(node, dest, selected)
+        elif self.top_k > 1:
+            # The best is unchanged but the advertised top-k *set* may
+            # have grown or shrunk; per-neighbor RIB-out dedup keeps this
+            # quiet when nothing actually changed.
+            self._advertise(node, dest, selected)
+
+    # -- send side -----------------------------------------------------------------------
+
+    def _advertise(self, node: str, dest: str, route: Route) -> None:
+        sig, path = route
+        state = self._states[node]
+        extras: list[Route] = []
+        if self.top_k > 1 and sig is not PHI:
+            extras = [r for r in self._ranked(self._candidates(state, dest))
+                      if r != route]
+        for neighbor in self.network.neighbors(node):
+            if neighbor == dest:
+                continue
+            label = self.network.label(node, neighbor)
+            out_sig = self._export_sig(label, sig, path, neighbor)
+            usable: list[Route] = []
+            if self.top_k > 1:
+                pool = ([] if out_sig is PHI else [(out_sig, path)])
+                for alt_sig, alt_path in extras:
+                    exported = self._export_sig(label, alt_sig, alt_path,
+                                                neighbor)
+                    if exported is not PHI:
+                        pool.append((exported, alt_path))
+                usable = pool[: self.top_k]
+            if usable:
+                adv = Advertisement(dest, usable[0][0], usable[0][1],
+                                    alternates=tuple(usable[1:]))
+            else:
+                adv = Advertisement(dest, out_sig, path)
+            self._emit(node, neighbor, adv)
+
+    def _export_sig(self, label: Hashable, sig: Signature, path: Path,
+                    neighbor: str) -> Signature:
+        """Send-side ⊕E plus split horizon; φ on the wire is a withdraw."""
+        if sig is PHI:
+            return PHI
+        if len(path) > 1 and path[1] == neighbor:
+            return PHI
+        if isinstance(self.algebra, ExtendedAlgebra):
+            if not self.algebra.export_allows(label, sig):
+                return PHI
+        return sig
+
+    def _emit(self, node: str, neighbor: str, adv: Advertisement) -> None:
+        state = self._states[node]
+        rib_key = (neighbor, adv.dest)
+        last = state.rib_out.get(rib_key)
+        current = (adv.sig, adv.path, adv.alternates)
+        if last == current:
+            return
+        if adv.sig is PHI and (last is None or last[0] is PHI):
+            state.rib_out[rib_key] = current
+            return
+        if self.batch_interval is None:
+            state.rib_out[rib_key] = current
+            self.sim.send(node, neighbor, adv, adv.wire_size())
+            return
+        state.out_buffer[rib_key] = adv
+        if not state.flush_scheduled:
+            state.flush_scheduled = True
+            ticks = int(self.sim.now / self.batch_interval) + 1
+            self.sim.at(ticks * self.batch_interval,
+                        lambda: self._flush(node))
+
+    def _flush(self, node: str) -> None:
+        state = self._states[node]
+        state.flush_scheduled = False
+        pending = list(state.out_buffer.items())
+        state.out_buffer.clear()
+        for (neighbor, dest), adv in pending:
+            current = (adv.sig, adv.path, adv.alternates)
+            if state.rib_out.get((neighbor, dest)) == current:
+                continue
+            state.rib_out[(neighbor, dest)] = current
+            self.sim.send(node, neighbor, adv, adv.wire_size())

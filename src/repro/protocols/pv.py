@@ -1,0 +1,29 @@
+"""Plain path-vector baseline (the "PV" line of Fig. 6).
+
+PV is simply the GPV mechanism running the composed Gao-Rexford ⊗ hop-count
+policy (the same configuration as the Fig. 4 experiment) — the paper's
+baseline against which HLP's hierarchy-aware optimizations are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..algebra.base import RoutingAlgebra
+from ..algebra.library import gao_rexford_with_hopcount
+from ..net.network import Network
+from .gpv import GPVEngine
+
+
+def make_pv(network: Network, destinations: Iterable[str], *,
+            algebra: RoutingAlgebra | None = None,
+            seed: int = 0,
+            batch_interval: float | None = None) -> GPVEngine:
+    """A path-vector engine with the default interdomain policy.
+
+    ``algebra`` defaults to Gao-Rexford guideline A composed with shortest
+    hop-count — provably safe, so PV always converges and the comparison
+    with HLP is about speed and message cost, not stability.
+    """
+    return GPVEngine(network, algebra or gao_rexford_with_hopcount(),
+                     destinations, seed=seed, batch_interval=batch_interval)

@@ -1,0 +1,212 @@
+"""Terms and atomic constraints for the FSR constraint language.
+
+FSR's safety analysis (paper Sec. IV-B) only ever emits constraints of four
+shapes over integer-valued signature variables:
+
+* ``x < y``   — strict preference / strict monotonicity,
+* ``x <= y``  — weak preference / plain monotonicity,
+* ``x == y``  — equally-preferred signatures (e.g. ``P = R``),
+* ``x >= 1``  — signatures are positive integers (the Yices
+  ``(subtype (n::nat) (> n 0))`` declaration).
+
+All four are *integer difference logic* atoms, i.e. each can be normalised to
+one or two inequalities of the form ``a - b <= c``.  The solver in
+:mod:`repro.smt.solver` decides conjunctions of such atoms exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Relation(enum.Enum):
+    """Comparison relation of an atomic constraint."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    GE = ">="
+    GT = ">"
+
+    def negate(self) -> "Relation":
+        """Return the relation of the negated atom (over integers)."""
+        return {
+            Relation.LT: Relation.GE,
+            Relation.LE: Relation.GT,
+            Relation.EQ: Relation.EQ,  # callers must special-case EQ
+            Relation.GE: Relation.LT,
+            Relation.GT: Relation.LE,
+        }[self]
+
+
+@dataclass(frozen=True, order=True)
+class IntVar:
+    """An integer-valued variable (one per path signature).
+
+    Variables compare and hash by name, so the same name used twice denotes
+    the same variable — convenient when the encoder regenerates variables
+    from signature objects.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: Distinguished variable used to express constant bounds (``x >= 1`` becomes
+#: ``zero - x <= -1``).  Never appears in user constraints or in models.
+ZERO = IntVar("$zero")
+
+
+_atom_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atomic constraint ``lhs REL rhs`` or ``lhs REL const``.
+
+    Exactly one of ``rhs`` / ``const`` is meaningful: when ``rhs`` is the
+    :data:`ZERO` variable the atom is a bound against ``const``.
+
+    Each atom carries an ``origin`` string used for unsat-core reporting: the
+    encoder stores the policy entry (e.g. ``"rank[a]: aber2 < adr1"`` or
+    ``"mono: adr1 < l_ca (+) adr1"``) so cores can be mapped back to the
+    configuration, which is the whole point of the paper's Sec. VI-B workflow.
+    """
+
+    lhs: IntVar
+    rel: Relation
+    rhs: IntVar = ZERO
+    const: int = 0
+    origin: str = ""
+    uid: int = field(default_factory=lambda: next(_atom_counter), compare=False)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def lt(lhs: IntVar, rhs: IntVar, origin: str = "") -> "Atom":
+        """``lhs < rhs``."""
+        return Atom(lhs, Relation.LT, rhs, 0, origin)
+
+    @staticmethod
+    def le(lhs: IntVar, rhs: IntVar, origin: str = "") -> "Atom":
+        """``lhs <= rhs``."""
+        return Atom(lhs, Relation.LE, rhs, 0, origin)
+
+    @staticmethod
+    def eq(lhs: IntVar, rhs: IntVar, origin: str = "") -> "Atom":
+        """``lhs == rhs``."""
+        return Atom(lhs, Relation.EQ, rhs, 0, origin)
+
+    @staticmethod
+    def ge_const(lhs: IntVar, const: int, origin: str = "") -> "Atom":
+        """``lhs >= const`` (used for the positivity subtype)."""
+        return Atom(lhs, Relation.GE, ZERO, const, origin)
+
+    @staticmethod
+    def le_const(lhs: IntVar, const: int, origin: str = "") -> "Atom":
+        """``lhs <= const``."""
+        return Atom(lhs, Relation.LE, ZERO, const, origin)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_bound(self) -> bool:
+        """True when this atom compares a variable against a constant."""
+        return self.rhs == ZERO and self.rel is not Relation.EQ
+
+    def variables(self) -> Iterator[IntVar]:
+        """Yield the variables mentioned by this atom (excluding ZERO)."""
+        if self.lhs != ZERO:
+            yield self.lhs
+        if self.rhs != ZERO:
+            yield self.rhs
+
+    # -- difference-logic normal form ---------------------------------------
+
+    def difference_edges(self) -> list[tuple[IntVar, IntVar, int]]:
+        """Normalise to edges ``(u, v, c)`` meaning ``u - v <= c``.
+
+        The solver builds a graph with an edge ``v -> u`` of weight ``c`` for
+        every such triple; a negative cycle certifies unsatisfiability.
+        """
+        a, b, k = self.lhs, self.rhs, self.const
+        if self.rel is Relation.LE:
+            return [(a, b, k)]
+        if self.rel is Relation.LT:
+            return [(a, b, k - 1)]
+        if self.rel is Relation.GE:
+            return [(b, a, -k)]
+        if self.rel is Relation.GT:
+            return [(b, a, -k - 1)]
+        if self.rel is Relation.EQ:
+            return [(a, b, k), (b, a, -k)]
+        raise AssertionError(f"unhandled relation {self.rel}")
+
+    def evaluate(self, assignment: dict[IntVar, int]) -> bool:
+        """Check the atom under a concrete integer assignment."""
+        lhs = assignment.get(self.lhs, 0) if self.lhs != ZERO else 0
+        rhs = assignment.get(self.rhs, 0) if self.rhs != ZERO else 0
+        diff = lhs - rhs
+        if self.rel is Relation.LT:
+            return diff < self.const if self.rhs == ZERO else lhs < rhs
+        if self.rel is Relation.LE:
+            return diff <= self.const if self.rhs == ZERO else lhs <= rhs
+        if self.rel is Relation.EQ:
+            return lhs == rhs + self.const
+        if self.rel is Relation.GE:
+            return lhs >= (self.const if self.rhs == ZERO else rhs)
+        if self.rel is Relation.GT:
+            return lhs > (self.const if self.rhs == ZERO else rhs)
+        raise AssertionError(f"unhandled relation {self.rel}")
+
+    def __str__(self) -> str:
+        if self.rhs == ZERO:
+            rhs = str(self.const)
+        elif self.const:
+            rhs = f"{self.rhs} + {self.const}"
+        else:
+            rhs = str(self.rhs)
+        return f"{self.lhs} {self.rel.value} {rhs}"
+
+
+@dataclass
+class ConstraintSystem:
+    """An ordered collection of atoms forming one satisfiability query.
+
+    The order is preserved because unsat cores are reported as subsets of the
+    *input* constraints, mirroring Yices' behaviour of echoing back asserted
+    formulas.
+    """
+
+    atoms: list[Atom] = field(default_factory=list)
+
+    def add(self, atom: Atom) -> Atom:
+        """Append ``atom`` and return it (for fluent use)."""
+        self.atoms.append(atom)
+        return atom
+
+    def extend(self, atoms: Iterable[Atom]) -> None:
+        """Append every atom in ``atoms``."""
+        self.atoms.extend(atoms)
+
+    def variables(self) -> list[IntVar]:
+        """All distinct variables in insertion order."""
+        seen: dict[IntVar, None] = {}
+        for atom in self.atoms:
+            for var in atom.variables():
+                seen.setdefault(var)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __str__(self) -> str:
+        return "\n".join(str(a) for a in self.atoms)

@@ -1,0 +1,62 @@
+"""Topology generators for every experiment in the paper.
+
+* :mod:`repro.topology.caida` — CAIDA-like AS hierarchies with
+  customer/provider/peer labels (Fig. 4);
+* :mod:`repro.topology.rocketfuel` — Rocketfuel-like 87-router / 322-link
+  intradomain graph with IGP weights (Fig. 5);
+* :mod:`repro.topology.ibgp` — reflector-client session hierarchies, the
+  hot-potato :class:`IGPCostAlgebra`, and the Figure-3 gadget embedding
+  (Fig. 5 / Sec. VI-B);
+* :mod:`repro.topology.hlp_topo` — the 10-domain × 20-node network with 84
+  cross-domain links (Fig. 6).
+"""
+
+from .caida import (
+    caida_like,
+    customer_provider_edges,
+    extract_hierarchy,
+    hierarchy,
+    longest_customer_provider_chain,
+    product_label,
+)
+from .hlp_topo import (
+    CROSS_LINKS,
+    DOMAINS,
+    NODES_PER_DOMAIN,
+    hlp_topology,
+)
+from .ibgp import (
+    EXT_DEST,
+    IBGPConfig,
+    IGPCostAlgebra,
+    build_reflector_hierarchy,
+    make_ibgp_config,
+)
+from .rocketfuel import (
+    AS1755_LINKS,
+    AS1755_ROUTERS,
+    pairwise_igp_costs,
+    rocketfuel_like,
+)
+
+__all__ = [
+    "AS1755_LINKS",
+    "AS1755_ROUTERS",
+    "CROSS_LINKS",
+    "DOMAINS",
+    "EXT_DEST",
+    "IBGPConfig",
+    "IGPCostAlgebra",
+    "NODES_PER_DOMAIN",
+    "build_reflector_hierarchy",
+    "caida_like",
+    "customer_provider_edges",
+    "extract_hierarchy",
+    "hierarchy",
+    "hlp_topology",
+    "longest_customer_provider_chain",
+    "make_ibgp_config",
+    "pairwise_igp_costs",
+    "product_label",
+    "rocketfuel_like",
+]

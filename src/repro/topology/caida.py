@@ -1,0 +1,295 @@
+"""CAIDA-like AS-level topologies with business relationships (Sec. VI-A).
+
+The paper uses CAIDA's AS relationship dataset: an AS graph annotated with
+customer-provider and peer-peer edges, pruned of stub ASes, from which it
+extracts subgraphs whose longest customer-provider chain ranges over
+3-16.  The dataset is not redistributable here, so this module generates
+structurally comparable graphs:
+
+* :func:`caida_like` — a preferential-attachment hierarchy: each new AS
+  buys transit from 1-2 existing providers (preferring well-connected
+  ones) and peers with a few similar-tier ASes; stubs can be pruned;
+* :func:`extract_hierarchy` — the paper's subgraph extraction: from a root
+  AS, include every AS reachable over peer/customer links (the
+  "customer cone" plus peers);
+* :func:`hierarchy` — a deterministic-depth variant used by the Fig. 4
+  sweep, guaranteeing the longest customer-provider chain equals ``depth``;
+* :func:`longest_customer_provider_chain` — the Fig. 4 x-axis.
+
+Edges carry Gao-Rexford direction labels via ``label_fn``: by default
+``label(u, v) = 'c'`` when v is u's customer, ``'p'`` when v is u's
+provider, ``'r'`` between peers — composed policies (e.g. GR ⊗ hop-count)
+pass a ``label_fn`` that wraps these into product labels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from ..net.network import Network
+
+#: Relationship constants on the provider side: u PROVIDER_OF v.
+LabelFn = Callable[[str], Hashable]
+
+
+def _identity_label(rel: str) -> Hashable:
+    return rel
+
+
+def product_label(rel: str) -> Hashable:
+    """Label wrapper for Gao-Rexford ⊗ hop-count (hop component = 1)."""
+    return (rel, 1)
+
+
+def _add_relationship(network: Network, provider: str, customer: str,
+                      label_fn: LabelFn, **link_kwargs) -> None:
+    # label(u, v) describes what v is to u.
+    network.add_link(provider, customer,
+                     label_ab=label_fn("c"), label_ba=label_fn("p"),
+                     rel="transit", **link_kwargs)
+
+
+def _add_peering(network: Network, a: str, b: str, label_fn: LabelFn,
+                 **link_kwargs) -> None:
+    network.add_link(a, b, label_ab=label_fn("r"), label_ba=label_fn("r"),
+                     rel="peer", **link_kwargs)
+
+
+def caida_like(as_count: int = 200, *, seed: int = 0,
+               peer_fraction: float = 0.15,
+               prune_stubs: bool = True,
+               label_fn: LabelFn = _identity_label,
+               **link_kwargs) -> Network:
+    """Generate a CAIDA-shaped AS graph.
+
+    ASes are created in tier order; AS ``i`` attaches to 1-2 providers
+    chosen preferentially among earlier (higher-tier) ASes, plus peer links
+    between ASes of similar age.  ``prune_stubs`` drops degree-1 leaves
+    after construction, as the paper does ("we remove all stub ASes").
+    """
+    if as_count < 3:
+        raise ValueError("need at least 3 ASes")
+    rng = random.Random(seed)
+    network = Network(name=f"caida-like-{as_count}")
+    names = [f"AS{i}" for i in range(as_count)]
+    providers_of: dict[str, list[str]] = {names[0]: []}
+    network.add_node(names[0])
+    attachment_pool = [names[0]]
+
+    for i in range(1, as_count):
+        name = names[i]
+        provider_count = 1 if rng.random() < 0.55 else 2
+        chosen: set[str] = set()
+        while len(chosen) < min(provider_count, i):
+            chosen.add(rng.choice(attachment_pool))
+        providers_of[name] = sorted(chosen)
+        for provider in providers_of[name]:
+            _add_relationship(network, provider, name, label_fn,
+                              **link_kwargs)
+        # Preferential attachment: providers appear once per adopted edge.
+        attachment_pool.extend(list(chosen))
+        attachment_pool.append(name)
+
+    # Peer links between ASes of similar creation rank.
+    peer_links = int(as_count * peer_fraction)
+    for _ in range(peer_links):
+        i = rng.randrange(1, as_count)
+        j = min(as_count - 1, max(0, i + rng.randint(-10, 10)))
+        a, b = names[i], names[j]
+        if a == b or network.has_link(a, b):
+            continue
+        if b in providers_of.get(a, ()) or a in providers_of.get(b, ()):
+            continue
+        _add_peering(network, a, b, label_fn, **link_kwargs)
+
+    if prune_stubs:
+        network = _prune_stubs(network, label_fn, **link_kwargs)
+    return network
+
+
+def _prune_stubs(network: Network, label_fn: LabelFn,
+                 **link_kwargs) -> Network:
+    """Iteratively drop degree-1 ASes (paper: "remove all stub ASes")."""
+    keep = set(network.nodes())
+    changed = True
+    while changed:
+        changed = False
+        for node in list(keep):
+            degree = sum(1 for n in network.neighbors(node) if n in keep)
+            if degree <= 1 and len(keep) > 3:
+                keep.discard(node)
+                changed = True
+    pruned = Network(name=network.name + "-pruned")
+    for node in keep:
+        pruned.add_node(node, **network.node_attrs(node))
+    for link in network.links():
+        if link.a in keep and link.b in keep:
+            pruned.add_link(link.a, link.b,
+                            bandwidth_bps=link.bandwidth_bps,
+                            latency_s=link.latency_s,
+                            jitter_s=link.jitter_s,
+                            weight=link.weight,
+                            label_ab=link.labels.get((link.a, link.b)),
+                            label_ba=link.labels.get((link.b, link.a)),
+                            **link.attrs)
+    return pruned
+
+
+def hierarchy(depth: int, *, branching: int = 2, seed: int = 0,
+              peer_fraction: float = 0.3,
+              max_nodes: int = 160,
+              label_fn: LabelFn = _identity_label,
+              **link_kwargs) -> Network:
+    """A hierarchy whose longest customer-provider chain is exactly ``depth``.
+
+    A guaranteed provider "spine" of length ``depth`` is grown first; the
+    remaining budget fills out levels with ``branching``-way customers
+    (some buying from two providers — multihoming) and peer links between
+    same-level ASes.  This is the Fig. 4 workload generator.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    rng = random.Random(seed)
+    network = Network(name=f"hierarchy-d{depth}")
+    levels: list[list[str]] = [["T0"]]
+    network.add_node("T0", level=0)
+    counter = 1
+
+    for level in range(1, depth + 1):
+        parents = levels[level - 1]
+        width = min(branching * len(parents),
+                    max(1, (max_nodes - counter) // max(1, depth - level + 1)))
+        if level == depth:
+            width = max(width, 1)
+        members: list[str] = []
+        for k in range(max(width, 1)):
+            name = f"L{level}N{k}"
+            network.add_node(name, level=level)
+            provider = parents[k % len(parents)]
+            _add_relationship(network, provider, name, label_fn, **link_kwargs)
+            # Multihoming: a second provider with probability 1/2.
+            if len(parents) > 1 and rng.random() < 0.5:
+                second = rng.choice([p for p in parents if p != provider])
+                _add_relationship(network, second, name, label_fn,
+                                  **link_kwargs)
+            members.append(name)
+            counter += 1
+        levels.append(members)
+        # Peer links within the level.
+        for member in members:
+            if len(members) > 1 and rng.random() < peer_fraction:
+                other = rng.choice([m for m in members if m != member])
+                if not network.has_link(member, other):
+                    _add_peering(network, member, other, label_fn,
+                                 **link_kwargs)
+    return network
+
+
+def customer_provider_edges(network: Network) -> list[tuple[str, str]]:
+    """Directed (provider, customer) pairs of a labelled network."""
+    out = []
+    for link in network.links():
+        label_ab = link.labels.get((link.a, link.b))
+        rel = label_ab[0] if isinstance(label_ab, tuple) else label_ab
+        if rel == "c":
+            out.append((link.a, link.b))
+        elif rel == "p":
+            out.append((link.b, link.a))
+    return out
+
+
+def longest_customer_provider_chain(network: Network) -> int:
+    """Length (edge count) of the longest provider→customer chain.
+
+    The customer-provider relation is required to be acyclic (Gao-Rexford's
+    side condition); raises ``ValueError`` on a cycle.
+    """
+    edges = customer_provider_edges(network)
+    children: dict[str, list[str]] = {}
+    for provider, customer in edges:
+        children.setdefault(provider, []).append(customer)
+    depth: dict[str, int] = {}
+    visiting: set[str] = set()
+
+    def dfs(node: str) -> int:
+        if node in depth:
+            return depth[node]
+        if node in visiting:
+            raise ValueError("customer-provider relation contains a cycle")
+        visiting.add(node)
+        best = 0
+        for child in children.get(node, ()):
+            best = max(best, 1 + dfs(child))
+        visiting.discard(node)
+        depth[node] = best
+        return best
+
+    return max((dfs(node) for node in network.nodes()), default=0)
+
+
+def cones_by_depth(network: Network, wanted_depths: list[int], *,
+                   max_nodes: int = 220, seed: int = 0) -> dict[int, Network]:
+    """The paper's subgraph methodology, end to end.
+
+    "We remove all stub ASes, randomly select an AS R as the root, and
+    then extract the AS hierarchy (transitively) provided by the AS ...
+    We choose 14 such subgraphs with the length of the longest
+    customer-provider chains ranging from 3-16."
+
+    Extracts the customer/peer cone of every AS, measures each cone's
+    longest customer-provider chain, and returns one cone per requested
+    depth (best effort: depths the graph does not realize are absent from
+    the result).  Cones larger than ``max_nodes`` are skipped to keep
+    simulation tractable.
+    """
+    import random
+
+    rng = random.Random(seed)
+    roots = network.nodes()
+    rng.shuffle(roots)
+    found: dict[int, Network] = {}
+    remaining = set(wanted_depths)
+    for root in roots:
+        if not remaining:
+            break
+        cone = extract_hierarchy(network, root)
+        if not 3 <= cone.node_count() <= max_nodes:
+            continue
+        if not cone.connected():
+            continue
+        depth = longest_customer_provider_chain(cone)
+        if depth in remaining:
+            found[depth] = cone
+            remaining.discard(depth)
+    return found
+
+
+def extract_hierarchy(network: Network, root: str,
+                      label_fn: LabelFn = _identity_label) -> Network:
+    """Paper's subgraph extraction: all ASes reachable from ``root`` over
+    customer and peer links (never climbing to a provider)."""
+    keep = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in network.neighbors(node):
+            label = network.label(node, neighbor)
+            rel = label[0] if isinstance(label, tuple) else label
+            if rel in ("c", "r") and neighbor not in keep:
+                keep.add(neighbor)
+                frontier.append(neighbor)
+    sub = Network(name=f"{network.name}-cone-{root}")
+    for node in keep:
+        sub.add_node(node, **network.node_attrs(node))
+    for link in network.links():
+        if link.a in keep and link.b in keep:
+            sub.add_link(link.a, link.b,
+                         bandwidth_bps=link.bandwidth_bps,
+                         latency_s=link.latency_s,
+                         jitter_s=link.jitter_s,
+                         weight=link.weight,
+                         label_ab=link.labels.get((link.a, link.b)),
+                         label_ba=link.labels.get((link.b, link.a)),
+                         **link.attrs)
+    return sub

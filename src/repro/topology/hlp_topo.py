@@ -1,0 +1,93 @@
+"""The HLP evaluation topology (paper Sec. VI-D).
+
+"We configure the network topology as a 10-domain network.  Each domain is
+a 20-node acyclic hierarchical structure rooted by a top provider, where
+each node (with the exception of the top provider) has 1 or 2 providers.
+... there are a total of 84 cross-domain links throughout the network;
+these links are configured to have 50 ms latency [intra-domain links
+10 ms]; links are set to have a bandwidth of 100 Mbps."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from ..net.network import Network
+from ..protocols.hlp import DOMAIN_ATTR
+
+#: Paper parameters.
+DOMAINS = 10
+NODES_PER_DOMAIN = 20
+CROSS_LINKS = 84
+INTRA_LATENCY_S = 0.010
+CROSS_LATENCY_S = 0.050
+
+
+def _gr_labels(provider_to_customer: bool) -> tuple[Hashable, Hashable]:
+    """Directed Gao-Rexford ⊗ hop-count labels of a transit link."""
+    if provider_to_customer:
+        return (("c", 1), ("p", 1))
+    return (("p", 1), ("c", 1))
+
+
+def hlp_topology(domains: int = DOMAINS,
+                 nodes_per_domain: int = NODES_PER_DOMAIN,
+                 cross_links: int = CROSS_LINKS, *,
+                 seed: int = 0) -> Network:
+    """Build the 10×20 domain network with 84 peer cross-links.
+
+    Intra-domain links are provider→customer transit edges (each non-root
+    node buys from 1-2 providers in the level above); cross-domain links
+    connect random nodes of different domains and are labelled as peerings.
+    Labels are Gao-Rexford ⊗ hop-count pairs so the same topology also
+    drives the PV baseline.
+    """
+    if domains < 2:
+        raise ValueError("need at least 2 domains")
+    rng = random.Random(seed)
+    network = Network(name=f"hlp-{domains}x{nodes_per_domain}")
+
+    for d in range(domains):
+        members: list[str] = []
+        for k in range(nodes_per_domain):
+            name = f"d{d}n{k}"
+            network.add_node(name, **{DOMAIN_ATTR: d})
+            members.append(name)
+        # Acyclic hierarchy rooted at members[0]: node k's providers are
+        # drawn from earlier nodes (acyclicity by construction).  IGP
+        # weights are non-uniform (1-10) — with uniform weights every
+        # preliminary cost computed during the LSA flood is already final
+        # and cost hiding would have nothing to hide.
+        for k in range(1, nodes_per_domain):
+            node = members[k]
+            first = members[rng.randrange(0, k)]
+            ab, ba = _gr_labels(provider_to_customer=True)
+            network.add_link(first, node, label_ab=ab, label_ba=ba,
+                             latency_s=INTRA_LATENCY_S,
+                             weight=rng.randint(1, 10))
+            if k > 1 and rng.random() < 0.5:
+                second = members[rng.randrange(0, k)]
+                if second != first and not network.has_link(second, node):
+                    network.add_link(second, node, label_ab=ab, label_ba=ba,
+                                     latency_s=INTRA_LATENCY_S,
+                                     weight=rng.randint(1, 10))
+
+    # Cross-domain peer links.
+    added = 0
+    guard = 0
+    while added < cross_links and guard < cross_links * 100:
+        guard += 1
+        da, db = rng.sample(range(domains), 2)
+        a = f"d{da}n{rng.randrange(nodes_per_domain)}"
+        b = f"d{db}n{rng.randrange(nodes_per_domain)}"
+        if network.has_link(a, b):
+            continue
+        network.add_link(a, b, label_ab=("r", 1), label_ba=("r", 1),
+                         latency_s=CROSS_LATENCY_S, weight=5)
+        added += 1
+    if added != cross_links:
+        raise RuntimeError(f"only placed {added}/{cross_links} cross links")
+    if not network.connected():
+        raise RuntimeError("HLP topology is not connected")
+    return network

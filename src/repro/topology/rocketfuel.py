@@ -1,0 +1,99 @@
+"""Rocketfuel-like intradomain topology (paper Sec. VI-B).
+
+The paper uses the inferred AS-1755 (Ebone) topology from Rocketfuel: 87
+routers and 322 links with inferred IGP weights, from which pairwise IGP
+costs are precomputed.  The dataset is not redistributable here, so
+:func:`rocketfuel_like` generates a seeded synthetic graph with the same
+structural parameters: a two-level backbone/access structure (Rocketfuel
+maps PoP backbones with attached access routers), exactly the requested
+node and link counts, and weights in a small integer range.
+
+:func:`pairwise_igp_costs` reproduces the paper's precomputation step
+("pairwise IGP costs are computed a priori based on the shortest paths").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.network import Network
+
+#: Paper parameters for AS 1755.
+AS1755_ROUTERS = 87
+AS1755_LINKS = 322
+
+
+def rocketfuel_like(routers: int = AS1755_ROUTERS,
+                    links: int = AS1755_LINKS, *,
+                    seed: int = 0,
+                    backbone_fraction: float = 0.25,
+                    min_weight: int = 1,
+                    max_weight: int = 20,
+                    latency_s: float = 0.010,
+                    jitter_s: float = 0.0) -> Network:
+    """Generate an intradomain router graph with IGP weights.
+
+    Backbone routers form a well-meshed core; access routers attach to 1-2
+    backbone routers.  Extra links are added uniformly until the link
+    budget is met.  Backbone links get lower weights than access links,
+    like inferred ISP maps.
+    """
+    if routers < 3:
+        raise ValueError("need at least 3 routers")
+    min_links = routers - 1
+    if links < min_links:
+        raise ValueError(f"{links} links cannot connect {routers} routers")
+    rng = random.Random(seed)
+    network = Network(name=f"rocketfuel-like-{routers}")
+
+    backbone_count = max(3, int(routers * backbone_fraction))
+    backbone = [f"bb{i}" for i in range(backbone_count)]
+    access = [f"ar{i}" for i in range(routers - backbone_count)]
+
+    def weight(is_backbone: bool) -> int:
+        if is_backbone:
+            return rng.randint(min_weight, max(min_weight, max_weight // 4))
+        return rng.randint(min_weight, max_weight)
+
+    # Backbone ring + chords for a resilient core.
+    for i, node in enumerate(backbone):
+        network.add_node(node, role="backbone")
+        partner = backbone[(i + 1) % backbone_count]
+        if not network.has_link(node, partner):
+            network.add_link(node, partner, weight=weight(True),
+                             latency_s=latency_s, jitter_s=jitter_s)
+    # Access routers homed to 1-2 backbone routers.
+    for node in access:
+        network.add_node(node, role="access")
+        first = rng.choice(backbone)
+        network.add_link(node, first, weight=weight(False),
+                         latency_s=latency_s, jitter_s=jitter_s)
+        if rng.random() < 0.6:
+            second = rng.choice([b for b in backbone if b != first])
+            if not network.has_link(node, second):
+                network.add_link(node, second, weight=weight(False),
+                                 latency_s=latency_s, jitter_s=jitter_s)
+
+    # Fill the remaining link budget with random chords.
+    everyone = backbone + access
+    guard = 0
+    while network.link_count() < links and guard < links * 50:
+        guard += 1
+        a, b = rng.sample(everyone, 2)
+        if network.has_link(a, b):
+            continue
+        is_bb = a.startswith("bb") and b.startswith("bb")
+        network.add_link(a, b, weight=weight(is_bb),
+                         latency_s=latency_s, jitter_s=jitter_s)
+    if network.link_count() != links:
+        raise RuntimeError(
+            f"could not reach the link budget ({network.link_count()}/{links})")
+    if not network.connected():
+        raise RuntimeError("generated topology is not connected")
+    return network
+
+
+def pairwise_igp_costs(network: Network) -> dict[str, dict[str, int]]:
+    """All-pairs shortest-path costs over link weights (paper's a-priori step)."""
+    return {node: network.shortest_path_costs(node)
+            for node in network.nodes()}

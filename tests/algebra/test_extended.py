@@ -1,0 +1,121 @@
+"""Tests for the extended algebra and Gao-Rexford tables (Sec. II-B/III-A)."""
+
+import pytest
+
+from repro.algebra import PHI, AlgebraTables, Pref, TableAlgebra, gao_rexford_a
+
+
+class TestGaoRexfordCombinedTable:
+    """The combined ⊕ must equal the paper's Sec. II-B table exactly:
+
+        ⊕  C  R  P
+        c  C  φ  φ
+        r  R  φ  φ
+        p  P  P  P
+    """
+
+    @pytest.fixture
+    def gr(self):
+        return gao_rexford_a()
+
+    @pytest.mark.parametrize("label,sig,expected", [
+        ("c", "C", "C"), ("c", "R", PHI), ("c", "P", PHI),
+        ("r", "C", "R"), ("r", "R", PHI), ("r", "P", PHI),
+        ("p", "C", "P"), ("p", "R", "P"), ("p", "P", "P"),
+    ])
+    def test_combined_oplus(self, gr, label, sig, expected):
+        assert gr.oplus(label, sig) == expected
+
+    def test_phi_absorbing(self, gr):
+        for label in gr.labels():
+            assert gr.oplus(label, PHI) is PHI
+
+
+class TestGaoRexfordComponents:
+    @pytest.fixture
+    def gr(self):
+        return gao_rexford_a()
+
+    def test_no_import_filtering(self, gr):
+        for label in gr.labels():
+            for sig in gr.signatures():
+                assert gr.import_allows(label, sig)
+
+    def test_export_only_customer_routes_to_provider_and_peer(self, gr):
+        # Label is the exporter's label toward the neighbor: 'p' = toward
+        # my provider, 'r' = toward a peer, 'c' = toward my customer.
+        assert gr.export_allows("p", "C")
+        assert not gr.export_allows("p", "P")
+        assert not gr.export_allows("p", "R")
+        assert gr.export_allows("r", "C")
+        assert not gr.export_allows("r", "P")
+        assert not gr.export_allows("r", "R")
+        for sig in gr.signatures():
+            assert gr.export_allows("c", sig)
+
+    def test_reverse_labels(self, gr):
+        assert gr.reverse_label("c") == "p"
+        assert gr.reverse_label("p") == "c"
+        assert gr.reverse_label("r") == "r"
+
+    def test_concat_classifies_by_neighbor_class(self, gr):
+        for sig in gr.signatures():
+            assert gr.concat("c", sig) == "C"
+            assert gr.concat("r", sig) == "R"
+            assert gr.concat("p", sig) == "P"
+
+    def test_preferences(self, gr):
+        assert gr.preference("C", "P") is Pref.BETTER
+        assert gr.preference("C", "R") is Pref.BETTER
+        assert gr.preference("P", "R") is Pref.EQUAL
+        assert gr.preference("P", "C") is Pref.WORSE
+
+    def test_phi_always_worst(self, gr):
+        for sig in gr.signatures():
+            assert gr.preference(sig, PHI) is Pref.BETTER
+            assert gr.preference(PHI, sig) is Pref.WORSE
+        assert gr.preference(PHI, PHI) is Pref.EQUAL
+
+    def test_origination(self, gr):
+        assert gr.origin_signature("c") == "C"
+        assert gr.origin_signature("r") == "R"
+        assert gr.origin_signature("p") == "P"
+
+    def test_declarative_counts_match_paper(self, gr):
+        """Paper Sec. IV-C: 3 preference + 5 strict-monotonicity asserts."""
+        assert len(gr.preference_statements()) == 3
+        assert len(gr.mono_entries()) == 5
+
+
+class TestTableAlgebraValidation:
+    def test_rejects_unknown_rank_signature(self):
+        tables = AlgebraTables(
+            labels=["l"], signatures=["A"],
+            preference={"A": 0, "B": 1},
+            concat={}, reverse={"l": "l"},
+        )
+        with pytest.raises(ValueError, match="unknown"):
+            TableAlgebra("bad", tables)
+
+    def test_rejects_missing_rank(self):
+        tables = AlgebraTables(
+            labels=["l"], signatures=["A", "B"],
+            preference={"A": 0},
+            concat={}, reverse={"l": "l"},
+        )
+        with pytest.raises(ValueError, match="missing"):
+            TableAlgebra("bad", tables)
+
+    def test_missing_concat_entry_is_phi(self):
+        tables = AlgebraTables(
+            labels=["l"], signatures=["A"],
+            preference={"A": 0},
+            concat={}, reverse={"l": "l"},
+        )
+        algebra = TableAlgebra("sparse", tables)
+        assert algebra.oplus("l", "A") is PHI
+
+    def test_origination_missing_raises(self):
+        with pytest.raises(KeyError):
+            gao = gao_rexford_a()
+            gao.origin_signature("nonexistent")

@@ -1,0 +1,114 @@
+"""Tests for the gadget zoo (repro.algebra.gadgets)."""
+
+import pytest
+
+from repro.algebra import (
+    SPPAlgebra,
+    bad_gadget,
+    disagree,
+    disagree_chain,
+    good_gadget,
+    ibgp_figure3,
+    ibgp_figure3_fixed,
+    replicate,
+)
+from repro.analysis import encode
+
+
+class TestClassicGadgets:
+    def test_disagree_structure(self):
+        instance = disagree()
+        assert instance.permitted["1"][0] == ("1", "2", "0")
+        assert instance.permitted["2"][0] == ("2", "1", "0")
+
+    def test_bad_gadget_cycle(self):
+        instance = bad_gadget()
+        for node, via in (("1", "2"), ("2", "3"), ("3", "1")):
+            assert instance.permitted[node][0][1] == via
+
+    def test_good_gadget_breaks_cycle_at_3(self):
+        instance = good_gadget()
+        assert instance.permitted["3"][0] == ("3", "0")
+
+    def test_all_validate(self):
+        for factory in (disagree, bad_gadget, good_gadget, ibgp_figure3,
+                        ibgp_figure3_fixed):
+            factory().validate()
+
+
+class TestFigure3:
+    def test_paper_path_names(self):
+        instance = ibgp_figure3()
+        names = {instance.path_name(p) for p in instance.all_paths()}
+        expected = {"aber2", "adr1", "bcfr3", "ber2", "cadr1", "cfr3",
+                    "r1", "daber2", "dacfr3", "r2", "ebadr1", "ebcfr3",
+                    "r3", "fcber2", "fcadr1"}
+        assert names == expected
+
+    def test_fifteen_signatures(self):
+        assert len(ibgp_figure3().all_paths()) == 15
+
+    def test_reflector_mesh_edges_exist(self):
+        instance = ibgp_figure3()
+        for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+            assert frozenset(pair) in instance.edges
+
+    def test_exactly_eighteen_constraints(self):
+        """Paper Sec. IV-C: 'All in all, eighteen constraints are generated.'"""
+        encoding = encode(SPPAlgebra(ibgp_figure3()))
+        assert len(encoding.system) == 18
+        assert encoding.preference_count == 9
+        assert encoding.monotonicity_count == 9
+
+    def test_fixed_variant_swaps_reflector_rankings(self):
+        broken = ibgp_figure3()
+        fixed = ibgp_figure3_fixed()
+        for reflector in ("a", "b", "c"):
+            assert (broken.permitted[reflector][0]
+                    == fixed.permitted[reflector][1])
+
+
+class TestReplicate:
+    def test_disjoint_copies_share_destination(self):
+        combined = replicate(bad_gadget(), 3)
+        assert len(combined.permitted) == 9
+        for node in combined.permitted:
+            assert "#" in node
+        dests = {path[-1] for paths in combined.permitted.values()
+                 for path in paths}
+        assert dests == {"0"}
+
+    def test_single_copy_keeps_structure(self):
+        combined = replicate(good_gadget(), 1)
+        assert len(combined.permitted) == 3
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            replicate(good_gadget(), 0)
+
+
+class TestDisagreeChain:
+    def test_full_conflict(self):
+        instance = disagree_chain(4, 1.0)
+        for i in range(4):
+            assert instance.permitted[f"L{i}"][0] == (f"L{i}", f"R{i}", "0")
+
+    def test_no_conflict(self):
+        instance = disagree_chain(4, 0.0)
+        for i in range(4):
+            assert instance.permitted[f"L{i}"][0] == (f"L{i}", "0")
+
+    def test_partial_conflict_count(self):
+        instance = disagree_chain(8, 0.5)
+        conflicted = sum(
+            1 for i in range(8)
+            if instance.permitted[f"L{i}"][0] == (f"L{i}", f"R{i}", "0"))
+        assert conflicted == 4
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            disagree_chain(4, 1.5)
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            disagree_chain(0, 0.5)

@@ -1,0 +1,96 @@
+"""Every shipped policy satisfies the algebra laws; broken ones are caught."""
+
+import pytest
+
+from repro.algebra import (
+    PHI,
+    AlgebraTables,
+    AsPathAlgebra,
+    BandwidthAlgebra,
+    Pref,
+    SPPAlgebra,
+    TableAlgebra,
+    bad_gadget,
+    disagree,
+    gao_rexford_a,
+    gao_rexford_b,
+    gao_rexford_with_hopcount,
+    good_gadget,
+    ibgp_figure3,
+    ibgp_figure3_fixed,
+    safe_backup,
+    widest_shortest,
+)
+from repro.algebra.laws import validate_algebra
+from repro.algebra.library import ShortestHopCount, ShortestPath
+
+SHIPPED = [
+    ShortestHopCount(),
+    ShortestPath([1, 5, 10]),
+    BandwidthAlgebra([10, 100]),
+    gao_rexford_a(),
+    gao_rexford_b(),
+    gao_rexford_with_hopcount(),
+    safe_backup(4),
+    widest_shortest([10, 100]),
+    AsPathAlgebra(["A", "B"], import_blocked={"B"}),
+    SPPAlgebra(good_gadget()),
+    SPPAlgebra(bad_gadget()),
+    SPPAlgebra(disagree()),
+    SPPAlgebra(ibgp_figure3()),
+    SPPAlgebra(ibgp_figure3_fixed()),
+]
+
+
+@pytest.mark.parametrize("algebra", SHIPPED, ids=lambda a: a.name)
+def test_shipped_policies_are_well_formed(algebra):
+    assert validate_algebra(algebra) == []
+
+
+class TestViolationDetection:
+    def test_phi_absorption_violation(self):
+        class Leaky(ShortestHopCount):
+            name = "leaky"
+
+            def oplus(self, label, sig):
+                if sig is PHI:
+                    return 10 ** 9  # resurrect prohibited paths (wrong!)
+                return label + sig
+
+        violations = validate_algebra(Leaky())
+        assert any("absorb" in v for v in violations)
+
+    def test_phi_not_worst_violation(self):
+        class PhiLover(ShortestHopCount):
+            name = "philover"
+
+            def preference(self, s1, s2):
+                if s1 is PHI:
+                    return Pref.BETTER  # prefers prohibited paths (wrong!)
+                return super().preference(s1, s2)
+
+        violations = validate_algebra(PhiLover())
+        assert any("worst" in v or "φ" in v for v in violations)
+
+    def test_asymmetric_preference_violation(self):
+        class Biased(ShortestHopCount):
+            name = "biased"
+
+            def preference(self, s1, s2):
+                if s1 is PHI or s2 is PHI:
+                    return super().preference(s1, s2)
+                return Pref.BETTER  # everything beats everything (wrong!)
+
+        violations = validate_algebra(Biased())
+        assert any("antisymmetry" in v or "reflexivity" in v
+                   for v in violations)
+
+    def test_non_involutive_reverse_violation(self):
+        tables = AlgebraTables(
+            labels=["x", "y", "z"], signatures=["S"],
+            preference={"S": 0},
+            concat={("x", "S"): "S"},
+            reverse={"x": "y", "y": "z", "z": "x"},  # 3-cycle (wrong!)
+        )
+        violations = validate_algebra(TableAlgebra("spin", tables))
+        assert any("involutive" in v for v in violations)

@@ -1,0 +1,129 @@
+"""Tests for the policy library (repro.algebra.library)."""
+
+import pytest
+
+from repro.algebra import (
+    PHI,
+    BandwidthAlgebra,
+    Pref,
+    ShortestHopCount,
+    ShortestPath,
+    gao_rexford_a,
+    gao_rexford_b,
+    safe_backup,
+    widest_shortest,
+)
+
+
+class TestShortestHopCount:
+    def test_oplus_adds(self):
+        assert ShortestHopCount().oplus(1, 3) == 4
+
+    def test_preference_is_less_than(self):
+        algebra = ShortestHopCount()
+        assert algebra.preference(1, 2) is Pref.BETTER
+        assert algebra.preference(2, 2) is Pref.EQUAL
+
+    def test_certificate_is_strict(self):
+        cert = ShortestHopCount().closed_form_monotonicity
+        assert cert.strictly_monotonic and cert.monotonic
+
+    def test_labels(self):
+        assert ShortestHopCount().labels() == [1]
+
+
+class TestShortestPath:
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            ShortestPath([0, 3])
+        with pytest.raises(ValueError):
+            ShortestPath([-1])
+
+    def test_deduplicates_weights(self):
+        assert ShortestPath([3, 3, 5]).labels() == [3, 5]
+
+    def test_oplus(self):
+        assert ShortestPath([2, 7]).oplus(7, 10) == 17
+
+    def test_certificate(self):
+        cert = ShortestPath([2]).closed_form_monotonicity
+        assert cert.strictly_monotonic
+
+
+class TestBandwidth:
+    def test_wider_is_better(self):
+        algebra = BandwidthAlgebra([10, 100])
+        assert algebra.preference(100, 10) is Pref.BETTER
+        assert algebra.preference(10, 100) is Pref.WORSE
+
+    def test_oplus_is_min(self):
+        algebra = BandwidthAlgebra([10, 100])
+        assert algebra.oplus(10, 100) == 10
+        assert algebra.oplus(100, 10) == 10
+
+    def test_monotone_but_not_strict(self):
+        cert = BandwidthAlgebra([10]).closed_form_monotonicity
+        assert cert.monotonic and not cert.strictly_monotonic
+
+    def test_origin_is_infinite_capacity(self):
+        algebra = BandwidthAlgebra([10])
+        assert algebra.origin_signature(10) == 10  # min(10, INF)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BandwidthAlgebra([0])
+
+
+class TestGaoRexfordVariants:
+    def test_guideline_a_ties_peer_provider(self):
+        gr = gao_rexford_a()
+        assert gr.preference("P", "R") is Pref.EQUAL
+
+    def test_guideline_b_prefers_peer_over_provider(self):
+        gr = gao_rexford_b()
+        assert gr.preference("R", "P") is Pref.BETTER
+        assert gr.preference("C", "R") is Pref.EQUAL
+
+    def test_same_export_filters(self):
+        a, b = gao_rexford_a(), gao_rexford_b()
+        for label in a.labels():
+            for sig in a.signatures():
+                assert (a.export_allows(label, sig)
+                        == b.export_allows(label, sig))
+
+
+class TestSafeBackup:
+    def test_levels_validation(self):
+        with pytest.raises(ValueError):
+            safe_backup(1)
+
+    def test_concat_strictly_increases_level(self):
+        algebra = safe_backup(4)
+        for label in algebra.labels():
+            for sig in algebra.signatures():
+                result = algebra.oplus(label, sig)
+                if result is not PHI:
+                    assert result > sig
+
+    def test_overflow_is_prohibited(self):
+        algebra = safe_backup(3)
+        assert algebra.oplus(0, 2) is PHI  # level 3 does not exist
+
+    def test_lower_level_preferred(self):
+        algebra = safe_backup(3)
+        assert algebra.preference(0, 2) is Pref.BETTER
+
+
+class TestWidestShortest:
+    def test_is_product(self):
+        ws = widest_shortest([10, 100])
+        assert ws.name == "widest-shortest"
+        assert ws.first.name == "widest-path"
+        assert ws.second.name == "hop-count"
+
+    def test_semantics(self):
+        ws = widest_shortest([10, 100])
+        # Wider path wins regardless of length...
+        assert ws.preference((100, 5), (10, 1)) is Pref.BETTER
+        # ... equal width falls back to hop count.
+        assert ws.preference((100, 2), (100, 4)) is Pref.BETTER

@@ -1,0 +1,104 @@
+"""Tests for the dispute-digraph analysis (repro.analysis.dispute)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import (
+    SPPInstance,
+    bad_gadget,
+    disagree,
+    good_gadget,
+    ibgp_figure3,
+    ibgp_figure3_fixed,
+)
+from repro.analysis import SafetyAnalyzer
+from repro.analysis.dispute import build_dispute_digraph, is_dispute_free
+
+
+class TestGadgetZoo:
+    @pytest.mark.parametrize("factory,expected", [
+        (good_gadget, True),
+        (bad_gadget, False),
+        (disagree, False),
+        (ibgp_figure3, False),
+        (ibgp_figure3_fixed, True),
+    ], ids=lambda x: getattr(x, "__name__", str(x)))
+    def test_acyclicity_matches_known_verdicts(self, factory, expected):
+        if callable(factory):
+            assert is_dispute_free(factory()) == expected
+
+    def test_figure3_cycle_runs_through_the_reflectors(self):
+        digraph = build_dispute_digraph(ibgp_figure3())
+        cycle = digraph.find_cycle()
+        assert cycle is not None
+        touched = {arc.src[0] for arc in cycle} | {arc.dst[0] for arc in cycle}
+        assert touched <= {"a", "b", "c"}
+
+    def test_cycle_description_uses_path_names(self):
+        digraph = build_dispute_digraph(bad_gadget())
+        text = digraph.describe_cycle()
+        assert text is not None
+        assert "ranking" in text and "transmission" in text
+
+    def test_acyclic_instance_has_no_description(self):
+        assert build_dispute_digraph(good_gadget()).describe_cycle() is None
+
+
+class TestArcStructure:
+    def test_transmission_arcs_extend_by_one_hop(self):
+        digraph = build_dispute_digraph(good_gadget())
+        for arc in digraph.transmission_arcs:
+            assert arc.dst[1:] == arc.src
+
+    def test_ranking_arcs_go_better_to_worse(self):
+        instance = bad_gadget()
+        digraph = build_dispute_digraph(instance)
+        assert digraph.ranking_arcs
+        for arc in digraph.ranking_arcs:
+            assert arc.src[0] == arc.dst[0]  # same node
+            assert instance.rank_of(arc.src) < instance.rank_of(arc.dst)
+
+    def test_pure_transmission_is_acyclic(self):
+        """Transmission arcs strictly lengthen paths: no cycles alone."""
+        digraph = build_dispute_digraph(ibgp_figure3())
+        only_transmission = type(digraph)(
+            instance=digraph.instance,
+            arcs=digraph.transmission_arcs,
+        )
+        for arc in only_transmission.arcs:
+            only_transmission.adjacency.setdefault(arc.src, []).append(arc)
+        assert only_transmission.is_acyclic
+
+
+@st.composite
+def spp_instances(draw):
+    node_count = draw(st.integers(min_value=2, max_value=4))
+    nodes = [str(i + 1) for i in range(node_count)]
+    dest = "0"
+    permitted = {}
+    for node in nodes:
+        others = [n for n in nodes if n != node]
+        candidates = [(node, dest)]
+        candidates += [(node, other, dest) for other in others]
+        for other in others:
+            for third in others:
+                if third != other:
+                    candidates.append((node, other, third, dest))
+        chosen = draw(st.lists(st.sampled_from(candidates), min_size=1,
+                               max_size=4, unique=True))
+        permitted[node] = chosen
+    return SPPInstance.build("random", dest, permitted)
+
+
+@given(spp_instances())
+@settings(max_examples=120, deadline=None)
+def test_dispute_verdict_agrees_with_smt_verdict(instance):
+    """Two independent analyses, one answer.
+
+    The SMT encoding's constraint graph and the dispute digraph express
+    the same order-theoretic content for per-node total rankings, so
+    acyclicity must coincide with satisfiability on every instance.
+    """
+    smt_safe = SafetyAnalyzer().analyze(instance).safe
+    assert is_dispute_free(instance) == smt_safe

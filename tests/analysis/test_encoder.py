@@ -1,0 +1,88 @@
+"""Tests for the algebra→constraints encoder (paper Sec. IV-B steps 1-3)."""
+
+import pytest
+
+from repro.algebra import SPPAlgebra, gao_rexford_a, ibgp_figure3
+from repro.algebra.base import MonoEntry, PrefStatement
+from repro.algebra.library import ShortestHopCount
+from repro.analysis import encode, sig_name
+from repro.smt import solve
+
+
+class TestGaoRexfordEncoding:
+    @pytest.fixture
+    def encoding(self):
+        return encode(gao_rexford_a())
+
+    def test_counts_match_paper(self, encoding):
+        """Sec. IV-C shows 3 preference + 5 strict-monotonicity asserts."""
+        assert encoding.preference_count == 3
+        assert encoding.monotonicity_count == 5
+        assert len(encoding.system) == 8
+
+    def test_one_variable_per_signature(self, encoding):
+        assert set(encoding.var_of) == {"C", "P", "R"}
+
+    def test_var_names_readable(self, encoding):
+        assert encoding.var_of["C"].name == "C"
+
+    def test_unsat_with_strict(self, encoding):
+        assert solve(encoding.system).is_unsat
+
+    def test_monotone_variant_sat_with_paper_model(self):
+        encoding = encode(gao_rexford_a(), strict=False)
+        result = solve(encoding.system)
+        assert result.is_sat
+        model = encoding.model_signatures(result.model)
+        assert model["C"] == 1
+        assert model["P"] == 2 and model["R"] == 2
+
+    def test_sources_for_maps_back(self, encoding):
+        result = solve(encoding.system)
+        sources = encoding.sources_for(result.core)
+        assert len(sources) == len(result.core)
+        # The paper highlights c (+) C = C as a violating constraint.
+        mono_sources = [s for s in sources if isinstance(s, MonoEntry)]
+        assert any(s.label == "c" and s.sig == "C" and s.result == "C"
+                   for s in mono_sources)
+
+
+class TestSPPEncoding:
+    def test_figure3_is_eighteen_constraints(self):
+        encoding = encode(SPPAlgebra(ibgp_figure3()))
+        assert len(encoding.system) == 18
+
+    def test_every_atom_has_a_source(self):
+        encoding = encode(SPPAlgebra(ibgp_figure3()))
+        for atom in encoding.system:
+            assert atom.uid in encoding.source_of
+
+    def test_sources_are_statements_or_entries(self):
+        encoding = encode(SPPAlgebra(ibgp_figure3()))
+        for source in encoding.source_of.values():
+            assert isinstance(source, (PrefStatement, MonoEntry))
+
+    def test_path_variable_names(self):
+        encoding = encode(SPPAlgebra(ibgp_figure3()))
+        names = {var.name for var in encoding.sig_of}
+        assert "r_abe0" in names  # path ('a','b','e','0')
+
+
+class TestClosedForm:
+    def test_infinite_sigma_raises(self):
+        with pytest.raises(NotImplementedError):
+            encode(ShortestHopCount())
+
+
+class TestSigName:
+    def test_string_passthrough(self):
+        assert sig_name("C") == "C"
+
+    def test_tuple_of_strings(self):
+        assert sig_name(("a", "b", "0")) == "r_ab0"
+
+    def test_int(self):
+        assert sig_name(7) == "n7"
+
+    def test_fallback_uses_index(self):
+        assert sig_name(("mixed", 1), index=4) == "s4"

@@ -1,0 +1,128 @@
+"""Tests for the oscillation model checker (repro.analysis.modelcheck)."""
+
+import pytest
+
+from repro.algebra import (
+    bad_gadget,
+    disagree,
+    good_gadget,
+    ibgp_figure3,
+    ibgp_figure3_fixed,
+    replicate,
+)
+from repro.analysis.modelcheck import (
+    BudgetExceeded,
+    ModelChecker,
+    check,
+)
+
+
+class TestStableStates:
+    def test_bad_gadget_has_no_stable_state(self):
+        assert ModelChecker(bad_gadget()).stable_states() == []
+
+    def test_disagree_has_exactly_two(self):
+        stable = ModelChecker(disagree()).stable_states()
+        assert len(stable) == 2
+        assert {"1": ("1", "2", "0"), "2": ("2", "0")} in stable
+        assert {"1": ("1", "0"), "2": ("2", "1", "0")} in stable
+
+    def test_good_gadget_has_exactly_one(self):
+        stable = ModelChecker(good_gadget()).stable_states()
+        assert stable == [{"1": ("1", "0"), "2": ("2", "3", "0"),
+                           "3": ("3", "0")}]
+
+    def test_figure3_instances(self):
+        assert ModelChecker(ibgp_figure3()).stable_states() == []
+        fixed = ModelChecker(ibgp_figure3_fixed()).stable_states()
+        assert len(fixed) >= 1
+        preferred = {
+            "a": ("a", "d", "0"), "b": ("b", "e", "0"), "c": ("c", "f", "0"),
+        }
+        assert any(all(state.get(k) == v for k, v in preferred.items())
+                   for state in fixed)
+
+    def test_budget_guard(self):
+        big = replicate(bad_gadget(), 12)
+        with pytest.raises(BudgetExceeded):
+            ModelChecker(big, max_states=1000).stable_states()
+
+
+class TestBestResponse:
+    def test_direct_route_always_available(self):
+        checker = ModelChecker(disagree())
+        state = checker.initial_state()
+        assert checker.best_response(state, "1") == ("1", "0")
+
+    def test_indirect_needs_neighbor_advertisement(self):
+        checker = ModelChecker(disagree())
+        # 2 selects its direct route -> 1 can take the preferred indirect.
+        state = (("1", None), ("2", ("2", "0")))
+        assert checker.best_response(state, "1") == ("1", "2", "0")
+
+    def test_withdrawn_neighbor_route_unavailable(self):
+        checker = ModelChecker(disagree())
+        state = (("1", None), ("2", ("2", "1", "0")))
+        assert checker.best_response(state, "1") == ("1", "0")
+
+
+class TestOscillationTraces:
+    def test_disagree_sync_oscillates(self):
+        trace = ModelChecker(disagree()).find_oscillation(mode="sync")
+        assert trace is not None
+        assert trace.is_oscillation
+        assert len(trace.cycle) == 2  # the classic two-state flip
+
+    def test_bad_gadget_sync_oscillates(self):
+        trace = ModelChecker(bad_gadget()).find_oscillation(mode="sync")
+        assert trace is not None
+        states = {tuple(sorted(s)) for s in trace.cycle}
+        assert len(states) == len(trace.cycle)  # simple cycle
+
+    def test_bad_gadget_async_oscillates(self):
+        trace = ModelChecker(bad_gadget()).find_oscillation(mode="async")
+        assert trace is not None
+        assert trace.is_oscillation
+
+    def test_good_gadget_sync_converges(self):
+        checker = ModelChecker(good_gadget())
+        assert checker.find_oscillation(mode="sync") is None
+        trace = checker.run_sync()
+        final = dict(trace.cycle[0])
+        assert checker.is_stable(trace.cycle[0])
+        assert final["2"] == ("2", "3", "0")
+
+    def test_trace_description_uses_path_names(self):
+        trace = ModelChecker(ibgp_figure3()).find_oscillation(mode="sync")
+        assert trace is not None
+        text = trace.describe(ibgp_figure3())
+        assert "oscillation trace" in text
+        assert "aber2" in text or "adr1" in text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ModelChecker(disagree()).find_oscillation(mode="chaotic")
+
+
+class TestCheckFrontend:
+    def test_check_bad_gadget(self):
+        result = check(bad_gadget())
+        assert not result.has_stable_state
+        assert result.oscillation is not None
+
+    def test_check_good_gadget(self):
+        result = check(good_gadget())
+        assert result.has_stable_state
+        assert result.oscillation is None
+
+    def test_check_matches_analyzer_on_convergent_unsafe(self):
+        """DISAGREE: analyzer says 'not provably safe'; the model checker
+        refines that into 'two stable states plus a reachable oscillation'
+        — the paper's motivation for adding a model checker."""
+        result = check(disagree())
+        assert len(result.stable) == 2
+        assert result.oscillation is not None
+
+    def test_budget_flagged(self):
+        result = check(replicate(bad_gadget(), 12), max_states=500)
+        assert result.exhausted_budget

@@ -1,0 +1,150 @@
+"""Tests for the router-configuration front end (repro.config)."""
+
+import pytest
+
+from repro.analysis import SafetyAnalyzer
+from repro.config import ConfigError, parse_configs, to_network, to_spp
+
+CONSISTENT = """
+router A
+  neighbor B customer
+  neighbor C peer
+router B
+  neighbor A provider
+  neighbor C customer    ! B also sells transit to C
+router C
+  neighbor A peer
+  neighbor B provider
+"""
+
+
+class TestParsing:
+    def test_parses_all_routers(self):
+        configs = parse_configs(CONSISTENT)
+        assert set(configs) == {"A", "B", "C"}
+        assert configs["A"].neighbors == {"B": "customer", "C": "peer"}
+
+    def test_comments_stripped(self):
+        configs = parse_configs(CONSISTENT)
+        assert configs["B"].neighbors["C"] == "customer"
+
+    def test_prefer_lines(self):
+        text = CONSISTENT + "\n"
+        configs = parse_configs(text.replace(
+            "router C", "router C\n  prefer B A").replace(
+            "  neighbor A peer\n  neighbor B provider",
+            "  neighbor A peer\n  neighbor B provider"))
+        # prefer attaches to the stanza it appears in
+        assert configs["C"].preferences == ["B", "A"]
+
+    def test_duplicate_router_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_configs("router A\nrouter A\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keyword"):
+            parse_configs("router A\n  frobnicate B\n")
+
+    def test_neighbor_outside_stanza(self):
+        with pytest.raises(ConfigError, match="outside"):
+            parse_configs("neighbor B customer\n")
+
+    def test_bad_relationship(self):
+        with pytest.raises(ConfigError, match="bad neighbor"):
+            parse_configs("router A\n  neighbor B sibling\n")
+
+
+class TestCrossValidation:
+    def test_undeclared_neighbor(self):
+        with pytest.raises(ConfigError, match="undeclared"):
+            parse_configs("router A\n  neighbor B customer\n")
+
+    def test_missing_back_reference(self):
+        text = """
+        router A
+          neighbor B customer
+        router B
+        """
+        with pytest.raises(ConfigError, match="does not declare"):
+            parse_configs(text)
+
+    def test_inconsistent_relationship_caught(self):
+        """The classic cross-AS misconfiguration: both claim 'customer'."""
+        text = """
+        router A
+          neighbor B customer
+        router B
+          neighbor A customer
+        """
+        with pytest.raises(ConfigError, match="inconsistent"):
+            parse_configs(text)
+
+    def test_peer_must_be_mutual(self):
+        text = """
+        router A
+          neighbor B peer
+        router B
+          neighbor A provider
+        """
+        with pytest.raises(ConfigError, match="inconsistent"):
+            parse_configs(text)
+
+    def test_prefer_unknown_neighbor(self):
+        text = """
+        router A
+          neighbor B customer
+          prefer C
+        router B
+          neighbor A provider
+        """
+        with pytest.raises(ConfigError, match="prefers unknown"):
+            parse_configs(text)
+
+
+class TestToNetwork:
+    def test_labels_follow_convention(self):
+        network = to_network(parse_configs(CONSISTENT))
+        # A says B is its customer: label(A,B) = 'c'; B sees provider 'p'.
+        assert network.label("A", "B") == "c"
+        assert network.label("B", "A") == "p"
+        assert network.label("A", "C") == "r"
+
+    def test_label_fn(self):
+        network = to_network(parse_configs(CONSISTENT),
+                             label_fn=lambda rel: (rel, 1))
+        assert network.label("A", "B") == ("c", 1)
+
+    def test_structure(self):
+        network = to_network(parse_configs(CONSISTENT))
+        assert network.node_count() == 3
+        assert network.link_count() == 3
+
+
+class TestToSpp:
+    def test_simple_rankings(self):
+        text = """
+        router A
+          neighbor B customer
+          neighbor D customer
+          prefer B D
+        router B
+          neighbor A provider
+          neighbor D peer
+          prefer D
+        router D
+          neighbor A provider
+          neighbor B peer
+        """
+        spp = to_spp(parse_configs(text), "D")
+        assert spp.permitted["A"] == [("A", "B", "D"), ("A", "D")]
+        assert spp.permitted["B"] == [("B", "D")]
+        spp.validate()
+
+    def test_unknown_destination(self):
+        with pytest.raises(ConfigError, match="unknown destination"):
+            to_spp(parse_configs(CONSISTENT), "Z")
+
+    def test_end_to_end_analysis(self):
+        spp = to_spp(parse_configs(CONSISTENT), "C")
+        report = SafetyAnalyzer().analyze(spp)
+        assert report.safe in (True, False)  # completes without error

@@ -1,0 +1,78 @@
+"""Integration: analysis verdicts against protocol dynamics.
+
+Strict monotonicity is a *sufficient* condition (paper Thm. 4.1):
+
+* every instance the analyzer proves safe MUST converge in execution —
+  a violation would falsify either the encoder or the engines;
+* unsafe verdicts carry no execution guarantee (DISAGREE converges even
+  though it is reported unsafe — the documented false positive).
+
+The property test generates random SPP instances and checks the
+implication end-to-end.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra import SPPAlgebra, SPPInstance, disagree
+from repro.analysis import SafetyAnalyzer
+from repro.ndlog.codegen import network_from_spp
+from repro.protocols import GPVEngine
+
+ANALYZER = SafetyAnalyzer()
+
+
+@st.composite
+def spp_instances(draw):
+    """Random small SPP instances over a clique of up to 4 nodes + dest."""
+    node_count = draw(st.integers(min_value=2, max_value=4))
+    nodes = [str(i + 1) for i in range(node_count)]
+    dest = "0"
+    permitted = {}
+    for node in nodes:
+        others = [n for n in nodes if n != node]
+        candidates = [(node, dest)]
+        for other in others:
+            candidates.append((node, other, dest))
+        if node_count >= 3:
+            for other in others:
+                for third in others:
+                    if third != other:
+                        candidates.append((node, other, third, dest))
+        chosen = draw(st.lists(st.sampled_from(candidates), min_size=1,
+                               max_size=4, unique=True))
+        permitted[node] = chosen
+    return SPPInstance.build("random", dest, permitted)
+
+
+@given(spp_instances())
+@settings(max_examples=40, deadline=None)
+def test_proved_safe_implies_convergence(instance):
+    report = ANALYZER.analyze(instance)
+    if not report.safe:
+        return  # no claim in this direction
+    net = network_from_spp(instance)
+    engine = GPVEngine(net, SPPAlgebra(instance), [instance.destination],
+                       seed=13)
+    reason = engine.run(until=300.0, max_events=500_000)
+    assert reason == "quiescent", (
+        f"analyzer proved {instance} safe but execution did not converge")
+
+
+@given(spp_instances())
+@settings(max_examples=25, deadline=None)
+def test_analysis_is_deterministic(instance):
+    first = ANALYZER.analyze(instance)
+    second = ANALYZER.analyze(instance)
+    assert first.safe == second.safe
+    assert [str(s) for s in first.core] == [str(s) for s in second.core]
+
+
+def test_disagree_is_the_documented_false_positive():
+    """Unsafe verdict + convergent execution: strictness is sufficient,
+    not necessary (paper Sec. IV-A)."""
+    instance = disagree()
+    assert not ANALYZER.analyze(instance).safe
+    net = network_from_spp(instance, jitter_s=0.003)
+    engine = GPVEngine(net, SPPAlgebra(instance), ["0"], seed=5)
+    assert engine.run(until=300.0, max_events=500_000) == "quiescent"

@@ -1,0 +1,153 @@
+"""Tests for the NDlog parser (repro.ndlog.parser)."""
+
+import pytest
+
+from repro.algebra.base import PHI
+from repro.ndlog import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Condition,
+    Const,
+    FuncCall,
+    NDlogSyntaxError,
+    Var,
+    parse_program,
+)
+from repro.ndlog.programs import GPV, GPV_PAPER
+
+
+class TestGPVPrograms:
+    def test_deployed_gpv_parses_strict(self):
+        program = parse_program(GPV, "gpv")
+        assert [r.name for r in program.rules] == [
+            "gpvRecv", "gpvSelect", "gpvSend"]
+        assert set(program.materialized) == {"label", "sig", "localOpt"}
+
+    def test_paper_listing_parses_lenient(self):
+        program = parse_program(GPV_PAPER, "gpv-paper", strict=False)
+        assert [r.name for r in program.rules] == [
+            "gpvRecv", "gpvStore", "gpvSelect", "gpvSend"]
+
+    def test_materialize_keys_are_zero_based(self):
+        program = parse_program(GPV)
+        assert program.materialized["sig"].keys == (0, 1, 2)
+        assert program.materialized["localOpt"].keys == (0, 1)
+
+    def test_aggregate_parsed(self):
+        program = parse_program(GPV)
+        select = next(r for r in program.rules if r.name == "gpvSelect")
+        agg = select.head.args[2]
+        assert isinstance(agg, Aggregate)
+        assert agg.func == "a_pref" and agg.var == Var("S")
+
+    def test_location_specifiers(self):
+        program = parse_program(GPV)
+        send = next(r for r in program.rules if r.name == "gpvSend")
+        assert send.head.loc_index == 0
+        assert send.head.args[0] == Var("N")
+
+
+class TestBodyElements:
+    def test_assignment_with_walrus(self):
+        program = parse_program("""
+            materialize(t, infinity, infinity, keys(1)).
+            r1 t(@X,Y) :- e(@X,Z), Y := f_head(Z).
+        """)
+        body = program.rules[0].body
+        assert isinstance(body[1], Assignment)
+        assert body[1].expr == FuncCall("f_head", (Var("Z"),))
+
+    def test_paper_style_equals_assignment(self):
+        program = parse_program("""
+            r1 t(@X,Y) :- e(@X,Z), Y = f_head(Z).
+        """, strict=False)
+        assert isinstance(program.rules[0].body[1], Assignment)
+
+    def test_paper_style_equals_condition_on_call(self):
+        program = parse_program("""
+            r1 t(@X) :- e(@X,Z), f_import(Z) = true.
+        """, strict=False)
+        condition = program.rules[0].body[1]
+        assert isinstance(condition, Condition)
+        assert condition.op == "=="
+        assert condition.rhs == Const(True)
+
+    def test_var_to_var_equality_is_condition(self):
+        program = parse_program("""
+            r1 t(@X) :- e(@X,Y,Z), Y = Z.
+        """, strict=False)
+        assert isinstance(program.rules[0].body[1], Condition)
+
+    def test_comparison_operators(self):
+        program = parse_program("""
+            r1 t(@X) :- e(@X,Y), Y != 3, Y <= 10.
+        """, strict=False)
+        c1, c2 = program.rules[0].body[1:]
+        assert (c1.op, c2.op) == ("!=", "<=")
+
+    def test_phi_literal(self):
+        program = parse_program("""
+            r1 t(@X) :- e(@X,S), S != phi.
+        """, strict=False)
+        condition = program.rules[0].body[1]
+        assert condition.rhs == Const(PHI)
+
+    def test_comments_ignored(self):
+        program = parse_program("""
+            // a comment
+            r1 t(@X) :- e(@X). // trailing
+        """, strict=False)
+        assert len(program.rules) == 1
+
+    def test_string_and_int_constants(self):
+        program = parse_program("""
+            r1 t(@X, "lit", 42) :- e(@X).
+        """, strict=False)
+        head = program.rules[0].head
+        assert head.args[1] == Const("lit")
+        assert head.args[2] == Const(42)
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_program("r1 t(@X) :- e(@X)", strict=False)
+
+    def test_uppercase_rule_name(self):
+        with pytest.raises(NDlogSyntaxError, match="lower-case"):
+            parse_program("R1 t(@X) :- e(@X).", strict=False)
+
+    def test_garbage_character(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_program("r1 t(@X) :- e(@X) $ .", strict=False)
+
+    def test_strict_requires_materialize_for_joins(self):
+        source = """
+            r1 t(@X) :- e(@X,Y), f(@X,Y).
+        """
+        with pytest.raises(ValueError, match="event"):
+            parse_program(source, strict=True)
+
+    def test_aggregate_needs_single_atom(self):
+        source = """
+            materialize(a, infinity, infinity, keys(1)).
+            materialize(b, infinity, infinity, keys(1)).
+            materialize(t, infinity, infinity, keys(1)).
+            r1 t(@X, a_pref<S>) :- a(@X,S), b(@X,S).
+        """
+        with pytest.raises(ValueError, match="aggregate"):
+            parse_program(source)
+
+    def test_rule_without_body_atoms(self):
+        with pytest.raises(ValueError, match="body atoms"):
+            parse_program("r1 t(@X) :- Y := f_g(X).", strict=True)
+
+
+class TestAstPrinting:
+    def test_program_str_round_trips_through_parser(self):
+        program = parse_program(GPV)
+        reparsed = parse_program(str(program))
+        assert [r.name for r in reparsed.rules] == [
+            r.name for r in program.rules]
+        assert reparsed.materialized.keys() == program.materialized.keys()

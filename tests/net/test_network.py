@@ -1,0 +1,111 @@
+"""Tests for the physical network model (repro.net.network)."""
+
+import pytest
+
+from repro.net import Network
+
+
+@pytest.fixture
+def diamond():
+    net = Network("diamond")
+    net.add_link("a", "b", weight=1, label_ab="x", label_ba="y")
+    net.add_link("b", "d", weight=2)
+    net.add_link("a", "c", weight=2)
+    net.add_link("c", "d", weight=2)
+    return net
+
+
+class TestConstruction:
+    def test_nodes_created_implicitly(self, diamond):
+        assert set(diamond.nodes()) == {"a", "b", "c", "d"}
+
+    def test_counts(self, diamond):
+        assert diamond.node_count() == 4
+        assert diamond.link_count() == 4
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Network().add_link("a", "a")
+
+    def test_node_attrs(self):
+        net = Network()
+        net.add_node("a", role="backbone")
+        assert net.node_attrs("a")["role"] == "backbone"
+
+    def test_replacing_link_keeps_single_adjacency(self):
+        net = Network()
+        net.add_link("a", "b", weight=1)
+        net.add_link("a", "b", weight=9)
+        assert net.neighbors("a") == ["b"]
+        assert net.link("a", "b").weight == 9
+
+
+class TestQueries:
+    def test_neighbors(self, diamond):
+        assert set(diamond.neighbors("a")) == {"b", "c"}
+
+    def test_link_lookup_both_orders(self, diamond):
+        assert diamond.link("a", "b") is diamond.link("b", "a")
+
+    def test_missing_link_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.link("a", "d")
+
+    def test_directed_labels(self, diamond):
+        assert diamond.label("a", "b") == "x"
+        assert diamond.label("b", "a") == "y"
+        assert diamond.label("b", "d") is None
+
+    def test_set_label(self, diamond):
+        diamond.set_label("b", "d", "z")
+        assert diamond.label("b", "d") == "z"
+
+    def test_link_other(self, diamond):
+        link = diamond.link("a", "b")
+        assert link.other("a") == "b"
+        with pytest.raises(KeyError):
+            link.other("zzz")
+
+    def test_transmission_delay(self, diamond):
+        link = diamond.link("a", "b")
+        assert link.transmission_delay(1250) == pytest.approx(
+            1250 * 8 / link.bandwidth_bps)
+
+
+class TestGraphAlgorithms:
+    def test_shortest_path_costs(self, diamond):
+        costs = diamond.shortest_path_costs("a")
+        assert costs == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_connected(self, diamond):
+        assert diamond.connected()
+        diamond.add_node("island")
+        assert not diamond.connected()
+        assert diamond.connected(among=["a", "b", "c", "d"])
+
+    def test_connected_empty(self):
+        assert Network().connected()
+
+
+class TestMutation:
+    def test_remove_link(self, diamond):
+        diamond.remove_link("a", "b")
+        assert not diamond.has_link("a", "b")
+        assert "b" not in diamond.neighbors("a")
+
+    def test_remove_missing_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.remove_link("a", "d")
+
+    def test_relabeled(self, diamond):
+        mapped = diamond.relabeled(lambda lb: (lb, 1))
+        assert mapped.label("a", "b") == ("x", 1)
+        assert mapped.label("b", "d") is None
+        # Original untouched.
+        assert diamond.label("a", "b") == "x"
+
+    def test_relabeled_preserves_structure(self, diamond):
+        mapped = diamond.relabeled(lambda lb: lb)
+        assert mapped.node_count() == diamond.node_count()
+        assert mapped.link_count() == diamond.link_count()
+        assert mapped.link("b", "d").weight == 2

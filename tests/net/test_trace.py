@@ -1,0 +1,89 @@
+"""Tests for the execution tracer (repro.net.trace)."""
+
+import pytest
+
+from repro.algebra import SPPAlgebra, good_gadget
+from repro.ndlog import deploy_spp
+from repro.ndlog.codegen import network_from_spp
+from repro.net.trace import Tracer
+from repro.protocols import GPVEngine
+
+
+@pytest.fixture
+def traced_run():
+    instance = good_gadget()
+    net = network_from_spp(instance)
+    engine = GPVEngine(net, SPPAlgebra(instance), ["0"], seed=2)
+    tracer = Tracer().attach(engine.sim)
+    engine.run(until=30.0)
+    return tracer, engine
+
+
+class TestRecording:
+    def test_sends_and_route_changes_recorded(self, traced_run):
+        tracer, engine = traced_run
+        sends = [e for e in tracer.events if e.kind == "send"]
+        routes = tracer.route_changes()
+        assert len(sends) == engine.sim.stats.messages_sent
+        assert len(routes) == engine.sim.stats.route_changes
+
+    def test_events_are_time_ordered(self, traced_run):
+        tracer, _ = traced_run
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_stats_still_populated(self, traced_run):
+        """Wrapping must not swallow the original recording."""
+        _, engine = traced_run
+        assert engine.sim.stats.messages_sent > 0
+        assert engine.sim.stats.route_changes > 0
+
+    def test_double_attach_rejected(self, traced_run):
+        tracer, engine = traced_run
+        with pytest.raises(RuntimeError):
+            tracer.attach(engine.sim)
+
+
+class TestQueries:
+    def test_between(self, traced_run):
+        tracer, _ = traced_run
+        window = tracer.between(0.0, 0.02)
+        assert all(0.0 <= e.time < 0.02 for e in window)
+        assert window
+
+    def test_by_node(self, traced_run):
+        tracer, _ = traced_run
+        for event in tracer.by_node("1"):
+            assert event.node == "1"
+
+    def test_quiet_after_matches_last_event(self, traced_run):
+        tracer, engine = traced_run
+        assert tracer.quiet_after() <= engine.sim.now
+        assert tracer.quiet_after() == max(e.time for e in tracer.events)
+
+
+class TestRendering:
+    def test_timeline_contains_both_kinds(self, traced_run):
+        tracer, _ = traced_run
+        text = tracer.timeline()
+        assert "SEND" in text and "ROUTE" in text
+
+    def test_timeline_limit(self, traced_run):
+        tracer, _ = traced_run
+        text = tracer.timeline(limit=2)
+        assert "more events" in text
+
+    def test_histogram_counts_everything(self, traced_run):
+        tracer, _ = traced_run
+        histogram = tracer.activity_histogram(bin_s=0.01)
+        assert sum(histogram.values()) == len(tracer.events)
+
+
+class TestWithNDlogRuntime:
+    def test_composes_with_the_interpreter(self):
+        runtime = deploy_spp(good_gadget(), seed=2)
+        tracer = Tracer().attach(runtime.sim)
+        runtime.sim.run(until=30.0)
+        assert tracer.events
+        assert any("sig tuple" in e.detail or "msg tuple" in e.detail
+                   for e in tracer.events if e.kind == "send")

@@ -1,0 +1,81 @@
+"""Tests for link-failure dynamics and withdraw propagation (GPV)."""
+
+import pytest
+
+from repro.algebra import ShortestHopCount, gao_rexford_with_hopcount
+from repro.net import Network
+from repro.protocols import GPVEngine
+
+
+def diamond() -> Network:
+    """d reachable from s over two disjoint paths: s-a-d and s-b-c-d."""
+    net = Network()
+    for u, v in (("s", "a"), ("a", "d"), ("s", "b"), ("b", "c"), ("c", "d")):
+        net.add_link(u, v, label_ab=1, label_ba=1)
+    return net
+
+
+class TestFailover:
+    def test_reroute_after_primary_failure(self):
+        net = diamond()
+        engine = GPVEngine(net, ShortestHopCount(), ["d"])
+        assert engine.run(until=10.0) == "quiescent"
+        assert engine.best_path("s", "d") == ("s", "a", "d")
+
+        engine.fail_link("a", "d")
+        assert engine.sim.run(until=engine.sim.now + 10.0) == "quiescent"
+        assert engine.best_path("s", "d") == ("s", "b", "c", "d")
+        assert engine.best_path("a", "d") == ("a", "s", "b", "c", "d")
+
+    def test_total_loss_withdraws_everywhere(self):
+        net = Network()
+        for u, v in (("s", "a"), ("a", "d")):
+            net.add_link(u, v, label_ab=1, label_ba=1)
+        engine = GPVEngine(net, ShortestHopCount(), ["d"])
+        engine.run(until=10.0)
+        assert engine.best_path("s", "d") is not None
+
+        engine.fail_link("a", "d")
+        assert engine.sim.run(until=engine.sim.now + 10.0) == "quiescent"
+        assert engine.best_path("a", "d") is None
+        assert engine.best_path("s", "d") is None  # withdraw propagated
+
+    def test_failure_of_unused_link_is_quiet(self):
+        net = diamond()
+        engine = GPVEngine(net, ShortestHopCount(), ["d"])
+        engine.run(until=10.0)
+        before = engine.sim.stats.messages_sent
+        engine.fail_link("b", "c")  # backup path only
+        engine.sim.run(until=engine.sim.now + 10.0)
+        # Some withdraw chatter along the dead branch is fine, but the
+        # primary path must be untouched.
+        assert engine.best_path("s", "d") == ("s", "a", "d")
+        assert engine.sim.stats.messages_sent - before <= 8
+
+    def test_policy_respected_after_failover(self):
+        """After failover under Gao-Rexford, the backup is still valley-free."""
+        net = Network()
+        # Two providers p1, p2 of customer d; s is a customer of both.
+        net.add_link("p1", "d", label_ab=("c", 1), label_ba=("p", 1))
+        net.add_link("p2", "d", label_ab=("c", 1), label_ba=("p", 1))
+        net.add_link("p1", "s", label_ab=("c", 1), label_ba=("p", 1))
+        net.add_link("p2", "s", label_ab=("c", 1), label_ba=("p", 1))
+        engine = GPVEngine(net, gao_rexford_with_hopcount(), ["d"])
+        engine.run(until=10.0)
+        first = engine.best_path("s", "d")
+        assert first in ((("s", "p1", "d")), ("s", "p2", "d"))
+
+        via = first[1]
+        other = "p2" if via == "p1" else "p1"
+        engine.fail_link(via, "d")
+        assert engine.sim.run(until=engine.sim.now + 10.0) == "quiescent"
+        assert engine.best_path("s", "d") == ("s", other, "d")
+
+    def test_failed_link_gone_from_network(self):
+        net = diamond()
+        engine = GPVEngine(net, ShortestHopCount(), ["d"])
+        engine.run(until=10.0)
+        engine.fail_link("a", "d")
+        assert not net.has_link("a", "d")
+        with pytest.raises(KeyError):
+            net.link("a", "d")

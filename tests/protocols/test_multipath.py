@@ -1,0 +1,96 @@
+"""Tests for the top-k multipath extension (paper Sec. VI-D's suggestion)."""
+
+import pytest
+
+from repro.algebra import ShortestHopCount
+from repro.net import Network
+from repro.protocols import GPVEngine
+
+
+def ladder() -> Network:
+    """d reachable from m over two parallel relays; s hangs off m.
+
+        d -- a -- m -- s
+        d -- b -- m
+    """
+    net = Network()
+    for u, v in (("d", "a"), ("a", "m"), ("d", "b"), ("b", "m"), ("m", "s")):
+        net.add_link(u, v, label_ab=1, label_ba=1)
+    return net
+
+
+class TestTopKPropagation:
+    def test_alternates_reach_downstream(self):
+        engine = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=2)
+        assert engine.run(until=10.0) == "quiescent"
+        routes = engine.known_routes("s", "d")
+        paths = {path for _sig, path in routes}
+        assert ("s", "m", "a", "d") in paths
+        assert ("s", "m", "b", "d") in paths
+
+    def test_top_k_one_sends_single_route(self):
+        engine = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=1)
+        engine.run(until=10.0)
+        routes = engine.known_routes("s", "d")
+        assert len(routes) == 1
+
+    def test_best_selection_unchanged_by_k(self):
+        single = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=1)
+        single.run(until=10.0)
+        multi = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=2)
+        multi.run(until=10.0)
+        for node in ("s", "m", "a", "b"):
+            assert (single.best_route(node, "d")[0]
+                    == multi.best_route(node, "d")[0])
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=0)
+
+
+class TestTopKFailover:
+    def test_downstream_failover_is_cheaper_with_alternates(self):
+        """After the primary relay dies, s already holds the backup path
+        when running top-2, so reconvergence needs fewer messages."""
+        def run(k):
+            engine = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=k)
+            engine.run(until=10.0)
+            primary_relay = engine.best_path("m", "d")[1]  # 'a' or 'b'
+            before = engine.sim.stats.messages_sent
+            engine.fail_link(primary_relay, "d")
+            engine.sim.run(until=engine.sim.now + 10.0)
+            return engine, engine.sim.stats.messages_sent - before
+
+        single, single_msgs = run(1)
+        multi, multi_msgs = run(2)
+        # Both restore full reachability...
+        assert single.best_path("s", "d") is not None
+        assert multi.best_path("s", "d") is not None
+        # ... and alternates never make failover chattier.
+        assert multi_msgs <= single_msgs
+
+    def test_alternate_survives_when_primary_withdrawn(self):
+        engine = GPVEngine(ladder(), ShortestHopCount(), ["d"], top_k=2)
+        engine.run(until=10.0)
+        relay = engine.best_path("m", "d")[1]
+        other = "b" if relay == "a" else "a"
+        engine.fail_link(relay, "d")
+        assert engine.sim.run(until=engine.sim.now + 10.0) == "quiescent"
+        assert engine.best_path("s", "d") == ("s", "m", other, "d")
+
+
+class TestWireFormat:
+    def test_alternates_share_header(self):
+        from repro.protocols import Advertisement
+        single = Advertisement("d", 2, ("m", "a", "d"))
+        multi = Advertisement("d", 2, ("m", "a", "d"),
+                              alternates=(((3), ("m", "b", "d")),))
+        assert multi.wire_size() > single.wire_size()
+        assert multi.wire_size() < 2 * single.wire_size()
+
+    def test_routes_lists_primary_first(self):
+        from repro.protocols import Advertisement
+        adv = Advertisement("d", 2, ("m", "a", "d"),
+                            alternates=((3, ("m", "b", "d")),))
+        assert adv.routes()[0] == (2, ("m", "a", "d"))
+        assert len(adv.routes()) == 2

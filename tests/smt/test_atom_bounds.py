@@ -1,0 +1,58 @@
+"""Coverage for constant-bound atoms and the is_bound query."""
+
+from repro.smt import Atom, ConstraintSystem, IntVar, Relation, solve
+
+x, y = IntVar("x"), IntVar("y")
+
+
+class TestIsBound:
+    def test_constant_comparisons_are_bounds(self):
+        assert Atom.ge_const(x, 3).is_bound
+        assert Atom.le_const(x, 3).is_bound
+
+    def test_variable_comparisons_are_not(self):
+        assert not Atom.lt(x, y).is_bound
+        assert not Atom.eq(x, y).is_bound
+
+
+class TestBoundSolving:
+    def test_upper_and_lower_bounds(self):
+        system = ConstraintSystem()
+        system.add(Atom.ge_const(x, 3))
+        system.add(Atom.le_const(x, 5))
+        result = solve(system)
+        assert result.is_sat
+        assert 3 <= result.model[x] <= 5
+
+    def test_contradictory_bounds_unsat(self):
+        system = ConstraintSystem()
+        system.add(Atom.ge_const(x, 10))
+        system.add(Atom.le_const(x, 2))
+        result = solve(system)
+        assert result.is_unsat
+        assert len(result.core) == 2
+
+    def test_bounds_interact_with_differences(self):
+        system = ConstraintSystem()
+        system.add(Atom.ge_const(x, 10))
+        system.add(Atom.lt(y, x))
+        system.add(Atom.le_const(y, 3))
+        result = solve(system)
+        assert result.is_sat
+        assert result.model[x] >= 10
+        assert result.model[y] <= 3
+
+    def test_chain_through_bounds_unsat(self):
+        # x >= 10, x < y, y <= 5: impossible.
+        system = ConstraintSystem()
+        system.add(Atom.ge_const(x, 10))
+        system.add(Atom.lt(x, y))
+        system.add(Atom.le_const(y, 5))
+        assert solve(system).is_unsat
+
+    def test_gt_relation(self):
+        system = ConstraintSystem()
+        system.add(Atom(x, Relation.GT, y))
+        result = solve(system)
+        assert result.is_sat
+        assert result.model[x] > result.model[y]

@@ -1,0 +1,100 @@
+"""Tests for the command-line front end (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_safe_gadget(self, capsys):
+        assert main(["analyze", "good"]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+
+    def test_unsafe_gadget_shows_core(self, capsys):
+        assert main(["analyze", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT PROVED SAFE" in out
+        assert "unsat core" in out
+
+    def test_unknown_gadget(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonsense"])
+
+
+class TestRun:
+    def test_convergent_gadget(self, capsys):
+        assert main(["run", "good", "--until", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_divergent_gadget(self, capsys):
+        assert main(["run", "bad", "--until", "2",
+                     "--max-events", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "did not converge" in out
+
+
+class TestModelcheck:
+    def test_disagree(self, capsys):
+        assert main(["modelcheck", "disagree"]) == 0
+        out = capsys.readouterr().out
+        assert "stable solutions: 2" in out
+        assert "oscillation trace" in out
+
+    def test_good_async(self, capsys):
+        assert main(["modelcheck", "good", "--mode", "async"]) == 0
+        out = capsys.readouterr().out
+        assert "stable solutions: 1" in out
+
+
+class TestAnalyzeConfig:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "net.cfg"
+        path.write_text("""
+router a
+  neighbor b customer
+router b
+  neighbor a provider
+""")
+        assert main(["analyze-config", str(path)]) == 0
+        assert "2 router stanzas validated" in capsys.readouterr().out
+
+    def test_with_destination(self, tmp_path, capsys):
+        path = tmp_path / "net.cfg"
+        path.write_text("""
+router a
+  neighbor b customer
+  prefer b
+router b
+  neighbor a provider
+""")
+        assert main(["analyze-config", str(path), "--dest", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "SPP" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "net.cfg"
+        path.write_text("router a\n  neighbor b customer\n")
+        assert main(["analyze-config", str(path)]) == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze-config", "/nonexistent.cfg"]) == 1
+
+
+class TestFigures:
+    def test_fig4_quick(self, capsys):
+        assert main(["figure", "fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "chain" in out
+
+    def test_fig6_quick(self, capsys):
+        assert main(["figure", "fig6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "HLP" in out
+
+    def test_fig5_quick(self, capsys):
+        assert main(["figure", "fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Gadget" in out

@@ -1,0 +1,111 @@
+"""Tests for CAIDA-like topology generation (repro.topology.caida)."""
+
+import pytest
+
+from repro.topology import (
+    caida_like,
+    customer_provider_edges,
+    extract_hierarchy,
+    hierarchy,
+    longest_customer_provider_chain,
+    product_label,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("depth", [1, 3, 6, 10])
+    def test_chain_length_matches_requested_depth(self, depth):
+        net = hierarchy(depth, seed=depth)
+        assert longest_customer_provider_chain(net) == depth
+
+    def test_labels_are_reverse_consistent(self):
+        net = hierarchy(4, seed=1)
+        for link in net.links():
+            ab = link.labels[(link.a, link.b)]
+            ba = link.labels[(link.b, link.a)]
+            assert {ab, ba} in ({"c", "p"}, {"r"})
+
+    def test_product_labels(self):
+        net = hierarchy(3, seed=1, label_fn=product_label)
+        for link in net.links():
+            label = link.labels[(link.a, link.b)]
+            assert isinstance(label, tuple) and label[1] == 1
+
+    def test_max_nodes_respected(self):
+        net = hierarchy(8, seed=2, max_nodes=60)
+        assert net.node_count() <= 75  # spine + bounded levels
+
+    def test_deterministic_for_seed(self):
+        a = hierarchy(5, seed=9)
+        b = hierarchy(5, seed=9)
+        assert sorted(a.nodes()) == sorted(b.nodes())
+        assert a.link_count() == b.link_count()
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy(0)
+
+
+class TestCaidaLike:
+    def test_stub_pruning_removes_leaves(self):
+        net = caida_like(120, seed=3, prune_stubs=True)
+        for node in net.nodes():
+            assert len(net.neighbors(node)) >= 2
+
+    def test_unpruned_is_larger(self):
+        pruned = caida_like(120, seed=3, prune_stubs=True)
+        full = caida_like(120, seed=3, prune_stubs=False)
+        assert full.node_count() >= pruned.node_count()
+
+    def test_acyclic_customer_provider(self):
+        net = caida_like(100, seed=4)
+        # Raises on a cycle.
+        longest_customer_provider_chain(net)
+
+    def test_relationship_edges_directed(self):
+        net = caida_like(60, seed=5, prune_stubs=False)
+        edges = customer_provider_edges(net)
+        assert edges
+        providers = {p for p, _ in edges}
+        assert "AS0" in providers
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            caida_like(2)
+
+
+class TestExtraction:
+    def test_cone_never_climbs_to_providers(self):
+        net = hierarchy(5, seed=6)
+        root = "L2N0"
+        cone = extract_hierarchy(net, root)
+        # The root's providers (level-1 nodes it buys from) are excluded
+        # unless reachable over peer links.
+        for node in cone.nodes():
+            assert node in net.nodes()
+        assert root in cone.nodes()
+        # All level-3+ descendants below the root stay reachable.
+        assert cone.node_count() >= 1
+
+    def test_cone_contains_customers(self):
+        net = hierarchy(4, seed=7)
+        cone = extract_hierarchy(net, "T0")
+        # The top provider's cone over customer links is ~everything.
+        assert cone.node_count() >= net.node_count() // 2
+
+
+class TestChainMeasurement:
+    def test_cycle_detected(self):
+        from repro.net import Network
+        net = Network()
+        net.add_link("a", "b", label_ab="c", label_ba="p")
+        net.add_link("b", "c", label_ab="c", label_ba="p")
+        net.add_link("c", "a", label_ab="c", label_ba="p")
+        with pytest.raises(ValueError, match="cycle"):
+            longest_customer_provider_chain(net)
+
+    def test_peers_do_not_count(self):
+        from repro.net import Network
+        net = Network()
+        net.add_link("a", "b", label_ab="r", label_ba="r")
+        assert longest_customer_provider_chain(net) == 0

@@ -1,0 +1,78 @@
+"""Tests for the HLP evaluation topology (repro.topology.hlp_topo)."""
+
+import pytest
+
+from repro.protocols.hlp import DOMAIN_ATTR
+from repro.topology import hlp_topology
+
+
+class TestPaperParameters:
+    def test_default_sizes(self):
+        net = hlp_topology(seed=0)
+        assert net.node_count() == 200
+        cross = [l for l in net.links()
+                 if net.node_attrs(l.a)[DOMAIN_ATTR]
+                 != net.node_attrs(l.b)[DOMAIN_ATTR]]
+        assert len(cross) == 84
+
+    def test_connected(self):
+        assert hlp_topology(seed=1).connected()
+
+    def test_domain_attribute_on_every_node(self):
+        net = hlp_topology(seed=2)
+        domains = {net.node_attrs(n)[DOMAIN_ATTR] for n in net.nodes()}
+        assert domains == set(range(10))
+
+    def test_cross_links_latency(self):
+        net = hlp_topology(seed=3)
+        for link in net.links():
+            cross = (net.node_attrs(link.a)[DOMAIN_ATTR]
+                     != net.node_attrs(link.b)[DOMAIN_ATTR])
+            assert link.latency_s == (0.050 if cross else 0.010)
+
+    def test_cross_links_are_peer_labelled(self):
+        net = hlp_topology(seed=4)
+        for link in net.links():
+            cross = (net.node_attrs(link.a)[DOMAIN_ATTR]
+                     != net.node_attrs(link.b)[DOMAIN_ATTR])
+            label = link.labels[(link.a, link.b)]
+            if cross:
+                assert label == ("r", 1)
+            else:
+                assert label[0] in ("c", "p")
+
+
+class TestDomainsAreHierarchies:
+    def test_intra_domain_acyclic(self):
+        """Each domain's provider→customer edges form a DAG rooted at n0."""
+        net = hlp_topology(seed=5)
+        for d in range(10):
+            members = [n for n in net.nodes()
+                       if net.node_attrs(n)[DOMAIN_ATTR] == d]
+            # Provider edges always go from earlier to later members, so
+            # index order witnesses acyclicity.
+            index = {n: int(n.split("n")[1]) for n in members}
+            for link in net.links():
+                if link.a in index and link.b in index:
+                    label = link.labels[(link.a, link.b)]
+                    if label == ("c", 1):  # a is provider of b
+                        assert index[link.a] < index[link.b]
+
+    def test_nonuniform_weights(self):
+        net = hlp_topology(seed=6)
+        weights = {l.weight for l in net.links()}
+        assert len(weights) > 2
+
+
+class TestValidation:
+    def test_small_instances(self):
+        net = hlp_topology(3, 5, 8, seed=7)
+        assert net.node_count() == 15
+
+    def test_single_domain_rejected(self):
+        with pytest.raises(ValueError):
+            hlp_topology(1, 5, 0)
+
+    def test_impossible_cross_budget(self):
+        with pytest.raises(RuntimeError):
+            hlp_topology(2, 2, 50, seed=8)

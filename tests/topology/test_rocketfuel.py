@@ -1,0 +1,73 @@
+"""Tests for the Rocketfuel-like generator (repro.topology.rocketfuel)."""
+
+import pytest
+
+from repro.topology import (
+    AS1755_LINKS,
+    AS1755_ROUTERS,
+    pairwise_igp_costs,
+    rocketfuel_like,
+)
+
+
+class TestGeneration:
+    def test_paper_parameters_exact(self):
+        net = rocketfuel_like(seed=0)
+        assert net.node_count() == AS1755_ROUTERS == 87
+        assert net.link_count() == AS1755_LINKS == 322
+
+    def test_connected(self):
+        assert rocketfuel_like(seed=1).connected()
+
+    def test_custom_size(self):
+        net = rocketfuel_like(20, 40, seed=2)
+        assert net.node_count() == 20
+        assert net.link_count() == 40
+
+    def test_roles_assigned(self):
+        net = rocketfuel_like(seed=3)
+        roles = {net.node_attrs(n).get("role") for n in net.nodes()}
+        assert roles == {"backbone", "access"}
+
+    def test_weights_positive_and_bounded(self):
+        net = rocketfuel_like(seed=4, min_weight=1, max_weight=20)
+        for link in net.links():
+            assert 1 <= link.weight <= 20
+
+    def test_deterministic(self):
+        a = rocketfuel_like(seed=5)
+        b = rocketfuel_like(seed=5)
+        assert sorted(a.nodes()) == sorted(b.nodes())
+        assert {(l.a, l.b, l.weight) for l in a.links()} == \
+               {(l.a, l.b, l.weight) for l in b.links()}
+
+    def test_too_few_links_rejected(self):
+        with pytest.raises(ValueError):
+            rocketfuel_like(50, 10)
+
+    def test_too_few_routers_rejected(self):
+        with pytest.raises(ValueError):
+            rocketfuel_like(2, 5)
+
+
+class TestIGPCosts:
+    def test_costs_symmetric(self):
+        net = rocketfuel_like(20, 40, seed=6)
+        costs = pairwise_igp_costs(net)
+        for u in net.nodes():
+            for v in net.nodes():
+                assert costs[u][v] == costs[v][u]
+
+    def test_triangle_inequality(self):
+        net = rocketfuel_like(15, 25, seed=7)
+        costs = pairwise_igp_costs(net)
+        nodes = net.nodes()
+        for u in nodes:
+            for v in nodes:
+                for w in nodes:
+                    assert costs[u][v] <= costs[u][w] + costs[w][v]
+
+    def test_self_cost_zero(self):
+        net = rocketfuel_like(15, 25, seed=8)
+        costs = pairwise_igp_costs(net)
+        assert all(costs[n][n] == 0 for n in net.nodes())
