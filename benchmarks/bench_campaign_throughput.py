@@ -1,0 +1,105 @@
+"""Campaign engine throughput: scenarios/second, serial vs parallel.
+
+The campaign subsystem is the substrate every scale-out PR builds on, so
+its throughput is a first-class benchmark.  This bench runs the same
+fixed-seed scenario stream
+
+* serially (``jobs=1``, in-process, shared verdict cache), and
+* over a 4-worker process pool (``jobs=4``, per-worker caches),
+
+and reports both rates.  On a machine with >= 4 usable cores the parallel
+path must beat serial by at least 2x; on smaller boxes the ratio is
+reported but not asserted (a process pool cannot beat the GIL-free serial
+loop without real parallel hardware).
+
+A third measurement isolates the effect of the canonicalized-verdict
+memoization by running the serial campaign with the cache cleared before
+every scenario.
+"""
+
+import os
+
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioGenerator,
+    clear_verdict_cache,
+    evaluate,
+)
+
+SEED = 7
+JOBS = 4
+
+
+def _specs(smoke: bool):
+    count = 24 if smoke else 96
+    return ScenarioGenerator(SEED, profile="quick").generate(count)
+
+
+def test_campaign_throughput_parallel_vs_serial(benchmark, save_result, smoke):
+    specs = _specs(smoke)
+
+    clear_verdict_cache()
+    serial = CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+
+    def parallel_run():
+        return CampaignRunner(CampaignConfig(jobs=JOBS, chunk_size=4)).run(specs)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+
+    assert serial.scenario_count == parallel.scenario_count == len(specs)
+    serial_kinds = [(r.scenario_id, r.classification) for r in serial.results]
+    parallel_kinds = [(r.scenario_id, r.classification)
+                      for r in parallel.results]
+    assert serial_kinds == parallel_kinds  # fan-out must not change verdicts
+
+    speedup = (parallel.scenarios_per_second /
+               max(serial.scenarios_per_second, 1e-9))
+    cores = os.cpu_count() or 1
+    text = "\n".join([
+        f"scenarios: {len(specs)} (fixed seed {SEED})",
+        f"serial:   {serial.scenarios_per_second:>8.1f} scenarios/s "
+        f"({serial.wall_clock_s:.2f}s)",
+        f"parallel: {parallel.scenarios_per_second:>8.1f} scenarios/s "
+        f"({parallel.wall_clock_s:.2f}s, jobs={JOBS})",
+        f"speedup:  {speedup:>8.2f}x on {cores} core(s)",
+    ])
+    save_result("campaign_throughput", text)
+    benchmark.extra_info["serial_sps"] = serial.scenarios_per_second
+    benchmark.extra_info["parallel_sps"] = parallel.scenarios_per_second
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cores"] = cores
+
+    if cores >= JOBS and not smoke:
+        # The smoke workload (~0.2s serial) is dominated by pool dispatch
+        # overhead, so the speedup bar only applies to the full workload.
+        assert speedup >= 2.0, (
+            f"parallel path must beat serial by >=2x on {JOBS} workers "
+            f"(got {speedup:.2f}x on {cores} cores)")
+
+
+def test_verdict_cache_pays_for_itself(benchmark, save_result, smoke):
+    """Serial campaign with memoization vs cold-cache per scenario."""
+    specs = _specs(smoke)[:12 if smoke else 40]
+
+    def cold():
+        results = []
+        for spec in specs:
+            clear_verdict_cache()
+            results.append(evaluate(spec))
+        return results
+
+    cold_results = benchmark(cold)
+
+    clear_verdict_cache()
+    warm = CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+    assert [r.classification for r in cold_results] == \
+        [r.classification for r in warm.results]
+    hits = sum(r.cache_hit for r in warm.results)
+    save_result(
+        "campaign_verdict_cache",
+        f"scenarios: {len(specs)}\n"
+        f"warm-cache hits: {hits}/{len(specs)} "
+        f"({warm.cache_hit_rate:.0%})\n"
+        f"warm wall clock: {warm.wall_clock_s:.2f}s")
+    benchmark.extra_info["cache_hit_rate"] = warm.cache_hit_rate

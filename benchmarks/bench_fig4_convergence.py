@@ -21,11 +21,21 @@ from repro.experiments import (
 )
 
 DEPTHS = (3, 5, 7, 9, 11, 13, 16)
+SMOKE_DEPTHS = (3, 5, 7)
 
 
-def test_fig4_caida_sim(benchmark, save_result):
+def _depths(smoke):
+    return SMOKE_DEPTHS if smoke else DEPTHS
+
+
+def _max_nodes(smoke):
+    return 60 if smoke else 160
+
+
+def test_fig4_caida_sim(benchmark, save_result, smoke):
     points = benchmark.pedantic(
-        lambda: figure4_sweep(DEPTHS, seed=1, profile="sim"),
+        lambda: figure4_sweep(_depths(smoke), seed=1, profile="sim",
+                              max_nodes=_max_nodes(smoke)),
         rounds=1, iterations=1)
     save_result("fig4_caida_sim", format_series(points, "CAIDA-Sim"))
     assert all(p.converged for p in points)
@@ -37,10 +47,12 @@ def test_fig4_caida_sim(benchmark, save_result):
         (p.depth, round(p.convergence_s, 2)) for p in points]
 
 
-def test_fig4_caida_testbed(benchmark, save_result):
-    sim_points = figure4_sweep(DEPTHS, seed=1, profile="sim")
+def test_fig4_caida_testbed(benchmark, save_result, smoke):
+    sim_points = figure4_sweep(_depths(smoke), seed=1, profile="sim",
+                               max_nodes=_max_nodes(smoke))
     testbed_points = benchmark.pedantic(
-        lambda: figure4_sweep(DEPTHS, seed=1, profile="testbed"),
+        lambda: figure4_sweep(_depths(smoke), seed=1, profile="testbed",
+                              max_nodes=_max_nodes(smoke)),
         rounds=1, iterations=1)
     save_result("fig4_caida_testbed",
                 format_series(testbed_points, "CAIDA-Testbed"))
@@ -50,25 +62,27 @@ def test_fig4_caida_testbed(benchmark, save_result):
         assert abs(sim_p.convergence_s - tb_p.convergence_s) <= 3.0
 
 
-def test_fig4_caida_extraction_methodology(benchmark, save_result):
+def test_fig4_caida_extraction_methodology(benchmark, save_result, smoke):
     """The paper's own subgraph flow: big AS graph -> prune stubs ->
     extract cones -> bucket by chain depth.  Depth coverage is best-effort
     (scale-free cones deepen only as they grow); the deterministic sweep
     above covers 3-16."""
     points = benchmark.pedantic(
-        lambda: figure4_from_caida(as_count=1500, seed=2),
+        lambda: figure4_from_caida(as_count=600 if smoke else 1500, seed=2),
         rounds=1, iterations=1)
     save_result("fig4_caida_extracted",
                 format_series(points, "CAIDA-extracted cones"))
-    assert len(points) >= 3
+    assert len(points) >= (1 if smoke else 3)
     assert all(p.converged for p in points)
     assert all(p.phases <= p.worst_case_phases for p in points)
 
 
 @pytest.mark.parametrize("interval", [0.25, 1.0])
-def test_fig4_ablation_batching_interval(benchmark, save_result, interval):
+def test_fig4_ablation_batching_interval(benchmark, save_result, interval,
+                                         smoke):
     point = benchmark.pedantic(
-        lambda: run_depth(7, seed=8, batch_interval=interval),
+        lambda: run_depth(4 if smoke else 7, seed=8,
+                          batch_interval=interval),
         rounds=1, iterations=1)
     save_result(f"fig4_ablation_batch_{interval}",
                 format_series([point], f"batch={interval}s"))

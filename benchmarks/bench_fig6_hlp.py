@@ -17,9 +17,13 @@ from repro.experiments import figure6_study, format_figure6, threshold_sweep
 from repro.experiments.hlp_study import perturbation_study
 
 
-def test_fig6_mechanism_comparison(benchmark, save_result):
-    results = benchmark.pedantic(
-        lambda: figure6_study(seed=0, until=60.0), rounds=1, iterations=1)
+def test_fig6_mechanism_comparison(benchmark, save_result, smoke):
+    if smoke:
+        study = lambda: figure6_study(seed=0, domains=5, nodes_per_domain=10,
+                                      cross_links=30, until=30.0)
+    else:
+        study = lambda: figure6_study(seed=0, until=60.0)
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
     save_result("fig6_mechanisms", format_figure6(results))
 
     by_name = {r.mechanism: r for r in results}
@@ -52,9 +56,10 @@ def test_fig6_mechanism_comparison(benchmark, save_result):
     })
 
 
-def test_fig6_ablation_threshold_sweep(benchmark, save_result):
+def test_fig6_ablation_threshold_sweep(benchmark, save_result, smoke):
     sweep = benchmark.pedantic(
-        lambda: threshold_sweep(thresholds=(0, 2, 5, 10, 20), seed=1,
+        lambda: threshold_sweep(thresholds=(0, 5) if smoke
+                                else (0, 2, 5, 10, 20), seed=1,
                                 domains=5, nodes_per_domain=10,
                                 cross_links=24),
         rounds=1, iterations=1)
@@ -65,10 +70,11 @@ def test_fig6_ablation_threshold_sweep(benchmark, save_result):
     assert messages[0] >= messages[-1]
 
 
-def test_fig6_ablation_perturbation(benchmark, save_result):
+def test_fig6_ablation_perturbation(benchmark, save_result, smoke):
     results = benchmark.pedantic(
         lambda: perturbation_study(seed=0, domains=5, nodes_per_domain=10,
-                                   cross_links=20, perturbations=10),
+                                   cross_links=20,
+                                   perturbations=4 if smoke else 10),
         rounds=1, iterations=1)
     lines = [f"{'mech':>8} {'msgs':>8} {'MB':>9} {'reconverged':>12}"]
     for r in results:

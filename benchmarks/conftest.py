@@ -16,6 +16,18 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="shrink benchmark workloads to a CI-sized smoke pass")
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when the run should use the smallest meaningful workload."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

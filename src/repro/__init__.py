@@ -15,7 +15,9 @@ algebraic representation:
 * :mod:`repro.topology` — CAIDA-like / Rocketfuel-like / iBGP / HLP topology
   generators;
 * :mod:`repro.config` — router-configuration → algebra translation;
-* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure;
+* :mod:`repro.campaigns` — randomized scenario campaigns with parallel
+  execution and a differential safety oracle (analysis vs execution).
 """
 
 __version__ = "0.1.0"
@@ -23,6 +25,7 @@ __version__ = "0.1.0"
 __all__ = [
     "algebra",
     "analysis",
+    "campaigns",
     "config",
     "experiments",
     "ndlog",

@@ -28,6 +28,7 @@ from .base import (
 )
 from .extended import AlgebraTables, ExtendedAlgebra, TableAlgebra
 from .gadgets import (
+    GADGET_ZOO,
     bad_gadget,
     disagree,
     disagree_chain,
@@ -52,6 +53,7 @@ from .spp import Path, SPPAlgebra, SPPInstance, SPPValidationError
 __all__ = [
     "AlgebraTables",
     "AsPathAlgebra",
+    "GADGET_ZOO",
     "BandwidthAlgebra",
     "ClosedFormCertificate",
     "ExtendedAlgebra",

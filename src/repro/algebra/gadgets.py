@@ -22,6 +22,8 @@ All gadgets are :class:`~repro.algebra.spp.SPPInstance` constructors:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from .spp import Path, SPPInstance
 
 #: Conventional single destination used by the eBGP gadgets.
@@ -132,6 +134,17 @@ def ibgp_figure3() -> SPPInstance:
 def ibgp_figure3_fixed() -> SPPInstance:
     """Figure 3 with each reflector preferring its own client (safe)."""
     return _figure3(prefer_other_client=False)
+
+
+#: Name → constructor for the base zoo — the single source of truth the
+#: CLI and the campaign generator both draw from.
+GADGET_ZOO: dict[str, Callable[[], SPPInstance]] = {
+    "good": good_gadget,
+    "bad": bad_gadget,
+    "disagree": disagree,
+    "figure3": ibgp_figure3,
+    "figure3-fixed": ibgp_figure3_fixed,
+}
 
 
 def replicate(instance: SPPInstance, copies: int) -> SPPInstance:

@@ -1,0 +1,90 @@
+"""Scenario campaigns: randomized differential testing at scale.
+
+The paper's core claim is that FSR's algebraic safety analysis agrees with
+what the generated protocol actually does.  This package checks that claim
+continuously, on thousands of randomized scenarios instead of a handful of
+hand-written gadgets:
+
+* :mod:`repro.campaigns.spec` — declarative :class:`ScenarioSpec` (topology
+  family × algebra × event schedule × seed) and the seeded
+  :class:`ScenarioGenerator` spanning every topology generator and the
+  full algebra library;
+* :mod:`repro.campaigns.scenarios` — deterministic spec → scenario
+  materialization;
+* :mod:`repro.campaigns.canonical` — canonical algebra keys for verdict
+  memoization;
+* :mod:`repro.campaigns.oracle` — the differential oracle (SMT verdict vs
+  simulated execution, with a per-worker verdict cache);
+* :mod:`repro.campaigns.runner` — :class:`CampaignRunner`: chunked fan-out
+  over a process pool, wall-clock budgets, early abort;
+* :mod:`repro.campaigns.report` — :class:`CampaignReport` with per-family
+  counters and reproducer seeds for any disagreement.
+
+Every future scale-out direction (sharded runners, persistent verdict
+caches, new workload families) plugs into this substrate.
+"""
+
+from .canonical import canonical_key
+from .oracle import (
+    cached_verdict,
+    clear_verdict_cache,
+    evaluate,
+    evaluate_chunk,
+    verdict_cache_size,
+)
+from .report import (
+    CLASSIFICATIONS,
+    ERROR,
+    FALSE_POSITIVE,
+    SAFE_CONVERGED,
+    SAFE_DIVERGED,
+    UNSAFE_DIVERGED,
+    CampaignReport,
+    ScenarioResult,
+    classify,
+)
+from .runner import CampaignConfig, CampaignRunner, run_campaign
+from .scenarios import Scenario, build_gadget_instance, materialize, perturb_rankings
+from .spec import (
+    FAMILIES,
+    GADGETS,
+    INTERDOMAIN_ALGEBRAS,
+    INTRADOMAIN_ALGEBRAS,
+    PROFILES,
+    LinkEventSpec,
+    ScenarioGenerator,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "ERROR",
+    "FALSE_POSITIVE",
+    "FAMILIES",
+    "GADGETS",
+    "INTERDOMAIN_ALGEBRAS",
+    "INTRADOMAIN_ALGEBRAS",
+    "LinkEventSpec",
+    "PROFILES",
+    "SAFE_CONVERGED",
+    "SAFE_DIVERGED",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "UNSAFE_DIVERGED",
+    "build_gadget_instance",
+    "cached_verdict",
+    "canonical_key",
+    "classify",
+    "clear_verdict_cache",
+    "evaluate",
+    "evaluate_chunk",
+    "materialize",
+    "perturb_rankings",
+    "run_campaign",
+    "verdict_cache_size",
+]

@@ -1,0 +1,83 @@
+"""Canonicalization of analysis subjects for verdict memoization.
+
+The safety verdict of an algebra is independent of the topology it runs on
+and of incidental naming (``disagree`` and ``disagree#3`` behave the same),
+so a campaign that draws hundreds of scenarios from a handful of policies
+should pay for each distinct SMT solve exactly once per worker.
+:func:`canonical_key` maps an analysis subject to a hashable key that is
+equal precisely when the generated constraint system is equal:
+
+* **SPP instances** — destination, per-node rankings and edge set (the
+  ``name`` is ignored);
+* **table algebras** — the full tables (labels, signatures, ranks, ⊕
+  entries, filters, reversals, originations);
+* **lexical products** — the pair of component keys (the composition rule
+  only looks at components);
+* **closed-form algebras** — class plus label vocabulary plus certificate
+  (their analysis is the certificate spot-check).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..algebra.base import RoutingAlgebra
+from ..algebra.extended import TableAlgebra
+from ..algebra.product import LexicalProduct
+from ..algebra.spp import SPPAlgebra, SPPInstance
+
+Key = Hashable
+
+
+def canonical_key(subject: RoutingAlgebra | SPPInstance) -> Key:
+    """A hashable identity for the subject's constraint system."""
+    if isinstance(subject, SPPInstance):
+        return _spp_key(subject)
+    if isinstance(subject, SPPAlgebra):
+        return _spp_key(subject.instance)
+    if isinstance(subject, LexicalProduct):
+        return ("product",
+                canonical_key(subject.first),
+                canonical_key(subject.second))
+    if isinstance(subject, TableAlgebra):
+        return _table_key(subject)
+    if not subject.is_finite:
+        certificate = subject.closed_form_monotonicity
+        return ("closed", type(subject).__name__,
+                _sorted_tuple(subject.labels()),
+                None if certificate is None else
+                (certificate.strictly_monotonic, certificate.monotonic))
+    # Generic finite algebra: the enumerated statements and entries ARE the
+    # constraint system, so key on them directly.
+    return ("finite", type(subject).__name__,
+            tuple(str(s) for s in subject.preference_statements()),
+            tuple(str(e) for e in subject.mono_entries()))
+
+
+def _spp_key(instance: SPPInstance) -> Key:
+    rankings = tuple(
+        (node, tuple(instance.permitted[node]))
+        for node in sorted(instance.permitted))
+    edges = _sorted_tuple(tuple(sorted(edge)) for edge in instance.edges)
+    return ("spp", instance.destination, rankings, edges)
+
+
+def _table_key(algebra: TableAlgebra) -> Key:
+    t = algebra.tables
+    return (
+        "table",
+        _sorted_tuple(t.labels),
+        _sorted_tuple(t.signatures),
+        _sorted_tuple(t.preference.items()),
+        _sorted_tuple(t.concat.items()),
+        _sorted_tuple(t.import_filter),
+        _sorted_tuple(t.export_filter),
+        _sorted_tuple(t.reverse.items()),
+        _sorted_tuple(t.origination.items()),
+    )
+
+
+def _sorted_tuple(items: Any) -> tuple:
+    # Mixed label/signature types (ints, strs, tuples) are not mutually
+    # orderable; repr gives a stable total order without constraining types.
+    return tuple(sorted(items, key=repr))

@@ -1,0 +1,133 @@
+"""The differential safety oracle: analyze, execute, cross-check.
+
+:func:`evaluate` runs one scenario end to end:
+
+1. materialize the spec;
+2. obtain the safety verdict — through the per-process **verdict cache**
+   keyed by :func:`~repro.campaigns.canonical.canonical_key`, so a worker
+   pays for each distinct constraint system once;
+3. execute the scenario on the discrete-event simulator (GPV engine, with
+   the spec's link-failure / metric-perturbation schedule applied at the
+   scheduled simulation times);
+4. classify the pair of outcomes (:func:`~repro.campaigns.report.classify`).
+
+For the iBGP family the order of (2) and (3) flips: hot-potato signatures
+carry no path information, so the instance is analyzed via the paper's
+Sec. VI-B workflow — run first with route logging, extract the SPP from the
+received advertisements, then analyze the extraction.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from ..algebra.base import RoutingAlgebra
+from ..algebra.spp import SPPInstance
+from ..analysis.safety import SafetyAnalyzer
+from ..experiments.extraction import extract_spp
+from ..net.simulator import StopReason
+from ..protocols.gpv import GPVEngine
+from .canonical import canonical_key
+from .report import ERROR, ScenarioResult, classify
+from .scenarios import ResolvedEvent, Scenario, materialize
+from .spec import ScenarioSpec
+
+#: Per-process memo: canonical key → (safe, method).  Workers keep it for
+#: their whole lifetime, so chunks arriving later reuse earlier solves.
+_VERDICT_CACHE: dict = {}
+
+_ANALYZER: SafetyAnalyzer | None = None
+
+
+def _analyzer() -> SafetyAnalyzer:
+    global _ANALYZER
+    if _ANALYZER is None:
+        _ANALYZER = SafetyAnalyzer()
+    return _ANALYZER
+
+
+def clear_verdict_cache() -> None:
+    _VERDICT_CACHE.clear()
+
+
+def verdict_cache_size() -> int:
+    return len(_VERDICT_CACHE)
+
+
+def cached_verdict(
+        subject: RoutingAlgebra | SPPInstance) -> tuple[bool, str, bool]:
+    """``(safe, method, cache_hit)`` for the subject's constraint system."""
+    key = canonical_key(subject)
+    hit = key in _VERDICT_CACHE
+    if not hit:
+        report = _analyzer().analyze(subject)
+        _VERDICT_CACHE[key] = (report.safe, report.method)
+    safe, method = _VERDICT_CACHE[key]
+    return safe, method, hit
+
+
+def evaluate(spec: ScenarioSpec) -> ScenarioResult:
+    """Run the full differential check for one spec (never raises)."""
+    started = time.perf_counter()
+    try:
+        scenario = materialize(spec)
+        safe = method = None
+        cache_hit = False
+        if scenario.analysis_subject is not None:
+            safe, method, cache_hit = cached_verdict(scenario.analysis_subject)
+
+        engine = GPVEngine(scenario.network, scenario.algebra,
+                           scenario.destinations, seed=spec.seed,
+                           log_routes=scenario.log_routes)
+        _schedule(engine, scenario.events)
+        reason = engine.run(until=spec.until, max_events=spec.max_events)
+        converged = reason == StopReason.QUIESCENT
+
+        if scenario.analysis_subject is None:
+            # iBGP workflow: extract the realized SPP and analyze that.
+            extracted = extract_spp(engine, scenario.extract_dest)
+            safe, method, cache_hit = cached_verdict(extracted)
+
+        return ScenarioResult(
+            spec=spec,
+            classification=classify(safe, converged),
+            safe=safe,
+            converged=converged,
+            stop_reason=reason,
+            method=method,
+            cache_hit=cache_hit,
+            messages=engine.sim.stats.messages_sent,
+            sim_time_s=engine.sim.now,
+            elapsed_s=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 — a worker must survive any spec
+        return ScenarioResult(
+            spec=spec,
+            classification=ERROR,
+            elapsed_s=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc(limit=3)}",
+        )
+
+
+def evaluate_chunk(specs: list[ScenarioSpec]) -> list[ScenarioResult]:
+    """Worker entry point: evaluate a chunk, sharing the process cache."""
+    return [evaluate(spec) for spec in specs]
+
+
+def _schedule(engine: GPVEngine, events: list[ResolvedEvent]) -> None:
+    for event in events:
+        engine.sim.schedule(event.time, _apply_action(engine, event))
+
+
+def _apply_action(engine: GPVEngine, event: ResolvedEvent):
+    def apply() -> None:
+        if not engine.network.has_link(event.a, event.b):
+            return  # already failed (or never materialized)
+        if event.kind == "fail":
+            engine.fail_link(event.a, event.b)
+        elif event.kind == "perturb":
+            engine.perturb_link(event.a, event.b,
+                                label_ab=event.label, label_ba=event.label)
+    return apply

@@ -1,0 +1,210 @@
+"""Differential-oracle classifications and campaign aggregation.
+
+The oracle cross-checks the two halves of FSR on every scenario:
+
+* the **analysis half** — :class:`~repro.analysis.safety.SafetyAnalyzer`'s
+  strict-monotonicity verdict;
+* the **implementation half** — whether the executed protocol actually
+  quiesced under the simulator.
+
+Strict monotonicity is *sufficient* for convergence (paper Thm. 4.1), so
+the four outcomes mean:
+
+======================  =====================================================
+``safe-converged``      agreement — the safety proof was honored in execution
+``unsafe-diverged``     agreement — the suspected instability is real
+``unsafe-converged``    documented **false positive** (paper Sec. IV-A):
+                        strictness is sufficient, not necessary (DISAGREE)
+``safe-diverged``       **disagreement** — would falsify the encoder, the
+                        solver, or the protocol engines; campaigns exist to
+                        prove this bucket stays empty
+======================  =====================================================
+
+A ``safe-diverged`` result can also mean the scenario's event/time budget
+was too small for an otherwise convergent run — that is deliberate: both
+causes demand human eyes, and the reproducer spec carries the budgets, so
+replaying with larger ones separates "under-budgeted" from "genuinely
+never converges" in one step.  Generator profiles budget an order of
+magnitude above observed convergence needs precisely so this stays rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .spec import ScenarioSpec
+
+SAFE_CONVERGED = "safe-converged"
+UNSAFE_DIVERGED = "unsafe-diverged"
+FALSE_POSITIVE = "unsafe-converged"
+SAFE_DIVERGED = "safe-diverged"
+ERROR = "error"
+
+CLASSIFICATIONS = (SAFE_CONVERGED, UNSAFE_DIVERGED, FALSE_POSITIVE,
+                   SAFE_DIVERGED, ERROR)
+
+
+def classify(safe: bool, converged: bool) -> str:
+    """Map (analysis verdict, execution outcome) to an oracle bucket."""
+    if safe:
+        return SAFE_CONVERGED if converged else SAFE_DIVERGED
+    return UNSAFE_DIVERGED if not converged else FALSE_POSITIVE
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's differential outcome (picklable, worker → parent)."""
+
+    spec: ScenarioSpec
+    classification: str
+    safe: bool | None = None
+    converged: bool | None = None
+    stop_reason: str = ""
+    method: str = ""
+    cache_hit: bool = False
+    messages: int = 0
+    sim_time_s: float = 0.0
+    elapsed_s: float = 0.0
+    error: str = ""
+
+    @property
+    def scenario_id(self) -> int:
+        return self.spec.scenario_id
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def is_disagreement(self) -> bool:
+        return self.classification == SAFE_DIVERGED
+
+    def describe(self) -> str:
+        base = (f"{self.spec.describe()}: {self.classification} "
+                f"(stop={self.stop_reason or '-'}")
+        if self.error:
+            base += f", error={self.error}"
+        return base + ")"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a campaign run: counters, reproducers, throughput."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+    jobs: int = 1
+    chunk_size: int = 1
+    aborted: str | None = None
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.scenario_count / self.wall_clock_s
+
+    @property
+    def cache_hit_rate(self) -> float:
+        analyzed = [r for r in self.results if r.classification != ERROR]
+        if not analyzed:
+            return 0.0
+        return sum(r.cache_hit for r in analyzed) / len(analyzed)
+
+    def counters(self) -> dict[str, int]:
+        out = {c: 0 for c in CLASSIFICATIONS}
+        for result in self.results:
+            out[result.classification] = out.get(result.classification, 0) + 1
+        return out
+
+    def by_family(self) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            family = out.setdefault(result.family,
+                                    {c: 0 for c in CLASSIFICATIONS})
+            family[result.classification] += 1
+        return {family: out[family] for family in sorted(out)}
+
+    def disagreements(self) -> list[ScenarioResult]:
+        """The safe→diverged reproducers — must be empty for a sound FSR."""
+        return [r for r in self.results if r.is_disagreement]
+
+    def false_positives(self) -> list[ScenarioResult]:
+        return [r for r in self.results
+                if r.classification == FALSE_POSITIVE]
+
+    def errors(self) -> list[ScenarioResult]:
+        return [r for r in self.results if r.classification == ERROR]
+
+    def reproducer_seeds(self) -> list[dict]:
+        """Spec dicts for every disagreement (and error), for replay."""
+        return [r.spec.to_dict()
+                for r in self.results
+                if r.is_disagreement or r.classification == ERROR]
+
+    # -- rendering ------------------------------------------------------------
+
+    def summary(self) -> str:
+        counters = self.counters()
+        lines = [
+            f"campaign: {self.scenario_count} scenarios in "
+            f"{self.wall_clock_s:.2f}s "
+            f"({self.scenarios_per_second:.1f} scenarios/s, "
+            f"jobs={self.jobs}, chunk={self.chunk_size})",
+            f"  verdict cache hit rate: {self.cache_hit_rate:.0%}",
+        ]
+        if self.aborted:
+            lines.append(f"  aborted early: {self.aborted}")
+        lines.append("  outcome counters:")
+        for name in CLASSIFICATIONS:
+            if counters.get(name):
+                note = ""
+                if name == FALSE_POSITIVE:
+                    note = "   (documented false positives, paper Sec. IV-A)"
+                if name == SAFE_DIVERGED:
+                    note = "   (DISAGREEMENTS — should be zero!)"
+                lines.append(f"    {name:>17}: {counters[name]:>5}{note}")
+        lines.append("  per family:")
+        for family, buckets in self.by_family().items():
+            total = sum(buckets.values())
+            detail = " ".join(f"{name}={count}"
+                              for name, count in buckets.items() if count)
+            lines.append(f"    {family:>10}: {total:>4}  [{detail}]")
+        disagreements = self.disagreements()
+        if disagreements:
+            lines.append("  disagreement reproducers:")
+            for result in disagreements:
+                lines.append(f"    {result.describe()}")
+        errors = self.errors()
+        if errors:
+            lines.append(f"  errors: {len(errors)}")
+            for result in errors[:5]:
+                lines.append(f"    {result.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenarios": self.scenario_count,
+            "wall_clock_s": self.wall_clock_s,
+            "scenarios_per_second": self.scenarios_per_second,
+            "jobs": self.jobs,
+            "chunk_size": self.chunk_size,
+            "aborted": self.aborted,
+            "cache_hit_rate": self.cache_hit_rate,
+            "counters": self.counters(),
+            "by_family": self.by_family(),
+            "reproducers": self.reproducer_seeds(),
+        }
+
+
+def merge_results(batches: Iterable[list[ScenarioResult]]) -> list[ScenarioResult]:
+    """Flatten worker batches back into scenario order."""
+    merged = [result for batch in batches for result in batch]
+    merged.sort(key=lambda r: r.scenario_id)
+    return merged

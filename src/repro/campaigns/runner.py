@@ -1,0 +1,174 @@
+"""Campaign execution: chunked fan-out with budgets and early abort.
+
+:class:`CampaignRunner` drives a list of :class:`ScenarioSpec`s through the
+differential oracle either serially (``jobs=1`` — same process, same
+verdict cache) or across a ``ProcessPoolExecutor`` (``jobs>1``).  Specs are
+dealt into chunks so each worker amortizes process-pool dispatch overhead
+and builds up its own verdict cache; chunks complete independently, so a
+slow scenario only delays its chunk.
+
+Budgets:
+
+* ``wall_clock_budget_s`` — stop collecting once the budget elapses; the
+  report is marked aborted and covers the scenarios finished so far;
+* ``abort_on_disagreements`` — stop as soon as that many safe→diverged
+  disagreements exist (a campaign that has already falsified the pipeline
+  need not finish; the reproducer seeds are what matters).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .oracle import evaluate, evaluate_chunk
+from .report import CampaignReport, ScenarioResult, merge_results
+from .spec import ScenarioGenerator, ScenarioSpec
+
+
+@dataclass
+class CampaignConfig:
+    """Execution knobs for one campaign run."""
+
+    jobs: int = 1
+    chunk_size: int = 8
+    wall_clock_budget_s: float | None = None
+    abort_on_disagreements: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+
+class CampaignRunner:
+    """Runs scenario campaigns serially or over a process pool."""
+
+    def __init__(self, config: CampaignConfig | None = None, **overrides):
+        if config is None:
+            config = CampaignConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
+        specs = list(specs)
+        started = time.perf_counter()
+        if self.config.jobs == 1:
+            results, aborted = self._run_serial(specs, started)
+        else:
+            results, aborted = self._run_parallel(specs, started)
+        return CampaignReport(
+            results=merge_results([results]),
+            wall_clock_s=time.perf_counter() - started,
+            jobs=self.config.jobs,
+            chunk_size=self.config.chunk_size,
+            aborted=aborted,
+        )
+
+    def run_generated(self, count: int, *, seed: int = 0,
+                      families: Sequence[str] | None = None,
+                      profile: str = "default") -> CampaignReport:
+        """Convenience: generate ``count`` specs and run them."""
+        generator = ScenarioGenerator(seed, families=families,
+                                      profile=profile)
+        return self.run(generator.generate(count))
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial(self, specs: list[ScenarioSpec],
+                    started: float) -> tuple[list[ScenarioResult], str | None]:
+        results: list[ScenarioResult] = []
+        disagreements = 0
+        for spec in specs:
+            results.append(evaluate(spec))
+            disagreements += results[-1].is_disagreement
+            abort = self._abort_reason(started, disagreements)
+            if abort:
+                return results, abort
+        return results, None
+
+    # -- parallel path -------------------------------------------------------
+
+    def _run_parallel(self, specs: list[ScenarioSpec],
+                      started: float) -> tuple[list[ScenarioResult], str | None]:
+        chunks = _chunked(specs, self.config.chunk_size)
+        batches: list[list[ScenarioResult]] = []
+        disagreements = 0
+        aborted: str | None = None
+        pending: set = set()
+        executor = ProcessPoolExecutor(max_workers=self.config.jobs)
+        try:
+            pending = {executor.submit(evaluate_chunk, chunk)
+                       for chunk in chunks}
+            while pending:
+                timeout = self._remaining_budget(started)
+                done, pending = wait(pending, timeout=timeout,
+                                     return_when=FIRST_COMPLETED)
+                if not done:  # budget elapsed with work still in flight
+                    aborted = "wall-clock budget exhausted"
+                    break
+                for future in done:
+                    batch = future.result()
+                    batches.append(batch)
+                    disagreements += sum(r.is_disagreement for r in batch)
+                aborted = self._abort_reason(started, disagreements)
+                if aborted:
+                    break
+        finally:
+            for future in pending:
+                future.cancel()
+            # Queued chunks are cancelled, but chunks already running finish
+            # during shutdown — keep their evidence instead of discarding it.
+            executor.shutdown(wait=True, cancel_futures=True)
+            for future in pending:
+                if future.done() and not future.cancelled():
+                    try:
+                        batches.append(future.result())
+                    except Exception:  # noqa: BLE001 - abort path, best effort
+                        pass
+        return [r for batch in batches for r in batch], aborted
+
+    # -- budget logic ---------------------------------------------------------
+
+    def _remaining_budget(self, started: float) -> float | None:
+        budget = self.config.wall_clock_budget_s
+        if budget is None:
+            return None
+        return max(0.0, budget - (time.perf_counter() - started))
+
+    def _abort_reason(self, started: float,
+                      disagreements: int) -> str | None:
+        budget = self.config.wall_clock_budget_s
+        if budget is not None and time.perf_counter() - started >= budget:
+            return "wall-clock budget exhausted"
+        limit = self.config.abort_on_disagreements
+        if limit is not None and disagreements >= limit:
+            return f"disagreement limit reached ({disagreements})"
+        return None
+
+
+def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
+                 families: Sequence[str] | None = None,
+                 profile: str = "default",
+                 chunk_size: int = 8,
+                 wall_clock_budget_s: float | None = None,
+                 abort_on_disagreements: int | None = None) -> CampaignReport:
+    """One-call campaign: generate, fan out, aggregate."""
+    runner = CampaignRunner(CampaignConfig(
+        jobs=jobs, chunk_size=chunk_size,
+        wall_clock_budget_s=wall_clock_budget_s,
+        abort_on_disagreements=abort_on_disagreements))
+    return runner.run_generated(count, seed=seed, families=families,
+                                profile=profile)
+
+
+def _chunked(specs: Iterable[ScenarioSpec],
+             size: int) -> list[list[ScenarioSpec]]:
+    specs = list(specs)
+    return [specs[i:i + size] for i in range(0, len(specs), size)]

@@ -1,0 +1,298 @@
+"""Spec → scenario materialization.
+
+Turns a declarative :class:`~repro.campaigns.spec.ScenarioSpec` into the
+concrete objects a worker needs: the network, the algebra, the destination
+set, the analysis subject for the safety half of the differential oracle,
+and the resolved event schedule.  Materialization is a pure function of the
+spec — every random draw comes from ``random.Random(spec.seed)`` — so the
+same spec always yields the same scenario in any process.
+
+Family → oracle wiring:
+
+* ``gadget`` — an SPP instance (base zoo member, replicated, chained, or
+  ranking-perturbed); analyzed directly, executed on its induced network;
+* ``caida`` / ``hierarchy`` / ``rocketfuel`` — a generated topology labelled
+  for the drawn library algebra; the *algebra* is analyzed (the verdict is
+  topology-independent) and the pair is executed;
+* ``ibgp`` — a reflection hierarchy with hot-potato selection; analysis
+  must follow the paper's Sec. VI-B extraction workflow (run first, extract
+  the SPP from logged advertisements, then analyze), so the subject is
+  filled in by the oracle after execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..algebra.base import RoutingAlgebra
+from ..algebra.gadgets import GADGET_ZOO, disagree_chain, replicate
+from ..algebra.library import (
+    ShortestHopCount,
+    ShortestPath,
+    gao_rexford_a,
+    gao_rexford_b,
+    gao_rexford_with_hopcount,
+    safe_backup,
+    widest_shortest,
+)
+from ..algebra.spp import SPPAlgebra, SPPInstance
+from ..ndlog.codegen import network_from_spp
+from ..net.network import Network
+from ..topology.caida import caida_like, hierarchy
+from ..topology.ibgp import EXT_DEST, make_ibgp_config, IGPCostAlgebra
+from ..topology.rocketfuel import rocketfuel_like
+from .spec import ScenarioSpec
+
+#: Gao-Rexford relationship → safe-backup avoidance level / bandwidth class.
+_BACKUP_LEVEL = {"c": 0, "r": 1, "p": 2}
+_BANDWIDTH_CLASS = {"c": 1000, "r": 100, "p": 10}
+
+
+@dataclass
+class ResolvedEvent:
+    """An event bound to a concrete link of the materialized network."""
+
+    time: float
+    kind: str  # "fail" | "perturb"
+    a: str
+    b: str
+    label: Hashable = None  # new per-direction label for "perturb"
+
+
+@dataclass
+class Scenario:
+    """Everything one differential-oracle evaluation needs."""
+
+    spec: ScenarioSpec
+    network: Network
+    algebra: RoutingAlgebra
+    destinations: list[str]
+    #: Subject of the safety analysis (None ⇒ extract post-run, iBGP style).
+    analysis_subject: RoutingAlgebra | SPPInstance | None
+    #: Destination whose SPP is extracted after the run (iBGP workflow).
+    extract_dest: str | None = None
+    log_routes: bool = False
+    events: list[ResolvedEvent] = field(default_factory=list)
+
+
+def materialize(spec: ScenarioSpec) -> Scenario:
+    """Build the concrete scenario a spec describes (deterministic)."""
+    builder = _BUILDERS.get(spec.family)
+    if builder is None:
+        raise ValueError(f"unknown scenario family {spec.family!r}")
+    return builder(spec)
+
+
+# -- gadget family -----------------------------------------------------------
+
+
+def build_gadget_instance(spec: ScenarioSpec) -> SPPInstance:
+    """The (possibly replicated / perturbed) SPP instance of a gadget spec."""
+    rng = random.Random(spec.seed)
+    kind = spec.param("gadget", "good")
+    if kind == "chain":
+        instance = disagree_chain(spec.param("pairs", 2),
+                                  spec.param("conflict", 1.0))
+    else:
+        instance = GADGET_ZOO[kind]()
+        copies = spec.param("copies")
+        if copies:
+            instance = replicate(instance, copies)
+    perturb = spec.param("perturb")
+    if perturb:
+        instance = perturb_rankings(instance, perturb, rng)
+    return instance
+
+
+def perturb_rankings(instance: SPPInstance, probability: float,
+                     rng: random.Random) -> SPPInstance:
+    """Reshuffle each node's ranking with the given probability.
+
+    The permitted-path *sets* are untouched — only their order changes —
+    so the result is a structurally valid SPP instance whose safety verdict
+    is genuinely unknown until analyzed.  This is the campaign's source of
+    gadgets beyond the hand-written zoo.
+    """
+    permitted = {}
+    for node in sorted(instance.permitted):
+        ranked = list(instance.permitted[node])
+        if len(ranked) > 1 and rng.random() < probability:
+            rng.shuffle(ranked)
+        permitted[node] = ranked
+    return SPPInstance.build(
+        f"{instance.name}-perturbed", instance.destination, permitted,
+        extra_edges=[tuple(sorted(edge)) for edge in instance.edges],
+        display_names=instance.display_names)
+
+
+def _materialize_gadget(spec: ScenarioSpec) -> Scenario:
+    instance = build_gadget_instance(spec)
+    network = network_from_spp(instance, jitter_s=0.003)
+    scenario = Scenario(
+        spec=spec,
+        network=network,
+        algebra=SPPAlgebra(instance),
+        destinations=[instance.destination],
+        analysis_subject=instance,
+    )
+    scenario.events = _resolve_events(spec, network)
+    return scenario
+
+
+# -- AS-level families -------------------------------------------------------
+
+
+def build_library_algebra(spec: ScenarioSpec) -> RoutingAlgebra:
+    """Instantiate the library algebra a topology-family spec names."""
+    name = spec.algebra
+    if name == "gr-a":
+        return gao_rexford_a()
+    if name == "gr-b":
+        return gao_rexford_b()
+    if name == "gr-a-hopcount":
+        return gao_rexford_with_hopcount("a")
+    if name == "gr-b-hopcount":
+        return gao_rexford_with_hopcount("b")
+    if name == "safe-backup":
+        return safe_backup(levels=4)
+    if name == "widest-shortest":
+        return widest_shortest(tuple(sorted(_BANDWIDTH_CLASS.values())))
+    if name == "hop-count":
+        return ShortestHopCount()
+    if name == "shortest-path":
+        return ShortestPath(spec.param("weights", (1,)))
+    raise ValueError(f"unknown campaign algebra {name!r}")
+
+
+def _relationship_label_fn(algebra_name: str):
+    """How a Gao-Rexford relationship becomes this algebra's link label."""
+    if algebra_name in ("gr-a", "gr-b"):
+        return lambda rel: rel
+    if algebra_name in ("gr-a-hopcount", "gr-b-hopcount"):
+        return lambda rel: (rel, 1)
+    if algebra_name == "safe-backup":
+        return lambda rel: _BACKUP_LEVEL[rel]
+    if algebra_name == "widest-shortest":
+        return lambda rel: (_BANDWIDTH_CLASS[rel], 1)
+    if algebra_name == "hop-count":
+        return lambda rel: 1
+    raise ValueError(f"{algebra_name!r} is not an interdomain algebra")
+
+
+def _pick_destinations(network: Network, count: int,
+                       rng: random.Random) -> list[str]:
+    nodes = sorted(network.nodes())
+    return rng.sample(nodes, min(count, len(nodes)))
+
+
+def _materialize_caida(spec: ScenarioSpec) -> Scenario:
+    rng = random.Random(spec.seed)
+    network = caida_like(
+        spec.param("as_count", 12), seed=spec.seed,
+        peer_fraction=spec.param("peer_fraction", 0.15),
+        label_fn=_relationship_label_fn(spec.algebra),
+        jitter_s=0.002)
+    return _topology_scenario(spec, network, rng)
+
+
+def _materialize_hierarchy(spec: ScenarioSpec) -> Scenario:
+    rng = random.Random(spec.seed)
+    network = hierarchy(
+        spec.param("depth", 3), branching=spec.param("branching", 2),
+        seed=spec.seed, max_nodes=spec.param("max_nodes", 30),
+        label_fn=_relationship_label_fn(spec.algebra),
+        jitter_s=0.002)
+    return _topology_scenario(spec, network, rng)
+
+
+def _materialize_rocketfuel(spec: ScenarioSpec) -> Scenario:
+    rng = random.Random(spec.seed)
+    network = rocketfuel_like(
+        spec.param("routers", 10), spec.param("links", 14),
+        seed=spec.seed, jitter_s=0.002)
+    weights = spec.param("weights", (1,))
+    for link in network.links():
+        if spec.algebra == "shortest-path":
+            label: Hashable = rng.choice(weights)
+        else:
+            label = 1
+        link.labels[(link.a, link.b)] = label
+        link.labels[(link.b, link.a)] = label
+    return _topology_scenario(spec, network, rng)
+
+
+def _topology_scenario(spec: ScenarioSpec, network: Network,
+                       rng: random.Random) -> Scenario:
+    algebra = build_library_algebra(spec)
+    scenario = Scenario(
+        spec=spec,
+        network=network,
+        algebra=algebra,
+        destinations=_pick_destinations(
+            network, spec.param("destinations", 1), rng),
+        analysis_subject=algebra,
+    )
+    scenario.events = _resolve_events(spec, network)
+    return scenario
+
+
+# -- iBGP family -------------------------------------------------------------
+
+
+def _materialize_ibgp(spec: ScenarioSpec) -> Scenario:
+    router_net = rocketfuel_like(
+        spec.param("routers", 18), spec.param("links", 26), seed=spec.seed)
+    config = make_ibgp_config(
+        router_net,
+        levels=spec.param("levels", 3),
+        reflector_count=spec.param("reflector_count", 6),
+        egress_count=spec.param("egress_count", 3),
+        seed=spec.seed,
+        embed_gadget=spec.param("embed_gadget", False))
+    return Scenario(
+        spec=spec,
+        network=config.session_net,
+        algebra=IGPCostAlgebra(config),
+        destinations=[EXT_DEST],
+        analysis_subject=None,       # analyzed via post-run SPP extraction
+        extract_dest=EXT_DEST,
+        log_routes=True,
+    )
+
+
+# -- event resolution --------------------------------------------------------
+
+
+def _resolve_events(spec: ScenarioSpec, network: Network) -> list[ResolvedEvent]:
+    """Bind link indices to concrete links (sorted order, modulo count)."""
+    links = sorted(network.links(), key=lambda l: tuple(sorted((l.a, l.b))))
+    if not links:
+        return []
+    resolved = []
+    failed: set[frozenset] = set()
+    for event in spec.events:
+        link = links[event.link_index % len(links)]
+        if event.kind == "fail":
+            if link.ends in failed:
+                continue  # one failure per link is enough
+            failed.add(link.ends)
+        label: Hashable = None
+        if event.kind == "perturb":
+            if spec.algebra != "shortest-path":
+                continue  # metric perturbation only has meaning on weights
+            label = event.weight
+        resolved.append(ResolvedEvent(
+            time=event.time, kind=event.kind, a=link.a, b=link.b,
+            label=label))
+    return resolved
+
+
+_BUILDERS = {
+    "gadget": _materialize_gadget,
+    "caida": _materialize_caida,
+    "hierarchy": _materialize_hierarchy,
+    "rocketfuel": _materialize_rocketfuel,
+    "ibgp": _materialize_ibgp,
+}

@@ -1,0 +1,258 @@
+"""Declarative scenario specifications and the seeded campaign generator.
+
+A :class:`ScenarioSpec` is a *recipe*, not an object graph: it names a
+topology family, an algebra from the policy library, an event schedule and
+a seed, and every concrete artifact (the :class:`~repro.net.network.Network`,
+the :class:`~repro.algebra.base.RoutingAlgebra`, the failure schedule) is
+re-derived deterministically from it.  That makes specs
+
+* **tiny and picklable** — they cross the ``ProcessPoolExecutor`` boundary
+  as plain dataclasses;
+* **reproducers** — any disagreement the differential oracle finds is
+  reported as the spec that provoked it, and re-running that single spec
+  re-materializes the identical scenario.
+
+:class:`ScenarioGenerator` draws randomized specs spanning every topology
+generator in :mod:`repro.topology` (CAIDA-like, deterministic hierarchies,
+Rocketfuel-like intradomain graphs, iBGP reflection hierarchies) and the
+full algebra library (Gao-Rexford A/B, their hop-count lexical products,
+widest-shortest, safe backup, shortest-path/hop-count, SPP gadgets plus
+seeded *perturbed* gadgets whose rankings are randomly reshuffled).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+#: Topology families a spec can name.
+FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp")
+
+#: Algebras drawn for the AS-level families (CAIDA-like and hierarchy).
+INTERDOMAIN_ALGEBRAS = (
+    "gr-a",
+    "gr-b",
+    "gr-a-hopcount",
+    "gr-b-hopcount",
+    "safe-backup",
+    "widest-shortest",
+    "hop-count",
+)
+
+#: Algebras drawn for the intradomain (Rocketfuel-like) family.
+INTRADOMAIN_ALGEBRAS = ("shortest-path", "hop-count")
+
+#: Base gadgets the gadget family perturbs and replicates.
+GADGETS = ("disagree", "bad", "good", "figure3", "figure3-fixed", "chain")
+
+#: Workload profiles: event/time budgets and topology size ranges.
+PROFILES = ("default", "quick")
+
+
+@dataclass(frozen=True)
+class LinkEventSpec:
+    """One scheduled topology event, resolved against the materialized net.
+
+    ``link_index`` indexes the network's deterministically sorted link list
+    (modulo its length), so the spec stays valid for any realized topology
+    size.  ``kind`` is ``"fail"`` (BGP session failure at ``time``) or
+    ``"perturb"`` (re-label both directions with ``weight`` — only used by
+    integer-labelled families, where any in-vocabulary weight keeps the
+    analyzed algebra unchanged).
+    """
+
+    time: float
+    kind: str
+    link_index: int
+    weight: int | None = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully reproducible scenario: family × algebra × events × seed."""
+
+    scenario_id: int
+    family: str
+    algebra: str
+    seed: int
+    until: float
+    max_events: int
+    params: tuple[tuple[str, Any], ...] = ()
+    events: tuple[LinkEventSpec, ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict rendering used in reproducer reports."""
+        return {
+            "scenario_id": self.scenario_id,
+            "family": self.family,
+            "algebra": self.algebra,
+            "seed": self.seed,
+            "until": self.until,
+            "max_events": self.max_events,
+            "params": dict(self.params),
+            "events": [
+                {"time": e.time, "kind": e.kind, "link_index": e.link_index,
+                 "weight": e.weight}
+                for e in self.events
+            ],
+        }
+
+    def describe(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.params)
+        return (f"#{self.scenario_id} {self.family}/{self.algebra} "
+                f"seed={self.seed}"
+                + (f" {extras}" if extras else "")
+                + (f" events={len(self.events)}" if self.events else ""))
+
+
+class ScenarioGenerator:
+    """Seeded randomized scenario source.
+
+    ``generate(count)`` round-robins over the requested families so a
+    campaign of any size exercises every layer; scenario ``i`` draws from
+    its own ``random.Random`` derived from ``(seed, i)``, so campaigns are
+    reproducible and individual scenarios can be re-generated in isolation.
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 families: Sequence[str] | None = None,
+                 profile: str = "default"):
+        chosen = tuple(families) if families else FAMILIES
+        unknown = [f for f in chosen if f not in FAMILIES]
+        if unknown:
+            raise ValueError(f"unknown families {unknown}; "
+                             f"choose from {list(FAMILIES)}")
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}; "
+                             f"choose from {list(PROFILES)}")
+        self.seed = seed
+        self.families = chosen
+        self.profile = profile
+        self.quick = profile == "quick"
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(self, count: int) -> list[ScenarioSpec]:
+        return [self.make(i) for i in range(count)]
+
+    def iter_specs(self, count: int) -> Iterator[ScenarioSpec]:
+        for i in range(count):
+            yield self.make(i)
+
+    def make(self, index: int) -> ScenarioSpec:
+        """The ``index``-th scenario of this generator's stream."""
+        rng = random.Random(self.seed * 1_000_003 + index)
+        family = self.families[index % len(self.families)]
+        builder = getattr(self, f"_make_{family}")
+        return builder(index, rng)
+
+    # -- per-family spec builders -------------------------------------------
+
+    def _make_gadget(self, index: int, rng: random.Random) -> ScenarioSpec:
+        gadget = rng.choice(GADGETS)
+        params: list[tuple[str, Any]] = [("gadget", gadget)]
+        if gadget == "chain":
+            params.append(("pairs", rng.randint(1, 4 if self.quick else 8)))
+            params.append(("conflict", round(rng.random(), 2)))
+        elif gadget in ("disagree", "bad", "good") and rng.random() < 0.4:
+            params.append(("copies", rng.randint(2, 3)))
+        # Perturbed gadgets: reshuffle some per-node rankings (seeded).
+        if rng.random() < 0.5:
+            params.append(("perturb", round(rng.uniform(0.2, 0.9), 2)))
+        events = self._maybe_failures(rng, count=1)
+        return ScenarioSpec(
+            scenario_id=index, family="gadget", algebra="spp",
+            seed=rng.randrange(2**31), params=tuple(params),
+            until=30.0, max_events=8_000 if self.quick else 25_000,
+            events=events)
+
+    def _make_caida(self, index: int, rng: random.Random) -> ScenarioSpec:
+        algebra = rng.choice(INTERDOMAIN_ALGEBRAS)
+        params = (
+            ("as_count", rng.randint(8, 14 if self.quick else 28)),
+            ("peer_fraction", round(rng.uniform(0.05, 0.3), 2)),
+            ("destinations", rng.randint(1, 2)),
+        )
+        return ScenarioSpec(
+            scenario_id=index, family="caida", algebra=algebra,
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=self._maybe_failures(rng, count=rng.randint(0, 2)))
+
+    def _make_hierarchy(self, index: int, rng: random.Random) -> ScenarioSpec:
+        algebra = rng.choice(INTERDOMAIN_ALGEBRAS)
+        params = (
+            ("depth", rng.randint(2, 3 if self.quick else 4)),
+            ("branching", rng.randint(2, 3)),
+            ("max_nodes", 16 if self.quick else 30),
+            ("destinations", rng.randint(1, 2)),
+        )
+        return ScenarioSpec(
+            scenario_id=index, family="hierarchy", algebra=algebra,
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=self._maybe_failures(rng, count=rng.randint(0, 2)))
+
+    def _make_rocketfuel(self, index: int, rng: random.Random) -> ScenarioSpec:
+        algebra = rng.choice(INTRADOMAIN_ALGEBRAS)
+        routers = rng.randint(8, 12 if self.quick else 22)
+        weights = tuple(sorted(rng.sample(range(1, 21),
+                                          rng.randint(2, 4))))
+        # rocketfuel_like's base construction (backbone ring + 1-2 uplinks
+        # per access router) can need up to 2·routers links before chords.
+        params = (
+            ("routers", routers),
+            ("links", 2 * routers + rng.randint(0, 6)),
+            ("weights", weights),
+            ("destinations", rng.randint(1, 2)),
+        )
+        events = list(self._maybe_failures(rng, count=rng.randint(0, 1)))
+        if rng.random() < 0.5:
+            # Metric perturbation: any weight from the algebra's own
+            # vocabulary keeps the safety verdict applicable.
+            events.append(LinkEventSpec(
+                time=round(rng.uniform(0.1, 0.5), 3), kind="perturb",
+                link_index=rng.randrange(64), weight=rng.choice(weights)))
+        events.sort(key=lambda e: e.time)
+        return ScenarioSpec(
+            scenario_id=index, family="rocketfuel", algebra=algebra,
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=tuple(events))
+
+    def _make_ibgp(self, index: int, rng: random.Random) -> ScenarioSpec:
+        routers = rng.randint(14, 16 if self.quick else 24)
+        params = (
+            ("routers", routers),
+            ("links", 2 * routers + rng.randint(0, 6)),
+            ("levels", rng.randint(2, 3)),
+            ("reflector_count", max(4, routers // 3)),
+            ("egress_count", 3),
+            ("embed_gadget", rng.random() < 0.5),
+        )
+        return ScenarioSpec(
+            scenario_id=index, family="ibgp", algebra="igp-cost",
+            seed=rng.randrange(2**31), params=params,
+            until=8.0, max_events=20_000 if self.quick else 60_000)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _maybe_failures(rng: random.Random,
+                        count: int) -> tuple[LinkEventSpec, ...]:
+        """Up to ``count`` link failures at distinct link indices."""
+        if count <= 0:
+            return ()
+        indices = rng.sample(range(64), count)
+        return tuple(sorted(
+            (LinkEventSpec(time=round(rng.uniform(0.1, 0.5), 3),
+                           kind="fail", link_index=i)
+             for i in indices),
+            key=lambda e: e.time))

@@ -9,7 +9,16 @@ Python:
 * ``modelcheck <gadget>`` — stable states and an oscillation trace;
 * ``analyze-config <file> [--dest NODE]`` — validate router configuration
   files and (given a destination) analyze the implied SPP instance;
-* ``figure {fig4,fig5,fig6} [--quick]`` — regenerate an evaluation figure.
+* ``figure {fig4,fig5,fig6} [--quick]`` — regenerate an evaluation figure;
+* ``campaign`` — run a randomized differential-testing campaign
+  (analysis verdict vs simulated execution over many scenarios).
+
+Exit codes are consistent across subcommands: **0** when the command ran
+and the verdict is good (safe / converged / no disagreement), **1** when
+the analysis fails (unsafe verdict, non-convergence, oracle disagreement
+or scenario errors) or an input *file* is rejected, **2** for usage
+errors — bad command-line arguments, whether caught by argparse or by
+option validation (e.g. ``campaign --jobs 0``).
 """
 
 from __future__ import annotations
@@ -18,24 +27,11 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from .algebra import (
-    SPPInstance,
-    bad_gadget,
-    disagree,
-    good_gadget,
-    ibgp_figure3,
-    ibgp_figure3_fixed,
-)
+from .algebra import GADGET_ZOO, SPPInstance
 from .analysis import ModelChecker, SafetyAnalyzer
 from .ndlog import deploy_spp
 
-GADGETS: dict[str, Callable[[], SPPInstance]] = {
-    "good": good_gadget,
-    "bad": bad_gadget,
-    "disagree": disagree,
-    "figure3": ibgp_figure3,
-    "figure3-fixed": ibgp_figure3_fixed,
-}
+GADGETS: dict[str, Callable[[], SPPInstance]] = dict(GADGET_ZOO)
 
 
 def _gadget(name: str) -> SPPInstance:
@@ -50,8 +46,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     instance = _gadget(args.gadget)
     print(instance)
     print()
-    print(SafetyAnalyzer().analyze(instance).summary())
-    return 0
+    report = SafetyAnalyzer().analyze(instance)
+    print(report.summary())
+    return 0 if report.safe else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -66,10 +63,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             rows = runtime.table_rows(node, "localOpt")
             if rows:
                 print(f"  {node}: {instance.path_name(rows[0][3])}")
-    else:
-        print(f"did not converge within {args.until}s "
-              f"({stats.messages_sent} messages, stop reason: {reason})")
-    return 0
+        return 0
+    print(f"did not converge within {args.until}s "
+          f"({stats.messages_sent} messages, stop reason: {reason})")
+    return 1
 
 
 def cmd_modelcheck(args: argparse.Namespace) -> int:
@@ -84,9 +81,9 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
     trace = checker.find_oscillation(mode=args.mode)
     if trace is None:
         print("no oscillation under these dynamics")
-    else:
-        print(trace.describe(instance))
-    return 0
+        return 0
+    print(trace.describe(instance))
+    return 1
 
 
 def cmd_analyze_config(args: argparse.Namespace) -> int:
@@ -106,7 +103,10 @@ def cmd_analyze_config(args: argparse.Namespace) -> int:
             return 1
         print(instance)
         print()
-        print(SafetyAnalyzer().analyze(instance).summary())
+        report = SafetyAnalyzer().analyze(instance)
+        print(report.summary())
+        if not report.safe:
+            return 1
     return 0
 
 
@@ -132,6 +132,42 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(format_figure6(results))
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaigns import run_campaign
+    if args.scenarios < 1:
+        # A zero-scenario campaign would exit 0 without testing anything —
+        # refuse rather than hand CI a vacuously green gate.
+        print("campaign rejected: --scenarios must be >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        report = run_campaign(
+            args.scenarios,
+            seed=args.seed,
+            jobs=args.jobs,
+            families=args.families,
+            profile=args.profile,
+            chunk_size=args.chunk_size,
+            wall_clock_budget_s=args.budget_s,
+            abort_on_disagreements=args.abort_on_disagreements,
+        )
+    except ValueError as error:
+        print(f"campaign rejected: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    # Errors fail the gate too: an errored scenario is one the differential
+    # check silently never ran on.
+    if report.disagreements() or report.errors():
+        return 1
+    if report.scenario_count == 0:
+        # e.g. a wall-clock budget that expired before any chunk returned —
+        # a gate that evaluated nothing must not report success.
+        print("campaign rejected: zero scenarios were evaluated",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -169,6 +205,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=("fig4", "fig5", "fig6"))
     p.add_argument("--quick", action="store_true")
     p.set_defaults(fn=cmd_figure)
+
+    # Family/profile values are validated by ScenarioGenerator inside
+    # cmd_campaign (ValueError → exit 2), keeping the campaigns subsystem
+    # off the import path of every other subcommand.
+    p = sub.add_parser(
+        "campaign",
+        help="randomized differential campaign: analysis vs execution")
+    p.add_argument("--scenarios", type=int, default=200,
+                   help="number of scenarios to generate (default 200)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = run in-process)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (reproducible scenario stream)")
+    p.add_argument("--families", nargs="+", default=None, metavar="FAMILY",
+                   help="restrict to these scenario families "
+                        "(gadget, caida, hierarchy, rocketfuel, ibgp)")
+    p.add_argument("--profile", default="default",
+                   help="workload profile: default or quick")
+    p.add_argument("--chunk-size", type=int, default=8,
+                   help="scenarios per worker chunk")
+    p.add_argument("--budget-s", type=float, default=None,
+                   help="wall-clock budget in seconds (early abort)")
+    p.add_argument("--abort-on-disagreements", type=int, default=None,
+                   help="stop once this many disagreements were found")
+    p.set_defaults(fn=cmd_campaign)
 
     return parser
 

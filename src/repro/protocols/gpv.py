@@ -257,6 +257,8 @@ class GPVEngine:
         return handler
 
     def _receive(self, node: str, src: str, adv: Advertisement) -> None:
+        if not self.network.has_link(node, src):
+            return  # session failed while the advertisement was in flight
         label = self.network.label(node, src)
         state = self._states[node]
         state.adj_in[(src, adv.dest)] = adv

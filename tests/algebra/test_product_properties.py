@@ -1,0 +1,187 @@
+"""Property tests for extended (filtered) algebras and lexical products.
+
+The existing property suite covers plain rank-based table algebras; this
+one extends coverage to the two layers the campaign generator leans on:
+
+* :mod:`repro.algebra.extended` with **non-trivial import/export filters**
+  (random filter sets, checked against the structural laws and the
+  combined-⊕ folding rule of paper Sec. III-A);
+* :mod:`repro.algebra.product` — random lexical products checked against
+  the laws, the lexicographic preference definition, component-wise ⊕/φ
+  propagation, and the soundness direction of the composition rule
+  (composition says safe ⇒ the directly encoded product is satisfiable).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra import (
+    PHI,
+    AlgebraTables,
+    BandwidthAlgebra,
+    LexicalProduct,
+    Pref,
+    ShortestHopCount,
+    TableAlgebra,
+    widest_shortest,
+)
+from repro.algebra.laws import validate_algebra
+from repro.analysis import SafetyAnalyzer
+from repro.analysis.encoder import encode
+from repro.smt import DifferenceSolver
+
+SIGS = ["S0", "S1", "S2"]
+LABELS = ["l0", "l1"]
+
+
+@st.composite
+def filtered_table_algebras(draw, prefix: str = ""):
+    """Random finite algebras *with* import/export filter entries."""
+    sigs = [prefix + s for s in SIGS]
+    labels = [prefix + l for l in LABELS]
+    ranks = {s: draw(st.integers(min_value=0, max_value=2)) for s in sigs}
+    concat = {}
+    for label in labels:
+        for sig in sigs:
+            target = draw(st.sampled_from(sigs + [None]))
+            if target is not None:
+                concat[(label, sig)] = target
+    reverse = {labels[0]: draw(st.sampled_from(labels))}
+    reverse[labels[1]] = (labels[0] if reverse[labels[0]] == labels[1]
+                          else labels[1])
+    if reverse[labels[0]] == labels[0]:
+        reverse[labels[1]] = labels[1]
+    pairs = [(label, sig) for label in labels for sig in sigs]
+    import_filter = frozenset(draw(st.sets(st.sampled_from(pairs),
+                                           max_size=3)))
+    export_filter = frozenset(draw(st.sets(st.sampled_from(pairs),
+                                           max_size=3)))
+    tables = AlgebraTables(
+        labels=labels, signatures=sigs, preference=ranks,
+        concat=concat, reverse=reverse,
+        import_filter=import_filter, export_filter=export_filter,
+        origination={label: draw(st.sampled_from(sigs))
+                     for label in labels},
+    )
+    return TableAlgebra(f"random{prefix or '-filtered'}", tables)
+
+
+@st.composite
+def products(draw):
+    """Random lexical products of two independent filtered algebras."""
+    first = draw(filtered_table_algebras(prefix="a."))
+    second = draw(filtered_table_algebras(prefix="b."))
+    return LexicalProduct(first, second, name="random-product")
+
+
+# -- extended algebras with filters -----------------------------------------
+
+
+@given(filtered_table_algebras())
+@settings(max_examples=100, deadline=None)
+def test_filtered_algebras_are_well_formed(algebra):
+    assert validate_algebra(algebra) == []
+
+
+@given(filtered_table_algebras(), st.sampled_from(LABELS),
+       st.sampled_from(SIGS))
+@settings(max_examples=100, deadline=None)
+def test_combined_oplus_folds_filters(algebra, label, sig):
+    """⊕ = φ exactly when ⊕E (reverse side), ⊕I, or ⊕P prohibits."""
+    expected_phi = (
+        not algebra.export_allows(algebra.reverse_label(label), sig)
+        or not algebra.import_allows(label, sig)
+        or (label, sig) not in algebra.tables.concat
+    )
+    assert (algebra.oplus(label, sig) is PHI) == expected_phi
+
+
+@given(filtered_table_algebras())
+@settings(max_examples=60, deadline=None)
+def test_filtered_mono_entries_never_contain_phi_results(algebra):
+    for entry in algebra.mono_entries():
+        assert entry.result is not PHI
+        assert algebra.oplus(entry.label, entry.sig) == entry.result
+
+
+# -- lexical products --------------------------------------------------------
+
+
+@given(products())
+@settings(max_examples=60, deadline=None)
+def test_products_are_well_formed(product):
+    assert validate_algebra(product) == []
+
+
+@given(products())
+@settings(max_examples=60, deadline=None)
+def test_product_preference_is_lexicographic(product):
+    firsts = list(product.first.signatures())
+    seconds = list(product.second.signatures())
+    for a1 in firsts:
+        for b1 in seconds:
+            for a2 in firsts:
+                for b2 in seconds:
+                    got = product.preference((a1, b1), (a2, b2))
+                    head = product.first.preference(a1, a2)
+                    expected = (head if head is not Pref.EQUAL
+                                else product.second.preference(b1, b2))
+                    assert got is expected
+
+
+@given(products())
+@settings(max_examples=60, deadline=None)
+def test_product_oplus_is_componentwise(product):
+    for label in product.labels():
+        for sig in product.signatures():
+            combined = product.oplus(label, sig)
+            a = product.first.oplus(label[0], sig[0])
+            b = product.second.oplus(label[1], sig[1])
+            if a is PHI or b is PHI:
+                assert combined is PHI
+            else:
+                assert combined == (a, b)
+
+
+@given(products())
+@settings(max_examples=40, deadline=None)
+def test_composition_safe_implies_direct_encoding_sat(product):
+    """Soundness of the Sec. IV-B composition rule.
+
+    When the rule proves the product safe (A strictly monotonic, or A
+    monotonic and B strictly monotonic), directly encoding the *product's*
+    enumerated entries must also be satisfiable — the shortcut may only
+    ever under-approximate safety, never over-claim it.
+    """
+    report = SafetyAnalyzer().analyze(product)
+    assert report.method == "composition"
+    if report.safe:
+        direct = DifferenceSolver().solve(encode(product, strict=True).system)
+        assert direct.is_sat, (
+            "composition rule claimed safety but the direct product "
+            "encoding is unsat")
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10 ** 6),
+                min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_widest_shortest_product_laws_on_samples(bandwidths):
+    """The library's closed-form product obeys the laws on sampled Σ."""
+    product = widest_shortest(tuple(bandwidths))
+    assert validate_algebra(product) == []
+    assert SafetyAnalyzer().analyze(product).safe
+
+
+@given(st.integers(min_value=1, max_value=1000),
+       st.integers(min_value=1, max_value=30))
+@settings(max_examples=80, deadline=None)
+def test_bandwidth_hopcount_product_monotone_step(bandwidth, hops):
+    """One ⊕ step of widest-shortest never improves a route (monotone)."""
+    product = LexicalProduct(BandwidthAlgebra((10, 100, 1000)),
+                             ShortestHopCount())
+    sig = (bandwidth, hops)
+    for label in product.labels():
+        extended = product.oplus(label, sig)
+        if extended is PHI:
+            continue
+        assert product.preference(extended, sig) is not Pref.BETTER

@@ -1,0 +1,76 @@
+"""Canonical algebra keys: equality exactly when the constraints agree."""
+
+from repro.algebra import (
+    SPPAlgebra,
+    SPPInstance,
+    ShortestHopCount,
+    ShortestPath,
+    bad_gadget,
+    disagree,
+    gao_rexford_a,
+    gao_rexford_b,
+    gao_rexford_with_hopcount,
+    replicate,
+    safe_backup,
+)
+from repro.campaigns import canonical_key
+
+
+class TestSPPKeys:
+    def test_name_is_irrelevant(self):
+        original = disagree()
+        renamed = SPPInstance.build("completely-different-name",
+                                    original.destination,
+                                    original.permitted)
+        assert canonical_key(original) == canonical_key(renamed)
+
+    def test_algebra_wrapper_shares_the_instance_key(self):
+        instance = disagree()
+        assert canonical_key(instance) == canonical_key(SPPAlgebra(instance))
+
+    def test_structure_changes_the_key(self):
+        assert canonical_key(disagree()) != canonical_key(bad_gadget())
+        assert canonical_key(bad_gadget()) != \
+            canonical_key(replicate(bad_gadget(), 2))
+
+    def test_ranking_order_changes_the_key(self):
+        base = disagree()
+        flipped = SPPInstance.build(
+            base.name, base.destination,
+            {node: list(reversed(paths))
+             for node, paths in base.permitted.items()})
+        assert canonical_key(base) != canonical_key(flipped)
+
+
+class TestTableAndProductKeys:
+    def test_reconstructed_table_algebra_hits_the_same_key(self):
+        assert canonical_key(gao_rexford_a()) == canonical_key(gao_rexford_a())
+
+    def test_distinct_guidelines_differ(self):
+        assert canonical_key(gao_rexford_a()) != canonical_key(gao_rexford_b())
+        assert canonical_key(safe_backup(3)) != canonical_key(safe_backup(4))
+
+    def test_product_key_is_the_component_pair(self):
+        key = canonical_key(gao_rexford_with_hopcount("a"))
+        assert key[0] == "product"
+        assert key[1] == canonical_key(gao_rexford_a())
+        assert canonical_key(gao_rexford_with_hopcount("a")) == key
+        assert canonical_key(gao_rexford_with_hopcount("b")) != key
+
+
+class TestClosedFormKeys:
+    def test_same_construction_same_key(self):
+        assert canonical_key(ShortestHopCount()) == \
+            canonical_key(ShortestHopCount())
+        assert canonical_key(ShortestPath((1, 5))) == \
+            canonical_key(ShortestPath((5, 1)))  # label *set* is what counts
+
+    def test_vocabulary_changes_the_key(self):
+        assert canonical_key(ShortestPath((1, 5))) != \
+            canonical_key(ShortestPath((1, 7)))
+
+    def test_keys_are_hashable(self):
+        keys = {canonical_key(a) for a in (
+            ShortestHopCount(), ShortestPath((1, 2)), gao_rexford_a(),
+            gao_rexford_with_hopcount("a"), disagree(), safe_backup(4))}
+        assert len(keys) == 6

@@ -1,0 +1,165 @@
+"""Differential oracle: classification, caching, error containment."""
+
+import pytest
+
+from repro.campaigns import (
+    ERROR,
+    FALSE_POSITIVE,
+    SAFE_CONVERGED,
+    SAFE_DIVERGED,
+    UNSAFE_DIVERGED,
+    ScenarioSpec,
+    build_gadget_instance,
+    classify,
+    clear_verdict_cache,
+    evaluate,
+    materialize,
+    perturb_rankings,
+    verdict_cache_size,
+)
+
+
+def gadget_spec(kind: str, *, seed: int = 1, **params) -> ScenarioSpec:
+    all_params = (("gadget", kind),) + tuple(sorted(params.items()))
+    return ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
+                        seed=seed, until=30.0, max_events=20_000,
+                        params=all_params)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_verdict_cache()
+    yield
+    clear_verdict_cache()
+
+
+class TestClassify:
+    def test_truth_table(self):
+        assert classify(True, True) == SAFE_CONVERGED
+        assert classify(True, False) == SAFE_DIVERGED
+        assert classify(False, False) == UNSAFE_DIVERGED
+        assert classify(False, True) == FALSE_POSITIVE
+
+
+class TestKnownGadgets:
+    def test_good_gadget_agrees_safe(self):
+        result = evaluate(gadget_spec("good"))
+        assert result.classification == SAFE_CONVERGED
+        assert result.safe and result.converged
+        assert result.stop_reason == "quiescent"
+
+    def test_bad_gadget_agrees_unsafe(self):
+        result = evaluate(gadget_spec("bad"))
+        assert result.classification == UNSAFE_DIVERGED
+        assert not result.safe and not result.converged
+
+    def test_disagree_is_the_documented_false_positive(self):
+        result = evaluate(gadget_spec("disagree"))
+        assert result.classification == FALSE_POSITIVE
+        assert not result.safe and result.converged
+
+    def test_figure3_fixed_agrees_safe(self):
+        result = evaluate(gadget_spec("figure3-fixed"))
+        assert result.classification == SAFE_CONVERGED
+
+
+class TestVerdictCache:
+    def test_second_evaluation_hits_the_cache(self):
+        spec = gadget_spec("good")
+        first = evaluate(spec)
+        second = evaluate(spec)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert verdict_cache_size() == 1
+
+    def test_cache_keys_see_through_renaming(self):
+        # replicate() renames nodes, so two different gadgets share nothing;
+        # but the same gadget kind under different scenario seeds shares the
+        # exact constraint system and must hit.
+        first = evaluate(gadget_spec("bad", seed=1))
+        second = evaluate(gadget_spec("bad", seed=999))
+        assert not first.cache_hit
+        assert second.cache_hit
+
+
+class TestMaterialization:
+    def test_materialize_is_deterministic(self):
+        spec = gadget_spec("chain", pairs=3, conflict=0.5, perturb=0.8)
+        a = materialize(spec)
+        b = materialize(spec)
+        assert a.analysis_subject.permitted == b.analysis_subject.permitted
+        assert sorted(a.network.nodes()) == sorted(b.network.nodes())
+
+    def test_perturbation_keeps_path_sets(self):
+        import random
+
+        base = build_gadget_instance(gadget_spec("figure3"))
+        shuffled = perturb_rankings(base, 1.0, random.Random(0))
+        for node, paths in base.permitted.items():
+            assert sorted(shuffled.permitted[node]) == sorted(paths)
+        assert shuffled.edges == base.edges
+
+    def test_unknown_family_is_contained_as_error(self):
+        spec = ScenarioSpec(scenario_id=0, family="warp", algebra="spp",
+                            seed=0, until=1.0, max_events=10)
+        result = evaluate(spec)
+        assert result.classification == ERROR
+        assert "warp" in result.error
+
+    def test_ibgp_scenario_defers_analysis_to_extraction(self):
+        spec = ScenarioSpec(
+            scenario_id=0, family="ibgp", algebra="igp-cost", seed=4,
+            until=6.0, max_events=20_000,
+            params=(("routers", 14), ("links", 30), ("levels", 2),
+                    ("reflector_count", 4), ("egress_count", 3),
+                    ("embed_gadget", False)))
+        scenario = materialize(spec)
+        assert scenario.analysis_subject is None
+        assert scenario.log_routes
+        result = evaluate(spec)
+        assert result.classification in (SAFE_CONVERGED, FALSE_POSITIVE)
+
+
+class TestEvents:
+    def test_link_failure_mid_convergence_stays_consistent(self):
+        from repro.campaigns import LinkEventSpec
+
+        spec = ScenarioSpec(
+            scenario_id=0, family="hierarchy", algebra="gr-a-hopcount",
+            seed=12, until=60.0, max_events=120_000,
+            params=(("depth", 3), ("branching", 2), ("max_nodes", 20),
+                    ("destinations", 2)),
+            events=(LinkEventSpec(time=0.15, kind="fail", link_index=3),
+                    LinkEventSpec(time=0.3, kind="fail", link_index=9)))
+        result = evaluate(spec)
+        # The composed policy is provably safe: failures may change the
+        # routing outcome but never the convergence guarantee.
+        assert result.classification == SAFE_CONVERGED, result.describe()
+
+    def test_perturb_does_not_suppress_fail_on_the_same_link(self):
+        from repro.campaigns import LinkEventSpec
+
+        spec = ScenarioSpec(
+            scenario_id=0, family="rocketfuel", algebra="shortest-path",
+            seed=5, until=60.0, max_events=120_000,
+            params=(("routers", 10), ("links", 24), ("weights", (2, 9)),
+                    ("destinations", 1)),
+            events=(LinkEventSpec(time=0.1, kind="perturb", link_index=7,
+                                  weight=2),
+                    LinkEventSpec(time=0.3, kind="fail", link_index=7)))
+        scenario = materialize(spec)
+        assert [e.kind for e in scenario.events] == ["perturb", "fail"]
+        assert evaluate(spec).classification == SAFE_CONVERGED
+
+    def test_metric_perturbation_on_shortest_path(self):
+        from repro.campaigns import LinkEventSpec
+
+        spec = ScenarioSpec(
+            scenario_id=0, family="rocketfuel", algebra="shortest-path",
+            seed=5, until=60.0, max_events=120_000,
+            params=(("routers", 10), ("links", 24), ("weights", (2, 9)),
+                    ("destinations", 1)),
+            events=(LinkEventSpec(time=0.2, kind="perturb", link_index=7,
+                                  weight=9),))
+        result = evaluate(spec)
+        assert result.classification == SAFE_CONVERGED, result.describe()

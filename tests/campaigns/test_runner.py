@@ -1,0 +1,88 @@
+"""CampaignRunner: serial/parallel equivalence, chunking, budgets."""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioGenerator,
+    run_campaign,
+)
+from repro.campaigns.runner import _chunked
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(jobs=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(CampaignConfig(), jobs=2)
+
+    def test_chunking_covers_everything_in_order(self):
+        specs = ScenarioGenerator(0, profile="quick").generate(10)
+        chunks = _chunked(specs, 3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [s for c in chunks for s in c] == specs
+
+
+class TestSerialParallelEquivalence:
+    def test_fanout_does_not_change_verdicts(self):
+        specs = ScenarioGenerator(7, profile="quick").generate(15)
+        serial = CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+        parallel = CampaignRunner(
+            CampaignConfig(jobs=2, chunk_size=4)).run(specs)
+        assert [(r.scenario_id, r.classification, r.safe, r.converged)
+                for r in serial.results] == \
+               [(r.scenario_id, r.classification, r.safe, r.converged)
+                for r in parallel.results]
+        assert parallel.jobs == 2
+
+    def test_results_come_back_in_scenario_order(self):
+        report = run_campaign(12, seed=3, jobs=2, chunk_size=3,
+                              profile="quick")
+        ids = [r.scenario_id for r in report.results]
+        assert ids == sorted(ids) == list(range(12))
+
+
+class TestBudgets:
+    def test_zero_budget_aborts_serial(self):
+        report = run_campaign(10, seed=1, jobs=1, profile="quick",
+                              wall_clock_budget_s=0.0)
+        assert report.aborted == "wall-clock budget exhausted"
+        assert report.scenario_count < 10
+
+    def test_zero_budget_aborts_parallel(self):
+        report = run_campaign(10, seed=1, jobs=2, profile="quick",
+                              wall_clock_budget_s=0.0)
+        assert report.aborted == "wall-clock budget exhausted"
+
+    def test_disagreement_limit_zero_aborts_immediately(self):
+        report = run_campaign(10, seed=1, jobs=1, profile="quick",
+                              abort_on_disagreements=0)
+        assert report.aborted is not None
+        assert "disagreement limit" in report.aborted
+
+
+class TestReport:
+    def test_counters_partition_the_results(self):
+        report = run_campaign(20, seed=5, jobs=1, profile="quick")
+        assert sum(report.counters().values()) == report.scenario_count == 20
+        family_total = sum(sum(buckets.values())
+                           for buckets in report.by_family().values())
+        assert family_total == 20
+
+    def test_summary_reports_throughput_and_cache(self):
+        report = run_campaign(10, seed=5, jobs=1, profile="quick")
+        text = report.summary()
+        assert "scenarios/s" in text
+        assert "cache hit rate" in text
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        report = run_campaign(8, seed=2, jobs=1, profile="quick")
+        data = report.to_dict()
+        json.dumps(data)  # must not raise
+        assert data["scenarios"] == 8

@@ -1,0 +1,96 @@
+"""Scenario spec + generator: determinism, coverage, validation."""
+
+import pickle
+
+import pytest
+
+from repro.campaigns import (
+    FAMILIES,
+    INTERDOMAIN_ALGEBRAS,
+    LinkEventSpec,
+    ScenarioGenerator,
+    ScenarioSpec,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_stream(self):
+        a = ScenarioGenerator(42).generate(30)
+        b = ScenarioGenerator(42).generate(30)
+        assert a == b
+
+    def test_single_spec_regenerable_in_isolation(self):
+        stream = ScenarioGenerator(7).generate(25)
+        assert ScenarioGenerator(7).make(13) == stream[13]
+
+    def test_different_seeds_differ(self):
+        assert ScenarioGenerator(1).generate(10) != \
+            ScenarioGenerator(2).generate(10)
+
+
+class TestCoverage:
+    def test_round_robin_covers_every_family(self):
+        specs = ScenarioGenerator(0).generate(len(FAMILIES) * 3)
+        seen = {spec.family for spec in specs}
+        assert seen == set(FAMILIES)
+
+    def test_interdomain_algebra_diversity(self):
+        specs = [s for s in ScenarioGenerator(0).generate(200)
+                 if s.family in ("caida", "hierarchy")]
+        drawn = {s.algebra for s in specs}
+        # A long-enough stream should draw most of the algebra library.
+        assert len(drawn) >= len(INTERDOMAIN_ALGEBRAS) - 1
+
+    def test_family_restriction(self):
+        specs = ScenarioGenerator(0, families=("gadget",)).generate(8)
+        assert {s.family for s in specs} == {"gadget"}
+
+    def test_gadget_stream_contains_perturbed_instances(self):
+        specs = ScenarioGenerator(5, families=("gadget",)).generate(40)
+        assert any(s.param("perturb") for s in specs)
+
+    def test_quick_profile_shrinks_budgets(self):
+        full = ScenarioGenerator(3).generate(40)
+        quick = ScenarioGenerator(3, profile="quick").generate(40)
+        assert max(s.max_events for s in quick) < \
+            max(s.max_events for s in full)
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            ScenarioGenerator(0, families=("nonsense",))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            ScenarioGenerator(0, profile="warp")
+
+
+class TestSpec:
+    def test_specs_are_picklable(self):
+        specs = ScenarioGenerator(9).generate(10)
+        assert pickle.loads(pickle.dumps(specs)) == specs
+
+    def test_param_lookup_and_default(self):
+        spec = ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
+                            seed=1, until=1.0, max_events=10,
+                            params=(("gadget", "bad"),))
+        assert spec.param("gadget") == "bad"
+        assert spec.param("missing", 42) == 42
+
+    def test_to_dict_is_a_complete_reproducer(self):
+        spec = ScenarioSpec(
+            scenario_id=3, family="rocketfuel", algebra="shortest-path",
+            seed=99, until=2.0, max_events=100,
+            params=(("weights", (1, 5)),),
+            events=(LinkEventSpec(time=0.2, kind="fail", link_index=4),))
+        data = spec.to_dict()
+        assert data["seed"] == 99
+        assert data["params"]["weights"] == (1, 5)
+        assert data["events"][0]["kind"] == "fail"
+
+    def test_describe_mentions_family_and_seed(self):
+        spec = ScenarioGenerator(7).make(0)
+        text = spec.describe()
+        assert spec.family in text
+        assert str(spec.seed) in text

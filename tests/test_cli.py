@@ -1,4 +1,9 @@
-"""Tests for the command-line front end (repro.cli)."""
+"""Tests for the command-line front end (repro.cli).
+
+Exit-code convention under test: 0 = command ran and the verdict is good,
+1 = analysis failure (unsafe verdict, non-convergence, disagreement) or a
+rejected input, 2 = usage errors (raised by argparse as SystemExit).
+"""
 
 import pytest
 
@@ -11,11 +16,15 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "SAFE" in out
 
-    def test_unsafe_gadget_shows_core(self, capsys):
-        assert main(["analyze", "figure3"]) == 0
+    def test_unsafe_gadget_exits_nonzero_and_shows_core(self, capsys):
+        assert main(["analyze", "figure3"]) == 1
         out = capsys.readouterr().out
         assert "NOT PROVED SAFE" in out
         assert "unsat core" in out
+
+    def test_unsafe_bad_gadget_exits_nonzero(self, capsys):
+        assert main(["analyze", "bad"]) == 1
+        assert "NOT PROVED SAFE" in capsys.readouterr().out
 
     def test_unknown_gadget(self):
         with pytest.raises(SystemExit):
@@ -28,16 +37,16 @@ class TestRun:
         out = capsys.readouterr().out
         assert "converged" in out
 
-    def test_divergent_gadget(self, capsys):
+    def test_divergent_gadget_exits_nonzero(self, capsys):
         assert main(["run", "bad", "--until", "2",
-                     "--max-events", "20000"]) == 0
+                     "--max-events", "20000"]) == 1
         out = capsys.readouterr().out
         assert "did not converge" in out
 
 
 class TestModelcheck:
-    def test_disagree(self, capsys):
-        assert main(["modelcheck", "disagree"]) == 0
+    def test_disagree_oscillation_exits_nonzero(self, capsys):
+        assert main(["modelcheck", "disagree"]) == 1
         out = capsys.readouterr().out
         assert "stable solutions: 2" in out
         assert "oscillation trace" in out
@@ -46,6 +55,7 @@ class TestModelcheck:
         assert main(["modelcheck", "good", "--mode", "async"]) == 0
         out = capsys.readouterr().out
         assert "stable solutions: 1" in out
+        assert "no oscillation" in out
 
 
 class TestAnalyzeConfig:
@@ -69,9 +79,11 @@ router a
 router b
   neighbor a provider
 """)
-        assert main(["analyze-config", str(path), "--dest", "b"]) == 0
+        code = main(["analyze-config", str(path), "--dest", "b"])
         out = capsys.readouterr().out
         assert "SPP" in out
+        # Exit code mirrors the analysis verdict printed in the report.
+        assert code == (0 if "SAFE (strictly monotonic)" in out else 1)
 
     def test_invalid_file(self, tmp_path, capsys):
         path = tmp_path / "net.cfg"
@@ -98,3 +110,84 @@ class TestFigures:
         assert main(["figure", "fig5", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "Gadget" in out
+
+
+class TestCampaign:
+    def test_small_campaign_reports_throughput(self, capsys):
+        assert main(["campaign", "--scenarios", "10", "--seed", "7",
+                     "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios/s" in out
+        assert "outcome counters" in out
+        assert "10 scenarios" in out
+
+    def test_family_restriction(self, capsys):
+        assert main(["campaign", "--scenarios", "6", "--seed", "3",
+                     "--families", "gadget", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "gadget" in out
+        assert "rocketfuel" not in out
+
+    def test_budget_abort_is_reported(self, capsys):
+        assert main(["campaign", "--scenarios", "8", "--seed", "1",
+                     "--profile", "quick", "--budget-s", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "aborted early" in out
+
+    def test_errored_scenarios_fail_the_gate(self, monkeypatch, capsys):
+        """ERROR scenarios are ones the differential check never ran on —
+        the campaign gate must not report success over them."""
+        import repro.campaigns as campaigns
+        from repro.campaigns import (
+            ERROR,
+            CampaignReport,
+            ScenarioResult,
+            ScenarioSpec,
+        )
+
+        spec = ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
+                            seed=0, until=1.0, max_events=1)
+        report = CampaignReport(
+            results=[ScenarioResult(spec=spec, classification=ERROR,
+                                    error="boom")],
+            wall_clock_s=0.1)
+        monkeypatch.setattr(campaigns, "run_campaign",
+                            lambda *args, **kwargs: report)
+        assert main(["campaign", "--scenarios", "1"]) == 1
+        assert "errors: 1" in capsys.readouterr().out
+
+    def test_zero_evaluated_scenarios_fail_the_gate(self, monkeypatch,
+                                                    capsys):
+        """A budget abort before any chunk returns evaluates nothing; the
+        gate must not go green over an empty report."""
+        import repro.campaigns as campaigns
+        from repro.campaigns import CampaignReport
+
+        report = CampaignReport(results=[], wall_clock_s=0.01,
+                                aborted="wall-clock budget exhausted")
+        monkeypatch.setattr(campaigns, "run_campaign",
+                            lambda *args, **kwargs: report)
+        assert main(["campaign", "--scenarios", "16"]) == 1
+        assert "zero scenarios" in capsys.readouterr().err
+
+    def test_invalid_jobs_is_a_clean_usage_error(self, capsys):
+        assert main(["campaign", "--scenarios", "2", "--jobs", "0"]) == 2
+        assert "rejected" in capsys.readouterr().err
+
+    def test_zero_scenarios_is_a_usage_error(self, capsys):
+        """An empty campaign would be a vacuously green gate."""
+        assert main(["campaign", "--scenarios", "0"]) == 2
+        assert "rejected" in capsys.readouterr().err
+
+    def test_unknown_family_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--families", "nonsense"]) == 2
+        assert "rejected" in capsys.readouterr().err
+
+    def test_unknown_profile_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--scenarios", "2",
+                     "--profile", "warp"]) == 2
+        assert "rejected" in capsys.readouterr().err
+
+    def test_unknown_command_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "router_configs.py",
     "ebgp_gadgets.py",
+    "campaigns.py",
 ]
 
 SLOW_EXAMPLES = [
@@ -53,6 +54,12 @@ class TestExampleOutputs:
         assert "NOT PROVED SAFE" in out       # guideline A alone
         assert "SAFE (strictly monotonic)" in out  # composed policy
         assert "oscillating" in out           # BAD GADGET dynamics
+
+    def test_campaigns_reports_zero_disagreements(self):
+        result = run_example("campaigns.py", timeout=240)
+        out = result.stdout
+        assert "scenarios/s" in out
+        assert "safe->diverged disagreements: 0" in out
 
     def test_ebgp_gadgets_shows_false_positive(self):
         result = run_example("ebgp_gadgets.py", timeout=240)
