@@ -14,7 +14,9 @@ loop without real parallel hardware).
 
 A third measurement isolates the effect of the canonicalized-verdict
 memoization by running the serial campaign with the cache cleared before
-every scenario.
+every scenario, and a fourth reports per-execution-backend throughput —
+the native GPV engine vs the generated NDlog program vs the two run
+differentially — so the cost of three-way cross-checking stays visible.
 """
 
 import os
@@ -29,6 +31,9 @@ from repro.campaigns import (
 
 SEED = 7
 JOBS = 4
+
+#: Single-backend columns plus the differential configuration.
+BACKEND_CONFIGS = (("gpv",), ("ndlog",), ("gpv", "ndlog"))
 
 
 def _specs(smoke: bool):
@@ -103,3 +108,43 @@ def test_verdict_cache_pays_for_itself(benchmark, save_result, smoke):
         f"({warm.cache_hit_rate:.0%})\n"
         f"warm wall clock: {warm.wall_clock_s:.2f}s")
     benchmark.extra_info["cache_hit_rate"] = warm.cache_hit_rate
+
+
+def test_per_backend_throughput(benchmark, save_result, smoke):
+    """Scenarios/second per execution backend, and the differential cost.
+
+    The three columns are the native engine alone, the generated NDlog
+    program alone, and the two cross-checked per scenario.  The NDlog
+    interpreter is expected to trail the native engine; the differential
+    run pays roughly the sum of both plus the route-table comparison.
+    """
+    specs = _specs(smoke)[:12 if smoke else 48]
+    rates: dict[str, float] = {}
+    reports = {}
+
+    for backends in BACKEND_CONFIGS:
+        clear_verdict_cache()
+        report = CampaignRunner(
+            CampaignConfig(jobs=1, backends=backends)).run(specs)
+        key = "+".join(backends)
+        rates[key] = report.scenarios_per_second
+        reports[key] = report
+
+    def differential_run():
+        return CampaignRunner(CampaignConfig(
+            jobs=1, backends=("gpv", "ndlog"))).run(specs)
+
+    report = benchmark.pedantic(differential_run, rounds=1, iterations=1)
+    assert report.scenario_count == len(specs)
+    # Cross-backend agreement is the whole point of paying for two runs.
+    pairwise = report.pairwise_counters().get("gpv~ndlog", {})
+    assert pairwise.get("route-diverged", 0) == 0
+    assert pairwise.get("status-diverged", 0) == 0
+
+    lines = [f"scenarios: {len(specs)} (fixed seed {SEED})"]
+    for key, rate in rates.items():
+        lines.append(f"{key:>11}: {rate:>8.1f} scenarios/s "
+                     f"({reports[key].wall_clock_s:.2f}s)")
+    save_result("campaign_backend_throughput", "\n".join(lines))
+    for key, rate in rates.items():
+        benchmark.extra_info[f"sps_{key}"] = rate

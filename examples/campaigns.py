@@ -14,18 +14,27 @@ halves on each one:
   necessary — DISAGREE is the canonical example).
 
 This example runs a small fixed-seed campaign in-process, shows the
-aggregated report, and then replays a single scenario from its spec —
-the reproducer workflow used when a campaign ever finds a disagreement.
+aggregated report, replays a single scenario from its spec — the
+reproducer workflow used when a campaign ever finds a disagreement — and
+finishes with a *three-way* differential slice: the same scenarios
+executed on both the native GPV engine and the generated NDlog program,
+cross-checked pairwise, with every result streamed to JSONL.
 
 Run:  python examples/campaigns.py
 
 The CLI front end does the same at scale, fanned out over worker
-processes:  python -m repro campaign --scenarios 200 --jobs 4 --seed 7
+processes:
+
+    python -m repro campaign --scenarios 200 --jobs 4 --seed 7 \\
+        --backends gpv,ndlog --stream-out results.jsonl
 """
+
+import io
 
 from repro.campaigns import (
     CampaignConfig,
     CampaignRunner,
+    JsonlResultSink,
     ScenarioGenerator,
     evaluate,
 )
@@ -63,3 +72,25 @@ print()
 print(f"safe->diverged disagreements: {len(disagreements)} "
       "(zero means analysis and execution agree)")
 assert not disagreements
+
+print()
+print("=" * 72)
+print("4. Three-way differential: analysis vs native GPV vs generated NDlog")
+print("=" * 72)
+stream = io.StringIO()
+differential = CampaignRunner(CampaignConfig(
+    jobs=1, backends=("gpv", "ndlog"))).run(
+        specs[:12], sink=JsonlResultSink(stream))
+for pair, buckets in differential.pairwise_counters().items():
+    detail = " ".join(f"{status}={count}"
+                      for status, count in sorted(buckets.items()))
+    print(f"  {pair:>16}: {detail}")
+jsonl_lines = stream.getvalue().splitlines()
+print(f"  streamed {len(jsonl_lines)} JSONL records "
+      f"(first: {jsonl_lines[0][:68]}...)")
+
+divergences = [r for r in differential.results if r.divergences]
+print()
+print(f"cross-backend divergences: {len(divergences)} "
+      "(zero means the native engine and the generated NDlog code agree)")
+assert not divergences

@@ -1,43 +1,81 @@
-"""The differential safety oracle: analyze, execute, cross-check.
+"""The differential safety oracle: analyze, execute on N backends, cross-check.
 
 :func:`evaluate` runs one scenario end to end:
 
-1. materialize the spec;
+1. materialize the spec (once per backend — sessions own a mutable
+   network, so each backend gets its own deterministic copy);
 2. obtain the safety verdict — through the per-process **verdict cache**
-   keyed by :func:`~repro.campaigns.canonical.canonical_key`, so a worker
-   pays for each distinct constraint system once;
-3. execute the scenario on the discrete-event simulator (GPV engine, with
-   the spec's link-failure / metric-perturbation schedule applied at the
-   scheduled simulation times);
-4. classify the pair of outcomes (:func:`~repro.campaigns.report.classify`).
+   keyed by ``repr(canonical_key(...))``, optionally warmed from and
+   persisted to a cross-process :class:`~repro.campaigns.verdict_store.
+   VerdictStore`, so repeated campaigns pay for each distinct constraint
+   system once *ever*;
+3. execute the scenario on every configured
+   :class:`~repro.exec.base.ExecutionBackend` (native GPV engine,
+   generated NDlog program, ...) over the same seeded simulator timeline
+   and event schedule;
+4. classify every pair of outcomes
+   (:func:`~repro.campaigns.report.classify` per analysis~backend pair,
+   route-table comparison per backend~backend pair).
 
 For the iBGP family the order of (2) and (3) flips: hot-potato signatures
 carry no path information, so the instance is analyzed via the paper's
 Sec. VI-B workflow — run first with route logging, extract the SPP from the
-received advertisements, then analyze the extraction.
+received advertisements (from the *primary* backend's log), then analyze
+the extraction.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
+from dataclasses import dataclass
 
 from ..algebra.base import RoutingAlgebra
 from ..algebra.spp import SPPInstance
 from ..analysis.safety import SafetyAnalyzer
+from ..exec import (
+    DEFAULT_BACKENDS,
+    ExecutionOutcome,
+    get_backend,
+    route_mismatches,
+    schedule_events,
+)
 from ..experiments.extraction import extract_spp
-from ..net.simulator import StopReason
-from ..protocols.gpv import GPVEngine
 from .canonical import canonical_key
-from .report import ERROR, ScenarioResult, classify
-from .scenarios import ResolvedEvent, Scenario, materialize
+from .report import (
+    AGREE,
+    ANALYSIS,
+    ERROR,
+    MULTI_STABLE,
+    NONDETERMINISTIC,
+    ROUTE_DIVERGED,
+    STATUS_DIVERGED,
+    PairOutcome,
+    ScenarioResult,
+    classify,
+)
+from .scenarios import Scenario, materialize
 from .spec import ScenarioSpec
+from .verdict_store import VerdictStore
 
-#: Per-process memo: canonical key → (safe, method).  Workers keep it for
-#: their whole lifetime, so chunks arriving later reuse earlier solves.
-_VERDICT_CACHE: dict = {}
+#: Per-process memo: repr(canonical key) → (safe, method).  Workers keep it
+#: for their whole lifetime, so chunks arriving later reuse earlier solves.
+_VERDICT_CACHE: dict[str, tuple[bool, str]] = {}
 
 _ANALYZER: SafetyAnalyzer | None = None
+
+_STORE: VerdictStore | None = None
+_STORE_PATH: str | None = None
+_STORE_PID: int | None = None
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Per-evaluation knobs, picklable so chunks carry them to workers."""
+
+    backends: tuple = DEFAULT_BACKENDS
+    verdict_store_path: str | None = None
 
 
 def _analyzer() -> SafetyAnalyzer:
@@ -55,20 +93,51 @@ def verdict_cache_size() -> int:
     return len(_VERDICT_CACHE)
 
 
+def configure_verdict_store(path: str | None) -> None:
+    """Attach (or detach) the persistent verdict store for this process.
+
+    Attaching loads every stored verdict into the in-process memo, so a
+    warmed store turns repeat campaigns into pure cache hits; subsequent
+    solves are written through.  Idempotent per (path, pid) — workers call
+    this once per chunk at negligible cost.  The pid guard matters under
+    fork-based process pools: a forked worker inherits the parent's
+    sqlite connection, which sqlite forbids sharing across processes, so
+    each worker drops the inherited handle (without touching it — the
+    parent owns it) and opens its own.
+    """
+    global _STORE, _STORE_PATH, _STORE_PID
+    pid = os.getpid()
+    if path == _STORE_PATH and _STORE_PID == pid:
+        return
+    if _STORE is not None:
+        if _STORE_PID == pid:
+            _STORE.close()
+        _STORE = None
+    _STORE_PATH = path
+    _STORE_PID = pid
+    if path is not None:
+        _STORE = VerdictStore(path)
+        _VERDICT_CACHE.update(_STORE.load_all())
+
+
 def cached_verdict(
         subject: RoutingAlgebra | SPPInstance) -> tuple[bool, str, bool]:
     """``(safe, method, cache_hit)`` for the subject's constraint system."""
-    key = canonical_key(subject)
+    key = repr(canonical_key(subject))
     hit = key in _VERDICT_CACHE
     if not hit:
         report = _analyzer().analyze(subject)
         _VERDICT_CACHE[key] = (report.safe, report.method)
+        if _STORE is not None:
+            _STORE.put(key, report.safe, report.method)
     safe, method = _VERDICT_CACHE[key]
     return safe, method, hit
 
 
-def evaluate(spec: ScenarioSpec) -> ScenarioResult:
+def evaluate(spec: ScenarioSpec,
+             options: EvaluationOptions | None = None) -> ScenarioResult:
     """Run the full differential check for one spec (never raises)."""
+    options = options or EvaluationOptions()
     started = time.perf_counter()
     try:
         scenario = materialize(spec)
@@ -77,29 +146,39 @@ def evaluate(spec: ScenarioSpec) -> ScenarioResult:
         if scenario.analysis_subject is not None:
             safe, method, cache_hit = cached_verdict(scenario.analysis_subject)
 
-        engine = GPVEngine(scenario.network, scenario.algebra,
-                           scenario.destinations, seed=spec.seed,
-                           log_routes=scenario.log_routes)
-        _schedule(engine, scenario.events)
-        reason = engine.run(until=spec.until, max_events=spec.max_events)
-        converged = reason == StopReason.QUIESCENT
+        sessions = []
+        outcomes: list[ExecutionOutcome] = []
+        for index, name in enumerate(options.backends):
+            # Each session owns a mutable network: re-materialize for every
+            # backend after the first (materialization is deterministic).
+            scn = scenario if index == 0 else materialize(spec)
+            session = get_backend(name).prepare(
+                scn, seed=spec.seed, log_routes=scn.log_routes)
+            schedule_events(session, scn.events)
+            sessions.append(session)
+            outcomes.append(session.run(until=spec.until,
+                                        max_events=spec.max_events))
 
         if scenario.analysis_subject is None:
-            # iBGP workflow: extract the realized SPP and analyze that.
-            extracted = extract_spp(engine, scenario.extract_dest)
+            # iBGP workflow: extract the realized SPP (from the primary
+            # backend's route log) and analyze that.
+            extracted = extract_spp(sessions[0], scenario.extract_dest)
             safe, method, cache_hit = cached_verdict(extracted)
 
+        primary = outcomes[0]
         return ScenarioResult(
             spec=spec,
-            classification=classify(safe, converged),
+            classification=classify(safe, primary.converged),
             safe=safe,
-            converged=converged,
-            stop_reason=reason,
+            converged=primary.converged,
+            stop_reason=primary.stop_reason,
             method=method,
             cache_hit=cache_hit,
-            messages=engine.sim.stats.messages_sent,
-            sim_time_s=engine.sim.now,
+            messages=primary.messages,
+            sim_time_s=primary.sim_time_s,
             elapsed_s=time.perf_counter() - started,
+            outcomes=tuple(outcomes),
+            pairwise=_pairwise(scenario, safe, outcomes),
         )
     except Exception as exc:  # noqa: BLE001 — a worker must survive any spec
         return ScenarioResult(
@@ -111,23 +190,55 @@ def evaluate(spec: ScenarioSpec) -> ScenarioResult:
         )
 
 
-def evaluate_chunk(specs: list[ScenarioSpec]) -> list[ScenarioResult]:
-    """Worker entry point: evaluate a chunk, sharing the process cache."""
-    return [evaluate(spec) for spec in specs]
+def classify_backend_pair(safe: bool | None, first: ExecutionOutcome,
+                          second: ExecutionOutcome,
+                          algebra: RoutingAlgebra) -> tuple[str, str]:
+    """``(status, detail)`` for one backend~backend cross-check.
+
+    Convergence-status and route-table mismatches are *hard* divergences
+    only under a safe verdict: unsafe algebras promise nothing, so there
+    differing stable states (``multi-stable`` — DISAGREE has two) and
+    timing-dependent divergence (``nondeterministic``) are documented
+    outcomes, not failures.
+    """
+    if first.converged != second.converged:
+        status = STATUS_DIVERGED if safe else NONDETERMINISTIC
+        return status, (f"{first.backend}={first.stop_reason} "
+                        f"{second.backend}={second.stop_reason}")
+    if not first.converged:
+        return AGREE, "both diverged"
+    mismatches = route_mismatches(algebra, first, second)
+    if not mismatches:
+        return AGREE, ""
+    status = ROUTE_DIVERGED if safe else MULTI_STABLE
+    return status, "; ".join(mismatches)
 
 
-def _schedule(engine: GPVEngine, events: list[ResolvedEvent]) -> None:
-    for event in events:
-        engine.sim.schedule(event.time, _apply_action(engine, event))
+def _pairwise(scenario: Scenario, safe: bool | None,
+              outcomes: list[ExecutionOutcome]) -> tuple[PairOutcome, ...]:
+    pairs = [
+        PairOutcome(ANALYSIS, outcome.backend,
+                    classify(safe, outcome.converged))
+        for outcome in outcomes
+    ]
+    for i, first in enumerate(outcomes):
+        for second in outcomes[i + 1:]:
+            status, detail = classify_backend_pair(
+                safe, first, second, scenario.algebra)
+            pairs.append(PairOutcome(first.backend, second.backend,
+                                     status, detail))
+    return tuple(pairs)
 
 
-def _apply_action(engine: GPVEngine, event: ResolvedEvent):
-    def apply() -> None:
-        if not engine.network.has_link(event.a, event.b):
-            return  # already failed (or never materialized)
-        if event.kind == "fail":
-            engine.fail_link(event.a, event.b)
-        elif event.kind == "perturb":
-            engine.perturb_link(event.a, event.b,
-                                label_ab=event.label, label_ba=event.label)
-    return apply
+def evaluate_chunk(specs: list[ScenarioSpec],
+                   options: EvaluationOptions | None = None
+                   ) -> list[ScenarioResult]:
+    """Worker entry point: evaluate a chunk, sharing the process cache.
+
+    The store is (re)configured unconditionally — including to ``None`` —
+    so a chunk from a cache-less campaign never writes through a store a
+    previous campaign left attached in this process.
+    """
+    options = options or EvaluationOptions()
+    configure_verdict_store(options.verdict_store_path)
+    return [evaluate(spec, options) for spec in specs]

@@ -1,14 +1,15 @@
 """Differential-oracle classifications and campaign aggregation.
 
-The oracle cross-checks the two halves of FSR on every scenario:
+The oracle cross-checks the halves of FSR on every scenario:
 
 * the **analysis half** — :class:`~repro.analysis.safety.SafetyAnalyzer`'s
   strict-monotonicity verdict;
-* the **implementation half** — whether the executed protocol actually
-  quiesced under the simulator.
+* each **execution backend** — whether the protocol implementation
+  actually quiesced under the simulator (native GPV engine, generated
+  NDlog program, ...).
 
 Strict monotonicity is *sufficient* for convergence (paper Thm. 4.1), so
-the four outcomes mean:
+per analysis~backend pair the four outcomes mean:
 
 ======================  =====================================================
 ``safe-converged``      agreement — the safety proof was honored in execution
@@ -18,6 +19,23 @@ the four outcomes mean:
 ``safe-diverged``       **disagreement** — would falsify the encoder, the
                         solver, or the protocol engines; campaigns exist to
                         prove this bucket stays empty
+======================  =====================================================
+
+Backend~backend pairs are classified by route-table comparison (up to
+algebra preference-equality, because stickiness makes tied selections
+arrival-order dependent):
+
+======================  =====================================================
+``agree``               same convergence status; same routes where converged
+``route-diverged``      both converged on a *safe* algebra but selected
+                        non-equivalent routes — a cross-backend semantic
+                        drift (DISAGREEMENT)
+``status-diverged``     one backend converged, the other did not, on a
+                        *safe* algebra (DISAGREEMENT)
+``multi-stable``        both converged on an *unsafe* algebra but settled in
+                        different stable states — expected (DISAGREE has two)
+``nondeterministic``    convergence status differs on an *unsafe* algebra —
+                        expected (divergence there is timing-dependent)
 ======================  =====================================================
 
 A ``safe-diverged`` result can also mean the scenario's event/time budget
@@ -44,6 +62,20 @@ ERROR = "error"
 CLASSIFICATIONS = (SAFE_CONVERGED, UNSAFE_DIVERGED, FALSE_POSITIVE,
                    SAFE_DIVERGED, ERROR)
 
+#: Backend~backend pair statuses.
+AGREE = "agree"
+ROUTE_DIVERGED = "route-diverged"
+STATUS_DIVERGED = "status-diverged"
+MULTI_STABLE = "multi-stable"
+NONDETERMINISTIC = "nondeterministic"
+
+#: Pair statuses that constitute a disagreement (must stay empty).
+HARD_DIVERGENCES = frozenset({ROUTE_DIVERGED, STATUS_DIVERGED,
+                              SAFE_DIVERGED})
+
+#: The left-hand name of analysis~backend pairs.
+ANALYSIS = "analysis"
+
 
 def classify(safe: bool, converged: bool) -> str:
     """Map (analysis verdict, execution outcome) to an oracle bucket."""
@@ -52,9 +84,34 @@ def classify(safe: bool, converged: bool) -> str:
     return UNSAFE_DIVERGED if not converged else FALSE_POSITIVE
 
 
+@dataclass(frozen=True)
+class PairOutcome:
+    """One pairwise cross-check: analysis~backend or backend~backend."""
+
+    left: str
+    right: str
+    status: str
+    detail: str = ""
+
+    @property
+    def pair(self) -> str:
+        return f"{self.left}~{self.right}"
+
+    @property
+    def is_divergence(self) -> bool:
+        return self.status in HARD_DIVERGENCES
+
+
 @dataclass
 class ScenarioResult:
-    """One scenario's differential outcome (picklable, worker → parent)."""
+    """One scenario's differential outcome (picklable, worker → parent).
+
+    ``classification`` / ``converged`` / ``stop_reason`` / ``messages`` /
+    ``sim_time_s`` describe the *primary* (first-configured) backend, so
+    single-backend campaigns read exactly as before; ``outcomes`` carries
+    one :class:`~repro.exec.base.ExecutionOutcome` per backend and
+    ``pairwise`` every cross-check.
+    """
 
     spec: ScenarioSpec
     classification: str
@@ -67,6 +124,8 @@ class ScenarioResult:
     sim_time_s: float = 0.0
     elapsed_s: float = 0.0
     error: str = ""
+    outcomes: tuple = ()
+    pairwise: tuple = ()
 
     @property
     def scenario_id(self) -> int:
@@ -77,31 +136,74 @@ class ScenarioResult:
         return self.spec.family
 
     @property
+    def divergences(self) -> list[PairOutcome]:
+        """Every pairwise cross-check that must never fail but did."""
+        return [p for p in self.pairwise if p.is_divergence]
+
+    @property
     def is_disagreement(self) -> bool:
-        return self.classification == SAFE_DIVERGED
+        if self.classification == SAFE_DIVERGED:
+            return True
+        return any(p.is_divergence for p in self.pairwise)
 
     def describe(self) -> str:
         base = (f"{self.spec.describe()}: {self.classification} "
                 f"(stop={self.stop_reason or '-'}")
+        for pair in self.divergences:
+            base += f", {pair.pair}={pair.status}"
         if self.error:
             base += f", error={self.error}"
         return base + ")"
 
 
+def merge_counts(into: dict, extra: dict) -> dict:
+    """Recursively add nested counter dicts (in place; returns ``into``)."""
+    for key, value in extra.items():
+        if isinstance(value, dict):
+            merge_counts(into.setdefault(key, {}), value)
+        else:
+            into[key] = into.get(key, 0) + value
+    return into
+
+
 @dataclass
 class CampaignReport:
-    """Aggregate of a campaign run: counters, reproducers, throughput."""
+    """Aggregate of a campaign run: counters, reproducers, throughput.
+
+    Two construction modes coexist:
+
+    * **collected** — ``results`` holds every :class:`ScenarioResult`
+      (small campaigns, tests, the Python API); all counters derive from
+      the list on demand;
+    * **streamed** — the aggregate fields (``total_scenarios``,
+      ``class_counts``, ...) are filled incrementally by the
+      :class:`~repro.campaigns.sink.AggregatingSink` while ``results``
+      retains only the bounded disagreement/error reproducers, so a
+      million-scenario campaign reports in constant memory.
+    """
 
     results: list[ScenarioResult] = field(default_factory=list)
     wall_clock_s: float = 0.0
     jobs: int = 1
     chunk_size: int = 1
     aborted: str | None = None
+    backends: tuple = ("gpv",)
+    #: Streaming aggregates; ``None`` ⇒ derive from ``results``.
+    total_scenarios: int | None = None
+    class_counts: dict | None = None
+    family_counts: dict | None = None
+    pair_counts: dict | None = None
+    cache_hit_count: int | None = None
+    analyzed_count: int | None = None
+    #: Results dropped from ``results`` by the retention bound.
+    results_truncated: int = 0
 
     # -- derived views --------------------------------------------------------
 
     @property
     def scenario_count(self) -> int:
+        if self.total_scenarios is not None:
+            return self.total_scenarios
         return len(self.results)
 
     @property
@@ -112,18 +214,27 @@ class CampaignReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        if self.analyzed_count is not None:
+            if not self.analyzed_count:
+                return 0.0
+            return (self.cache_hit_count or 0) / self.analyzed_count
         analyzed = [r for r in self.results if r.classification != ERROR]
         if not analyzed:
             return 0.0
         return sum(r.cache_hit for r in analyzed) / len(analyzed)
 
     def counters(self) -> dict[str, int]:
+        if self.class_counts is not None:
+            return {c: self.class_counts.get(c, 0) for c in CLASSIFICATIONS}
         out = {c: 0 for c in CLASSIFICATIONS}
         for result in self.results:
             out[result.classification] = out.get(result.classification, 0) + 1
         return out
 
     def by_family(self) -> dict[str, dict[str, int]]:
+        if self.family_counts is not None:
+            return {family: dict(buckets) for family, buckets
+                    in sorted(self.family_counts.items())}
         out: dict[str, dict[str, int]] = {}
         for result in self.results:
             family = out.setdefault(result.family,
@@ -131,8 +242,21 @@ class CampaignReport:
             family[result.classification] += 1
         return {family: out[family] for family in sorted(out)}
 
+    def pairwise_counters(self) -> dict[str, dict[str, int]]:
+        """Per pair (``analysis~gpv``, ``gpv~ndlog``, ...) status counts."""
+        if self.pair_counts is not None:
+            return {pair: dict(buckets) for pair, buckets
+                    in sorted(self.pair_counts.items())}
+        out: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            for pair in result.pairwise:
+                buckets = out.setdefault(pair.pair, {})
+                buckets[pair.status] = buckets.get(pair.status, 0) + 1
+        return {pair: out[pair] for pair in sorted(out)}
+
     def disagreements(self) -> list[ScenarioResult]:
-        """The safe→diverged reproducers — must be empty for a sound FSR."""
+        """Analysis disagreements and cross-backend divergences — the
+        reproducers that must be empty for a sound FSR."""
         return [r for r in self.results if r.is_disagreement]
 
     def false_positives(self) -> list[ScenarioResult]:
@@ -142,11 +266,87 @@ class CampaignReport:
     def errors(self) -> list[ScenarioResult]:
         return [r for r in self.results if r.classification == ERROR]
 
+    @property
+    def error_count(self) -> int:
+        if self.class_counts is not None:
+            return self.class_counts.get(ERROR, 0)
+        return len(self.errors())
+
+    @property
+    def disagreement_count(self) -> int:
+        """Disagreement total that survives streaming truncation."""
+        if self.pair_counts is None and self.class_counts is None:
+            return len(self.disagreements())
+        count = (self.class_counts or {}).get(SAFE_DIVERGED, 0)
+        for buckets in (self.pair_counts or {}).values():
+            for status, n in buckets.items():
+                if status in HARD_DIVERGENCES and status != SAFE_DIVERGED:
+                    count += n
+        return max(count, len(self.disagreements()))
+
     def reproducer_seeds(self) -> list[dict]:
         """Spec dicts for every disagreement (and error), for replay."""
         return [r.spec.to_dict()
                 for r in self.results
                 if r.is_disagreement or r.classification == ERROR]
+
+    # -- merging (sharded campaigns) -----------------------------------------
+
+    @classmethod
+    def merge(cls, reports: Iterable["CampaignReport"]) -> "CampaignReport":
+        """Combine shard reports into one campaign-wide report.
+
+        Shards run concurrently on separate machines, so wall clock is the
+        *maximum* (campaign latency), while scenario counts, counters and
+        retained reproducers add up.  The merged report always carries
+        explicit aggregates, even when every input was small enough to be
+        fully collected.
+        """
+        reports = list(reports)
+        if not reports:
+            return cls(total_scenarios=0, class_counts={}, family_counts={},
+                       pair_counts={}, cache_hit_count=0, analyzed_count=0)
+        class_counts: dict = {}
+        family_counts: dict = {}
+        pair_counts: dict = {}
+        results: list[ScenarioResult] = []
+        truncated = 0
+        cache_hits = analyzed = total = 0
+        aborts = []
+        for report in reports:
+            merge_counts(class_counts, report.counters())
+            merge_counts(family_counts, report.by_family())
+            merge_counts(pair_counts, report.pairwise_counters())
+            results.extend(report.results)
+            truncated += report.results_truncated
+            total += report.scenario_count
+            if report.analyzed_count is not None:
+                cache_hits += report.cache_hit_count or 0
+                analyzed += report.analyzed_count
+            else:
+                kept = [r for r in report.results
+                        if r.classification != ERROR]
+                cache_hits += sum(r.cache_hit for r in kept)
+                analyzed += len(kept)
+            if report.aborted:
+                aborts.append(report.aborted)
+        results.sort(key=lambda r: r.scenario_id)
+        first = reports[0]
+        return cls(
+            results=results,
+            wall_clock_s=max(r.wall_clock_s for r in reports),
+            jobs=max(r.jobs for r in reports),
+            chunk_size=first.chunk_size,
+            aborted="; ".join(aborts) or None,
+            backends=first.backends,
+            total_scenarios=total,
+            class_counts=class_counts,
+            family_counts=family_counts,
+            pair_counts=pair_counts,
+            cache_hit_count=cache_hits,
+            analyzed_count=analyzed,
+            results_truncated=truncated,
+        )
 
     # -- rendering ------------------------------------------------------------
 
@@ -156,7 +356,8 @@ class CampaignReport:
             f"campaign: {self.scenario_count} scenarios in "
             f"{self.wall_clock_s:.2f}s "
             f"({self.scenarios_per_second:.1f} scenarios/s, "
-            f"jobs={self.jobs}, chunk={self.chunk_size})",
+            f"jobs={self.jobs}, chunk={self.chunk_size}, "
+            f"backends={','.join(self.backends)})",
             f"  verdict cache hit rate: {self.cache_hit_rate:.0%}",
         ]
         if self.aborted:
@@ -170,6 +371,17 @@ class CampaignReport:
                 if name == SAFE_DIVERGED:
                     note = "   (DISAGREEMENTS — should be zero!)"
                 lines.append(f"    {name:>17}: {counters[name]:>5}{note}")
+        pairwise = self.pairwise_counters()
+        if len(self.backends) > 1 and pairwise:
+            lines.append("  pairwise cross-checks:")
+            for pair, buckets in pairwise.items():
+                detail = " ".join(
+                    f"{status}={count}"
+                    for status, count in sorted(buckets.items()) if count)
+                flagged = sum(count for status, count in buckets.items()
+                              if status in HARD_DIVERGENCES)
+                note = "   (DIVERGENCES — should be zero!)" if flagged else ""
+                lines.append(f"    {pair:>16}: [{detail}]{note}")
         lines.append("  per family:")
         for family, buckets in self.by_family().items():
             total = sum(buckets.values())
@@ -182,10 +394,13 @@ class CampaignReport:
             for result in disagreements:
                 lines.append(f"    {result.describe()}")
         errors = self.errors()
-        if errors:
-            lines.append(f"  errors: {len(errors)}")
+        if errors or self.error_count:
+            lines.append(f"  errors: {max(len(errors), self.error_count)}")
             for result in errors[:5]:
                 lines.append(f"    {result.describe()}")
+        if self.results_truncated:
+            lines.append(f"  (full results truncated: "
+                         f"{self.results_truncated} not retained in memory)")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -195,16 +410,12 @@ class CampaignReport:
             "scenarios_per_second": self.scenarios_per_second,
             "jobs": self.jobs,
             "chunk_size": self.chunk_size,
+            "backends": list(self.backends),
             "aborted": self.aborted,
             "cache_hit_rate": self.cache_hit_rate,
             "counters": self.counters(),
             "by_family": self.by_family(),
+            "pairwise": self.pairwise_counters(),
             "reproducers": self.reproducer_seeds(),
+            "results_truncated": self.results_truncated,
         }
-
-
-def merge_results(batches: Iterable[list[ScenarioResult]]) -> list[ScenarioResult]:
-    """Flatten worker batches back into scenario order."""
-    merged = [result for batch in batches for result in batch]
-    merged.sort(key=lambda r: r.scenario_id)
-    return merged

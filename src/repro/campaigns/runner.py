@@ -1,30 +1,50 @@
-"""Campaign execution: chunked fan-out with budgets and early abort.
+"""Campaign execution: streaming chunked fan-out with budgets and early abort.
 
-:class:`CampaignRunner` drives a list of :class:`ScenarioSpec`s through the
-differential oracle either serially (``jobs=1`` — same process, same
+:class:`CampaignRunner` drives a *stream* of :class:`ScenarioSpec`s through
+the differential oracle either serially (``jobs=1`` — same process, same
 verdict cache) or across a ``ProcessPoolExecutor`` (``jobs>1``).  Specs are
 dealt into chunks so each worker amortizes process-pool dispatch overhead
 and builds up its own verdict cache; chunks complete independently, so a
 slow scenario only delays its chunk.
 
+Memory stays bounded at any campaign size:
+
+* the spec source may be any iterable — generated specs are drawn lazily,
+  never collected into a list;
+* in parallel mode at most ``jobs * pipeline_depth`` chunks are in flight;
+  new chunks are drawn from the stream only as workers free up;
+* every result is handed to the sinks the moment its chunk returns: the
+  :class:`~repro.campaigns.sink.AggregatingSink` counts it (retaining full
+  results only under ``keep_results``, reproducers always), and an optional
+  caller-supplied sink (e.g. the JSONL writer behind ``--stream-out``)
+  records it durably.
+
 Budgets:
 
 * ``wall_clock_budget_s`` — stop collecting once the budget elapses; the
   report is marked aborted and covers the scenarios finished so far;
-* ``abort_on_disagreements`` — stop as soon as that many safe→diverged
-  disagreements exist (a campaign that has already falsified the pipeline
-  need not finish; the reproducer seeds are what matters).
+* ``abort_on_disagreements`` — stop as soon as that many disagreements
+  exist (a campaign that has already falsified the pipeline need not
+  finish; the reproducer seeds are what matters).
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
 
-from .oracle import evaluate, evaluate_chunk
-from .report import CampaignReport, ScenarioResult, merge_results
+from ..exec import DEFAULT_BACKENDS, resolve_backends
+from .oracle import (
+    EvaluationOptions,
+    configure_verdict_store,
+    evaluate,
+    evaluate_chunk,
+)
+from .report import CampaignReport, ScenarioResult
+from .sink import AggregatingSink, ResultSink
 from .spec import ScenarioGenerator, ScenarioSpec
 
 
@@ -36,12 +56,50 @@ class CampaignConfig:
     chunk_size: int = 8
     wall_clock_budget_s: float | None = None
     abort_on_disagreements: int | None = None
+    #: Execution backends evaluated per scenario, primary first.
+    backends: tuple = DEFAULT_BACKENDS
+    #: Retain every ScenarioResult on the report (False ⇒ constant memory:
+    #: only counters plus bounded disagreement/error reproducers survive).
+    keep_results: bool = True
+    #: Retention bound for full results / reproducers.
+    max_retained: int = 200
+    #: Optional path of a persistent cross-process verdict cache.
+    verdict_cache_path: str | None = None
+    #: Chunks in flight per worker in parallel mode.
+    pipeline_depth: int = 2
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.max_retained < 1:
+            raise ValueError("max_retained must be >= 1")
+        self.backends = resolve_backends(self.backends)
+
+    def evaluation_options(self) -> EvaluationOptions:
+        return EvaluationOptions(
+            backends=self.backends,
+            verdict_store_path=self.verdict_cache_path)
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping shared by the serial and parallel paths."""
+
+    started: float
+    aggregator: AggregatingSink
+    extra_sink: ResultSink | None = None
+    disagreements: int = 0
+    aborted: str | None = field(default=None)
+
+    def consume(self, result: ScenarioResult) -> None:
+        self.aggregator.accept(result)
+        if self.extra_sink is not None:
+            self.extra_sink.accept(result)
+        self.disagreements += result.is_disagreement
 
 
 class CampaignRunner:
@@ -56,70 +114,87 @@ class CampaignRunner:
 
     # -- public API ----------------------------------------------------------
 
-    def run(self, specs: Sequence[ScenarioSpec]) -> CampaignReport:
-        specs = list(specs)
+    def run(self, specs: Iterable[ScenarioSpec], *,
+            sink: ResultSink | None = None) -> CampaignReport:
+        """Evaluate a spec stream; ``sink`` additionally receives every
+        result in completion order (e.g. a JSONL writer)."""
         started = time.perf_counter()
+        state = _RunState(
+            started=started,
+            aggregator=AggregatingSink(
+                keep_results=self.config.keep_results,
+                max_retained=self.config.max_retained,
+                backends=self.config.backends),
+            extra_sink=sink,
+        )
+        spec_iter = iter(specs)
         if self.config.jobs == 1:
-            results, aborted = self._run_serial(specs, started)
+            self._run_serial(spec_iter, state)
         else:
-            results, aborted = self._run_parallel(specs, started)
-        return CampaignReport(
-            results=merge_results([results]),
+            self._run_parallel(spec_iter, state)
+        return state.aggregator.report(
             wall_clock_s=time.perf_counter() - started,
             jobs=self.config.jobs,
             chunk_size=self.config.chunk_size,
-            aborted=aborted,
+            aborted=state.aborted,
         )
 
     def run_generated(self, count: int, *, seed: int = 0,
                       families: Sequence[str] | None = None,
-                      profile: str = "default") -> CampaignReport:
-        """Convenience: generate ``count`` specs and run them."""
+                      profile: str = "default",
+                      shard_index: int = 0, shard_count: int = 1,
+                      sink: ResultSink | None = None) -> CampaignReport:
+        """Convenience: stream ``count`` generated specs (or this shard's
+        stride of them) through the campaign."""
         generator = ScenarioGenerator(seed, families=families,
                                       profile=profile)
-        return self.run(generator.generate(count))
+        stream = generator.iter_specs(count, shard_index=shard_index,
+                                      shard_count=shard_count)
+        return self.run(stream, sink=sink)
 
     # -- serial path ---------------------------------------------------------
 
-    def _run_serial(self, specs: list[ScenarioSpec],
-                    started: float) -> tuple[list[ScenarioResult], str | None]:
-        results: list[ScenarioResult] = []
-        disagreements = 0
+    def _run_serial(self, specs: Iterator[ScenarioSpec],
+                    state: _RunState) -> None:
+        options = self.config.evaluation_options()
+        # Unconditional (including None): a cache-less campaign must detach
+        # any store a previous run left configured in this process.
+        configure_verdict_store(options.verdict_store_path)
         for spec in specs:
-            results.append(evaluate(spec))
-            disagreements += results[-1].is_disagreement
-            abort = self._abort_reason(started, disagreements)
-            if abort:
-                return results, abort
-        return results, None
+            state.consume(evaluate(spec, options))
+            state.aborted = self._abort_reason(state)
+            if state.aborted:
+                return
 
     # -- parallel path -------------------------------------------------------
 
-    def _run_parallel(self, specs: list[ScenarioSpec],
-                      started: float) -> tuple[list[ScenarioResult], str | None]:
-        chunks = _chunked(specs, self.config.chunk_size)
-        batches: list[list[ScenarioResult]] = []
-        disagreements = 0
-        aborted: str | None = None
+    def _run_parallel(self, specs: Iterator[ScenarioSpec],
+                      state: _RunState) -> None:
+        options = self.config.evaluation_options()
+        chunks = _chunk_stream(specs, self.config.chunk_size)
+        window = self.config.jobs * self.config.pipeline_depth
         pending: set = set()
         executor = ProcessPoolExecutor(max_workers=self.config.jobs)
         try:
-            pending = {executor.submit(evaluate_chunk, chunk)
-                       for chunk in chunks}
+            for chunk in itertools.islice(chunks, window):
+                pending.add(executor.submit(evaluate_chunk, chunk, options))
             while pending:
-                timeout = self._remaining_budget(started)
+                timeout = self._remaining_budget(state.started)
                 done, pending = wait(pending, timeout=timeout,
                                      return_when=FIRST_COMPLETED)
                 if not done:  # budget elapsed with work still in flight
-                    aborted = "wall-clock budget exhausted"
+                    state.aborted = "wall-clock budget exhausted"
                     break
                 for future in done:
-                    batch = future.result()
-                    batches.append(batch)
-                    disagreements += sum(r.is_disagreement for r in batch)
-                aborted = self._abort_reason(started, disagreements)
-                if aborted:
+                    for result in future.result():
+                        state.consume(result)
+                state.aborted = self._abort_reason(state)
+                if state.aborted:
                     break
+                # Keep the pipeline full: one fresh chunk per finished one.
+                for chunk in itertools.islice(chunks, len(done)):
+                    pending.add(executor.submit(evaluate_chunk, chunk,
+                                                options))
         finally:
             for future in pending:
                 future.cancel()
@@ -129,10 +204,10 @@ class CampaignRunner:
             for future in pending:
                 if future.done() and not future.cancelled():
                     try:
-                        batches.append(future.result())
+                        for result in future.result():
+                            state.consume(result)
                     except Exception:  # noqa: BLE001 - abort path, best effort
                         pass
-        return [r for batch in batches for r in batch], aborted
 
     # -- budget logic ---------------------------------------------------------
 
@@ -142,14 +217,14 @@ class CampaignRunner:
             return None
         return max(0.0, budget - (time.perf_counter() - started))
 
-    def _abort_reason(self, started: float,
-                      disagreements: int) -> str | None:
+    def _abort_reason(self, state: _RunState) -> str | None:
         budget = self.config.wall_clock_budget_s
-        if budget is not None and time.perf_counter() - started >= budget:
+        if budget is not None and \
+                time.perf_counter() - state.started >= budget:
             return "wall-clock budget exhausted"
         limit = self.config.abort_on_disagreements
-        if limit is not None and disagreements >= limit:
-            return f"disagreement limit reached ({disagreements})"
+        if limit is not None and state.disagreements >= limit:
+            return f"disagreement limit reached ({state.disagreements})"
         return None
 
 
@@ -158,17 +233,36 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
                  profile: str = "default",
                  chunk_size: int = 8,
                  wall_clock_budget_s: float | None = None,
-                 abort_on_disagreements: int | None = None) -> CampaignReport:
-    """One-call campaign: generate, fan out, aggregate."""
+                 abort_on_disagreements: int | None = None,
+                 backends: Sequence[str] = DEFAULT_BACKENDS,
+                 keep_results: bool = True,
+                 verdict_cache_path: str | None = None,
+                 shard_index: int = 0, shard_count: int = 1,
+                 sink: ResultSink | None = None) -> CampaignReport:
+    """One-call campaign: generate, fan out, aggregate (and stream)."""
     runner = CampaignRunner(CampaignConfig(
         jobs=jobs, chunk_size=chunk_size,
         wall_clock_budget_s=wall_clock_budget_s,
-        abort_on_disagreements=abort_on_disagreements))
+        abort_on_disagreements=abort_on_disagreements,
+        backends=tuple(backends),
+        keep_results=keep_results,
+        verdict_cache_path=verdict_cache_path))
     return runner.run_generated(count, seed=seed, families=families,
-                                profile=profile)
+                                profile=profile, shard_index=shard_index,
+                                shard_count=shard_count, sink=sink)
+
+
+def _chunk_stream(specs: Iterator[ScenarioSpec],
+                  size: int) -> Iterator[list[ScenarioSpec]]:
+    """Lazily deal a spec stream into chunks (the last may be short)."""
+    while True:
+        chunk = list(itertools.islice(specs, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 def _chunked(specs: Iterable[ScenarioSpec],
              size: int) -> list[list[ScenarioSpec]]:
-    specs = list(specs)
-    return [specs[i:i + size] for i in range(0, len(specs), size)]
+    """Eager chunking (kept for tests and ad-hoc use)."""
+    return list(_chunk_stream(iter(specs), size))

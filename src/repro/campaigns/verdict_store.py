@@ -1,0 +1,77 @@
+"""Cross-process persistence for SMT safety verdicts.
+
+The per-process memo in :mod:`repro.campaigns.oracle` pays for each
+distinct constraint system once per worker *lifetime*; this module makes
+verdicts survive across processes and campaign invocations, so repeated
+campaigns and CI runs skip already-proved algebras entirely.
+
+Verdicts are content-addressed by the ``repr`` of
+:func:`~repro.campaigns.canonical.canonical_key` — a stable rendering of
+the constraint system itself (plain tuples of strings/ints/tuples), so a
+key written by one process parses identically in every other.  Storage is
+a single sqlite database: concurrent campaign workers each hold their own
+connection, WAL mode keeps readers off the writers' locks, and
+``INSERT OR IGNORE`` makes duplicate solves from racing workers harmless
+(both computed the same verdict from the same key).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS verdicts (
+    key        TEXT PRIMARY KEY,
+    safe       INTEGER NOT NULL,
+    method     TEXT NOT NULL,
+    created_at REAL NOT NULL
+)
+"""
+
+
+class VerdictStore:
+    """An append-mostly ``canonical key → (safe, method)`` sqlite store."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._conn = sqlite3.connect(path, timeout=30.0)
+        try:  # WAL lets campaign workers read while one writes.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:
+            pass  # e.g. unsupported filesystem; rollback journal still works
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+
+    # -- reads ----------------------------------------------------------------
+
+    def load_all(self) -> dict[str, tuple[bool, str]]:
+        """Every stored verdict — loaded into a worker memo at startup."""
+        rows = self._conn.execute(
+            "SELECT key, safe, method FROM verdicts").fetchall()
+        return {key: (bool(safe), method) for key, safe, method in rows}
+
+    def get(self, key: str) -> tuple[bool, str] | None:
+        row = self._conn.execute(
+            "SELECT safe, method FROM verdicts WHERE key = ?",
+            (key,)).fetchone()
+        if row is None:
+            return None
+        return bool(row[0]), row[1]
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM verdicts").fetchone()[0]
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, safe: bool, method: str) -> None:
+        """Record one verdict; racing duplicates are ignored, not errors."""
+        self._conn.execute(
+            "INSERT OR IGNORE INTO verdicts (key, safe, method, created_at) "
+            "VALUES (?, ?, ?, ?)",
+            (key, int(safe), method, time.time()))
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()

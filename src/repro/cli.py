@@ -11,7 +11,12 @@ Python:
   files and (given a destination) analyze the implied SPP instance;
 * ``figure {fig4,fig5,fig6} [--quick]`` — regenerate an evaluation figure;
 * ``campaign`` — run a randomized differential-testing campaign
-  (analysis verdict vs simulated execution over many scenarios).
+  (analysis verdict vs one or more execution backends over many
+  scenarios; ``--backends gpv,ndlog`` cross-checks the native engine
+  against the generated NDlog implementation, ``--stream-out`` records
+  every scenario as JSONL in constant memory, ``--shard-index`` /
+  ``--shard-count`` stride the deterministic spec stream across machines,
+  ``--verdict-cache`` persists SMT verdicts across invocations).
 
 Exit codes are consistent across subcommands: **0** when the command ran
 and the verdict is good (safe / converged / no disagreement), **1** when
@@ -136,13 +141,21 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from .campaigns import run_campaign
+    from .campaigns import JsonlResultSink, run_campaign
     if args.scenarios < 1:
         # A zero-scenario campaign would exit 0 without testing anything —
         # refuse rather than hand CI a vacuously green gate.
         print("campaign rejected: --scenarios must be >= 1",
               file=sys.stderr)
         return 2
+    sink = None
+    if args.stream_out:
+        try:
+            sink = JsonlResultSink(args.stream_out)
+        except OSError as error:
+            print(f"campaign rejected: cannot open --stream-out: {error}",
+                  file=sys.stderr)
+            return 2
     try:
         report = run_campaign(
             args.scenarios,
@@ -153,14 +166,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             wall_clock_budget_s=args.budget_s,
             abort_on_disagreements=args.abort_on_disagreements,
+            backends=tuple(args.backends.split(",")),
+            # The CLI is the million-scenario path: aggregate in constant
+            # memory; full per-scenario records belong in --stream-out.
+            keep_results=False,
+            verdict_cache_path=args.verdict_cache,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
+            sink=sink,
         )
     except ValueError as error:
         print(f"campaign rejected: {error}", file=sys.stderr)
         return 2
+    finally:
+        if sink is not None:
+            sink.close()
     print(report.summary())
     # Errors fail the gate too: an errored scenario is one the differential
     # check silently never ran on.
-    if report.disagreements() or report.errors():
+    if report.disagreement_count or report.error_count:
         return 1
     if report.scenario_count == 0:
         # e.g. a wall-clock budget that expired before any chunk returned —
@@ -229,6 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget in seconds (early abort)")
     p.add_argument("--abort-on-disagreements", type=int, default=None,
                    help="stop once this many disagreements were found")
+    p.add_argument("--backends", default="gpv", metavar="NAME[,NAME...]",
+                   help="execution backends to cross-check per scenario, "
+                        "comma-separated (gpv, ndlog; default: gpv)")
+    p.add_argument("--stream-out", default=None, metavar="PATH",
+                   help="stream one JSONL record per scenario to PATH as "
+                        "results are produced (constant memory)")
+    p.add_argument("--verdict-cache", default=None, metavar="PATH",
+                   help="persistent sqlite verdict cache shared across "
+                        "processes and campaign invocations")
+    p.add_argument("--shard-index", type=int, default=0,
+                   help="this shard's index into the spec stream")
+    p.add_argument("--shard-count", type=int, default=1,
+                   help="total shards striding the spec stream")
     p.set_defaults(fn=cmd_campaign)
 
     return parser

@@ -1,0 +1,73 @@
+"""Pluggable execution backends for differential campaigns.
+
+Every way of *running* a routing scenario lives behind one contract
+(:class:`ExecutionBackend` → :class:`ExecutionSession` →
+:class:`ExecutionOutcome`), so the campaign oracle can execute a scenario
+on N independent implementations and cross-check their route tables:
+
+* ``gpv`` (:class:`GPVBackend`) — the native Python path-vector engine;
+* ``ndlog`` (:class:`NDlogBackend`) — the algebra compiled to NDlog and
+  interpreted by the runtime (the paper's generated-implementation path).
+
+See ``src/repro/exec/README.md`` for the backend contract and how to add
+a third backend (e.g. HLP).
+"""
+
+from .base import (
+    ExecutionBackend,
+    ExecutionOutcome,
+    ExecutionSession,
+    route_mismatches,
+    schedule_events,
+)
+from .gpv import GPVBackend, GPVSession
+from .ndlog import NDlogBackend, NDlogSession
+
+#: Registry of backend name → singleton instance (backends are stateless).
+BACKENDS: dict[str, ExecutionBackend] = {
+    GPVBackend.name: GPVBackend(),
+    NDlogBackend.name: NDlogBackend(),
+}
+
+#: The default single-backend configuration (fast path).
+DEFAULT_BACKENDS = (GPVBackend.name,)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend by registry name (``KeyError`` with choices)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown execution backend {name!r}; "
+                       f"choose from {sorted(BACKENDS)}") from None
+
+
+def resolve_backends(names) -> tuple[str, ...]:
+    """Normalize/validate a backend list (``ValueError`` on bad input)."""
+    resolved = tuple(names)
+    if not resolved:
+        raise ValueError("at least one execution backend is required")
+    unknown = [n for n in resolved if n not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown execution backends {unknown}; "
+                         f"choose from {sorted(BACKENDS)}")
+    if len(set(resolved)) != len(resolved):
+        raise ValueError(f"duplicate execution backends in {list(resolved)}")
+    return resolved
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKENDS",
+    "ExecutionBackend",
+    "ExecutionOutcome",
+    "ExecutionSession",
+    "GPVBackend",
+    "GPVSession",
+    "NDlogBackend",
+    "NDlogSession",
+    "get_backend",
+    "resolve_backends",
+    "route_mismatches",
+    "schedule_events",
+]

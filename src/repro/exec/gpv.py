@@ -1,0 +1,72 @@
+"""Native GPV engine as an execution backend.
+
+Wraps :class:`~repro.protocols.gpv.GPVEngine` — the fast Python
+path-vector implementation — behind the :class:`ExecutionBackend`
+contract.  This is the campaign's reference implementation: large
+topologies simulate quickly, and its ``route_log`` feeds the iBGP
+extraction workflow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..protocols.gpv import GPVEngine
+from .base import ExecutionBackend, ExecutionOutcome, ExecutionSession
+
+if TYPE_CHECKING:
+    from ..campaigns.scenarios import ResolvedEvent, Scenario
+
+
+class GPVSession(ExecutionSession):
+    """A prepared :class:`GPVEngine` run."""
+
+    def __init__(self, scenario: "Scenario", *, seed: int,
+                 log_routes: bool):
+        self.engine = GPVEngine(scenario.network, scenario.algebra,
+                                scenario.destinations, seed=seed,
+                                log_routes=log_routes)
+        self.sim = self.engine.sim
+        self.algebra = scenario.algebra
+        self.destinations = list(scenario.destinations)
+
+    @property
+    def route_log(self) -> list:
+        return self.engine.route_log
+
+    def apply_event(self, event: "ResolvedEvent") -> None:
+        if not self.network.has_link(event.a, event.b):
+            return  # already failed (or never materialized)
+        if event.kind == "fail":
+            self.engine.fail_link(event.a, event.b)
+        elif event.kind == "perturb":
+            self.engine.perturb_link(event.a, event.b,
+                                     label_ab=event.label,
+                                     label_ba=event.label)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> ExecutionOutcome:
+        reason = self.engine.run(until=until, max_events=max_events)
+        return self._outcome(GPVBackend.name, reason)
+
+    def route_table(self) -> tuple[dict, dict]:
+        routes: dict = {}
+        sigs: dict = {}
+        for node in self.network.nodes():
+            for dest in self.destinations:
+                if node == dest:
+                    continue
+                route = self.engine.best_route(node, dest)
+                routes[(node, dest)] = route[1] if route else None
+                sigs[(node, dest)] = route[0] if route else None
+        return routes, sigs
+
+
+class GPVBackend(ExecutionBackend):
+    """The native engine (`gpv`): fast, extraction-capable."""
+
+    name = "gpv"
+
+    def prepare(self, scenario: "Scenario", *, seed: int = 0,
+                log_routes: bool = False) -> GPVSession:
+        return GPVSession(scenario, seed=seed, log_routes=log_routes)

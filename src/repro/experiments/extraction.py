@@ -6,25 +6,37 @@ protocol ... and populate the permitted paths of each router based on its
 incoming route advertisements.  These permitted paths are then sorted based
 on IGP costs ... to generate per-node rankings."
 
-:func:`extract_spp` turns a :class:`~repro.protocols.gpv.GPVEngine` run
-(with ``log_routes=True``) into an :class:`~repro.algebra.spp.SPPInstance`
-ready for the safety analyzer, closing the loop between the implementation
-and analysis halves of FSR.
+:func:`extract_spp` turns a logged protocol run into an
+:class:`~repro.algebra.spp.SPPInstance` ready for the safety analyzer,
+closing the loop between the implementation and analysis halves of FSR.
+It accepts any *route-log source* — an object exposing ``algebra``,
+``network`` and ``route_log`` (a list of ``(node, dest, sig, path)``
+acceptances): a :class:`~repro.protocols.gpv.GPVEngine` run with
+``log_routes=True``, or any :class:`~repro.exec.base.ExecutionSession`
+prepared with route logging.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Callable
+from typing import Callable, Protocol
 
+from ..algebra.base import RoutingAlgebra
 from ..algebra.spp import Path, SPPInstance
-from ..protocols.gpv import GPVEngine
 
 #: Ranks a logged (node, signature, path) entry; lower is more preferred.
 RankKey = Callable[[str, object, Path], tuple]
 
 
-def extract_spp(engine: GPVEngine, destination: str, *,
+class RouteLogSource(Protocol):
+    """Anything that executed a protocol and logged accepted routes."""
+
+    algebra: RoutingAlgebra
+    network: object
+    route_log: list
+
+
+def extract_spp(engine: RouteLogSource, destination: str, *,
                 rank_key: RankKey | None = None,
                 name: str | None = None) -> SPPInstance:
     """Build an SPP instance from the routes a run actually advertised.

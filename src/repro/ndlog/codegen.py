@@ -133,14 +133,22 @@ def origination_facts(network: Network, algebra: RoutingAlgebra,
 def deploy_gpv(network: Network, algebra: RoutingAlgebra,
                destinations: Iterable[str], *,
                seed: int = 0,
-               batch_interval: float | None = None) -> NDlogRuntime:
+               batch_interval: float | None = None,
+               simulator: Simulator | None = None) -> NDlogRuntime:
     """Assemble a runnable GPV deployment (Fig. 1's left-hand path).
 
     Returns an :class:`NDlogRuntime` with origination facts injected at
-    t=0; call ``runtime.sim.run()`` to execute.
+    t=0; call ``runtime.sim.run()`` to execute.  Pass ``simulator`` to run
+    on an externally owned event loop — e.g. one with a pre-scheduled
+    failure/perturbation timeline shared with another backend — instead of
+    a fresh internal one (``seed`` is ignored in that case: the external
+    simulator already carries its own RNG).
     """
     program = parse_program(GPV, name="gpv")
-    simulator = Simulator(network, seed=seed)
+    if simulator is None:
+        simulator = Simulator(network, seed=seed)
+    elif simulator.network is not network:
+        raise ValueError("the supplied simulator runs a different network")
     transport = TransportPolicy(msg_relation="msg", dest_pos=2, sig_pos=3,
                                 path_pos=4, batch_interval=batch_interval)
     runtime = NDlogRuntime(program, simulator, make_functions(algebra),

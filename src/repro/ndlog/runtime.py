@@ -96,6 +96,10 @@ class Table:
         self._rows[key] = row
         return True, old
 
+    def delete(self, row: Row) -> bool:
+        """Silently remove a row (by key); True when something was removed."""
+        return self._rows.pop(self.key_of(row), None) is not None
+
     def rows(self) -> Iterator[Row]:
         return iter(self._rows.values())
 
@@ -116,6 +120,9 @@ class _NodeState:
         self.rib_out: dict[tuple, Row] = {}
         #: Pending batched messages: (neighbor, coalesce-key) -> row.
         self.out_buffer: dict[tuple, tuple[str, Row]] = {}
+        #: Raw advertisements as received, pre-evaluation — kept so a label
+        #: change can re-derive combined routes (the native engine's adj_in).
+        self.adj_raw: dict[tuple, Row] = {}
         self.flush_scheduled = False
 
 
@@ -136,6 +143,9 @@ class NDlogRuntime:
         #: Relations whose change counts as a route change (aggregate heads).
         self._best_relations = {rule.head.relation for rule in program.rules
                                 if rule.is_aggregate}
+        #: Called as ``observer(node, relation, row)`` after every *changed*
+        #: materialized upsert (route logging, extraction, instrumentation).
+        self.observers: list = []
         for node in self.network.nodes():
             self.sim.attach(node, self._make_handler(node))
 
@@ -151,15 +161,60 @@ class NDlogRuntime:
         """Schedule a tuple insertion that triggers rule evaluation."""
         self.sim.at(at, lambda: self._process_delta(node, relation, tuple(row)))
 
+    def apply_delta(self, node: str, relation: str, row: Row) -> None:
+        """Insert a tuple *now* and cascade its consequences immediately.
+
+        This is the entry point for external topology events (session
+        failures, label perturbations): the caller mutates tables through
+        ordinary deltas so the change propagates via the normal rule and
+        transport machinery.
+        """
+        self._process_delta(node, relation, tuple(row))
+
     def table_rows(self, node: str, relation: str) -> list[Row]:
         """Snapshot of a node's table (for tests and extraction)."""
         return list(self._table(node, relation).rows())
+
+    def delete_facts(self, node: str, relation: str, predicate) -> list[Row]:
+        """Silently remove matching rows (no rule evaluation is triggered).
+
+        Used for facts that simply cease to exist — e.g. ``label`` rows of
+        a failed BGP session, which must vanish *before* any delta runs so
+        no rule derives a message across the dead link.
+        """
+        table = self._table(node, relation)
+        removed = [row for row in table.rows() if predicate(row)]
+        for row in removed:
+            table.delete(row)
+        return removed
+
+    def drop_neighbor_state(self, node: str, neighbor: str) -> None:
+        """Forget per-neighbor transport state after a session failure."""
+        state = self._states[node]
+        for key in [k for k in state.rib_out if k[0] == neighbor]:
+            del state.rib_out[key]
+        for key in [k for k in state.out_buffer if k[0] == neighbor]:
+            del state.out_buffer[key]
+        for key in [k for k in state.adj_raw if k[0] == neighbor]:
+            del state.adj_raw[key]
+
+    def raw_advertisements(self, node: str, src: str) -> list[Row]:
+        """The latest raw message rows received from ``src`` (pre-⊕)."""
+        state = self._states[node]
+        return [row for (sender, _key), row in sorted(
+            state.adj_raw.items(), key=lambda item: repr(item[0]))
+            if sender == src]
 
     # -- message handling -------------------------------------------------------
 
     def _make_handler(self, node: str):
         def handler(src: str, payload: Any) -> None:
             relation, row = payload
+            if not self.network.has_link(node, src):
+                return  # session failed while the tuple was in flight
+            if relation == self.transport.msg_relation:
+                self._states[node].adj_raw[
+                    (src, self._coalesce_key(src, row))] = row
             self._process_delta(node, relation, row)
         return handler
 
@@ -177,6 +232,8 @@ class NDlogRuntime:
                     continue
                 if rel in self._best_relations:
                     self.sim.stats.record_route_change(self.sim.now, node)
+                for observer in self.observers:
+                    observer(node, rel, tup)
             for rule, position in self.program.rules_triggered_by(rel):
                 if rule.is_aggregate:
                     produced = self._maintain_aggregate(node, rule, tup)
@@ -366,6 +423,8 @@ class NDlogRuntime:
         if not changed:
             return []
         self.sim.stats.record_route_change(self.sim.now, node)
+        for observer in self.observers:
+            observer(node, rule.head.relation, candidate_row)
         out: list[tuple[str, Row, str]] = []
         # Cascade: the head delta feeds dependent rules directly here so the
         # caller only routes the produced tuples.

@@ -1,10 +1,13 @@
-"""CampaignRunner: serial/parallel equivalence, chunking, budgets."""
+"""CampaignRunner: serial/parallel equivalence, chunking, budgets,
+sharding, multi-backend differential runs."""
 
 import pytest
 
 from repro.campaigns import (
     CampaignConfig,
+    CampaignReport,
     CampaignRunner,
+    HARD_DIVERGENCES,
     ScenarioGenerator,
     run_campaign,
 )
@@ -63,6 +66,118 @@ class TestBudgets:
                               abort_on_disagreements=0)
         assert report.aborted is not None
         assert "disagreement limit" in report.aborted
+
+
+class TestStreaming:
+    def test_specs_may_be_a_lazy_iterator(self):
+        generator = ScenarioGenerator(7, profile="quick")
+        report = CampaignRunner(CampaignConfig(jobs=1)).run(
+            generator.iter_specs(9))
+        assert report.scenario_count == 9
+
+    def test_parallel_draws_from_the_stream_lazily(self):
+        drawn = []
+
+        def stream():
+            generator = ScenarioGenerator(7, profile="quick")
+            for spec in generator.iter_specs(10):
+                drawn.append(spec.scenario_id)
+                yield spec
+
+        report = CampaignRunner(
+            CampaignConfig(jobs=2, chunk_size=2)).run(stream())
+        assert report.scenario_count == 10
+        assert sorted(drawn) == list(range(10))
+
+    def test_keep_results_false_still_counts_everything(self):
+        specs = ScenarioGenerator(7, profile="quick").generate(10)
+        full = CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+        lean = CampaignRunner(
+            CampaignConfig(jobs=1, keep_results=False)).run(specs)
+        assert lean.counters() == full.counters()
+        assert lean.by_family() == full.by_family()
+        assert lean.scenario_count == 10
+        # Only reproducers survive; this fixed seed has none.
+        assert lean.results == []
+        assert "outcome counters" in lean.summary()
+
+
+class TestSharding:
+    def test_shards_partition_the_stream(self):
+        generator = ScenarioGenerator(3, profile="quick")
+        whole = {s.scenario_id for s in generator.iter_specs(20)}
+        parts = [
+            {s.scenario_id
+             for s in generator.iter_specs(20, shard_index=k, shard_count=3)}
+            for k in range(3)
+        ]
+        assert set.union(*parts) == whole
+        assert sum(len(p) for p in parts) == len(whole)
+
+    def test_bad_shard_arguments_are_rejected(self):
+        generator = ScenarioGenerator(0)
+        with pytest.raises(ValueError):
+            list(generator.iter_specs(4, shard_index=2, shard_count=2))
+        with pytest.raises(ValueError):
+            list(generator.iter_specs(4, shard_index=0, shard_count=0))
+
+    def test_merged_shards_equal_the_unsharded_campaign(self):
+        sharded = [
+            run_campaign(18, seed=5, jobs=1, profile="quick",
+                         shard_index=k, shard_count=3)
+            for k in range(3)
+        ]
+        merged = CampaignReport.merge(sharded)
+        whole = run_campaign(18, seed=5, jobs=1, profile="quick")
+        assert merged.scenario_count == whole.scenario_count == 18
+        assert merged.counters() == whole.counters()
+        assert merged.by_family() == whole.by_family()
+        assert merged.pairwise_counters() == whole.pairwise_counters()
+
+    def test_merge_keeps_reproducers_and_abort_reasons(self):
+        a = run_campaign(4, seed=1, jobs=1, profile="quick",
+                         wall_clock_budget_s=0.0)
+        b = run_campaign(4, seed=1, jobs=1, profile="quick")
+        merged = CampaignReport.merge([a, b])
+        assert merged.aborted == "wall-clock budget exhausted"
+        assert merged.wall_clock_s == max(a.wall_clock_s, b.wall_clock_s)
+        ids = [r.scenario_id for r in merged.results]
+        assert ids == sorted(ids)
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = CampaignReport.merge([])
+        assert merged.scenario_count == 0
+        assert merged.counters()["safe-converged"] == 0
+
+
+class TestMultiBackend:
+    def test_differential_campaign_cross_checks_backends(self):
+        report = run_campaign(8, seed=7, jobs=1, profile="quick",
+                              backends=("gpv", "ndlog"))
+        pairwise = report.pairwise_counters()
+        assert set(pairwise) == {"analysis~gpv", "analysis~ndlog",
+                                 "gpv~ndlog"}
+        # Per-scenario, every backend got the same analysis verdict.
+        assert pairwise["analysis~gpv"] == pairwise["analysis~ndlog"]
+        statuses = pairwise["gpv~ndlog"]
+        assert sum(statuses.values()) == 8
+        assert not (set(statuses) & HARD_DIVERGENCES)
+        assert report.backends == ("gpv", "ndlog")
+        for result in report.results:
+            assert [o.backend for o in result.outcomes] == ["gpv", "ndlog"]
+
+    def test_parallel_differential_matches_serial(self):
+        specs = ScenarioGenerator(11, profile="quick").generate(8)
+        serial = CampaignRunner(CampaignConfig(
+            jobs=1, backends=("gpv", "ndlog"))).run(specs)
+        parallel = CampaignRunner(CampaignConfig(
+            jobs=2, chunk_size=2, backends=("gpv", "ndlog"))).run(specs)
+        assert serial.counters() == parallel.counters()
+        assert serial.pairwise_counters() == parallel.pairwise_counters()
+
+    def test_unknown_backend_is_a_config_error(self):
+        with pytest.raises(ValueError, match="rapidnet"):
+            CampaignConfig(backends=("gpv", "rapidnet"))
 
 
 class TestReport:

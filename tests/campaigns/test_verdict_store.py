@@ -1,0 +1,121 @@
+"""Persistent verdict cache: cross-process reuse of SMT solves."""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioGenerator,
+    ScenarioSpec,
+    VerdictStore,
+    clear_verdict_cache,
+    configure_verdict_store,
+    evaluate,
+    verdict_cache_size,
+)
+from repro.campaigns.oracle import EvaluationOptions
+
+
+@pytest.fixture(autouse=True)
+def detached_store():
+    """Every test starts and ends with a cold memo and no store."""
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    yield
+    configure_verdict_store(None)
+    clear_verdict_cache()
+
+
+def gadget_spec(kind: str, *, seed: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
+                        seed=seed, until=30.0, max_events=20_000,
+                        params=(("gadget", kind),))
+
+
+class TestVerdictStore:
+    def test_roundtrip(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "v.sqlite"))
+        store.put("key-1", True, "strict-monotonicity")
+        store.put("key-2", False, "counterexample")
+        assert store.get("key-1") == (True, "strict-monotonicity")
+        assert store.load_all() == {
+            "key-1": (True, "strict-monotonicity"),
+            "key-2": (False, "counterexample"),
+        }
+        assert len(store) == 2
+        store.close()
+
+    def test_racing_duplicate_puts_are_ignored(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        first, second = VerdictStore(path), VerdictStore(path)
+        first.put("key", True, "a")
+        second.put("key", True, "a")  # the racing worker's identical solve
+        assert len(first) == 1
+        first.close()
+        second.close()
+
+    def test_reopen_sees_previous_writes(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        store = VerdictStore(path)
+        store.put("key", True, "m")
+        store.close()
+        assert VerdictStore(path).get("key") == (True, "m")
+
+
+class TestOracleIntegration:
+    def test_solves_are_written_through(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        configure_verdict_store(path)
+        evaluate(gadget_spec("good"))
+        evaluate(gadget_spec("bad"))
+        configure_verdict_store(None)
+        store = VerdictStore(path)
+        assert len(store) == 2
+        assert {safe for safe, _ in store.load_all().values()} == \
+            {True, False}
+        store.close()
+
+    def test_fresh_process_hits_the_persisted_cache(self, tmp_path):
+        """Simulate a worker restart: cold memo, warm store ⇒ cache hit."""
+        path = str(tmp_path / "v.sqlite")
+        configure_verdict_store(path)
+        first = evaluate(gadget_spec("good"))
+        assert not first.cache_hit
+
+        configure_verdict_store(None)  # "process" exits...
+        clear_verdict_cache()
+        assert verdict_cache_size() == 0
+        configure_verdict_store(path)  # ...a new worker attaches the store
+
+        second = evaluate(gadget_spec("good", seed=999))
+        assert second.cache_hit  # same constraint system, never re-solved
+
+    def test_runner_wires_store_to_workers(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        specs = ScenarioGenerator(7, profile="quick").generate(8)
+        report = CampaignRunner(CampaignConfig(
+            jobs=2, chunk_size=2, verdict_cache_path=path)).run(specs)
+        assert report.scenario_count == 8
+        store = VerdictStore(path)
+        assert len(store) > 0
+        store.close()
+
+        # A rerun in fresh worker processes is pure cache hits.
+        clear_verdict_cache()
+        configure_verdict_store(None)
+        rerun = CampaignRunner(CampaignConfig(
+            jobs=2, chunk_size=2, verdict_cache_path=path)).run(specs)
+        assert rerun.cache_hit_rate == 1.0
+
+    def test_options_carry_store_path_to_evaluate_chunk(self, tmp_path):
+        from repro.campaigns import evaluate_chunk
+
+        path = str(tmp_path / "v.sqlite")
+        results = evaluate_chunk(
+            [gadget_spec("good")],
+            EvaluationOptions(verdict_store_path=path))
+        assert results[0].classification == "safe-converged"
+        configure_verdict_store(None)
+        store = VerdictStore(path)
+        assert len(store) == 1
+        store.close()

@@ -191,3 +191,68 @@ class TestCampaign:
     def test_unknown_command_is_a_usage_error(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCampaignBackends:
+    def test_three_way_differential_campaign(self, capsys):
+        assert main(["campaign", "--scenarios", "8", "--seed", "7",
+                     "--profile", "quick",
+                     "--backends", "gpv,ndlog"]) == 0
+        out = capsys.readouterr().out
+        assert "backends=gpv,ndlog" in out
+        assert "gpv~ndlog" in out
+        assert "DIVERGENCES" not in out
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--scenarios", "2",
+                     "--backends", "gpv,rapidnet"]) == 2
+        assert "rapidnet" in capsys.readouterr().err
+
+    def test_stream_out_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "results.jsonl"
+        assert main(["campaign", "--scenarios", "6", "--seed", "7",
+                     "--profile", "quick",
+                     "--stream-out", str(path)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert sorted(r["scenario_id"] for r in records) == list(range(6))
+        assert all("spec" in r for r in records)
+
+    def test_stream_out_unwritable_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["campaign", "--scenarios", "2",
+                     "--stream-out", str(tmp_path / "no" / "dir.jsonl")]) == 2
+        assert "stream-out" in capsys.readouterr().err
+
+    def test_verdict_cache_persists_across_invocations(self, tmp_path,
+                                                       capsys):
+        from repro.campaigns import clear_verdict_cache, configure_verdict_store
+
+        path = str(tmp_path / "verdicts.sqlite")
+        args = ["campaign", "--scenarios", "6", "--seed", "7",
+                "--profile", "quick", "--families", "gadget",
+                "--verdict-cache", path]
+        try:
+            clear_verdict_cache()           # cold memo: all solves hit the
+            configure_verdict_store(None)   # store, none ride the memo
+            assert main(args) == 0
+            capsys.readouterr()
+            clear_verdict_cache()           # simulate a fresh process
+            configure_verdict_store(None)
+            assert main(args) == 0
+            assert "cache hit rate: 100%" in capsys.readouterr().out
+        finally:
+            configure_verdict_store(None)
+            clear_verdict_cache()
+
+    def test_sharded_invocations_stride_the_stream(self, capsys):
+        assert main(["campaign", "--scenarios", "10", "--seed", "7",
+                     "--profile", "quick",
+                     "--shard-index", "1", "--shard-count", "2"]) == 0
+        assert "5 scenarios" in capsys.readouterr().out
+
+    def test_bad_shard_arguments_are_a_usage_error(self, capsys):
+        assert main(["campaign", "--scenarios", "4",
+                     "--shard-index", "3", "--shard-count", "2"]) == 2
+        assert "shard" in capsys.readouterr().err
