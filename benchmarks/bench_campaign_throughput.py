@@ -22,6 +22,7 @@ differentially — so the cost of three-way cross-checking stays visible.
 import os
 
 from repro.campaigns import (
+    FAMILIES,
     CampaignConfig,
     CampaignRunner,
     ScenarioGenerator,
@@ -148,3 +149,40 @@ def test_per_backend_throughput(benchmark, save_result, smoke):
     save_result("campaign_backend_throughput", "\n".join(lines))
     for key, rate in rates.items():
         benchmark.extra_info[f"sps_{key}"] = rate
+
+
+def test_per_family_throughput(benchmark, save_result, smoke):
+    """Scenarios/second per workload family, on every applicable backend.
+
+    One column per family in the generator's rotation — including the HLP
+    hierarchies (three-way gpv/ndlog/hlp) and the top-k multipath
+    scenarios (ranked-aggregate NDlog program) — so a family that regresses
+    (or a newly added one that is disproportionately expensive) shows up
+    in the perf trajectory instead of hiding inside the blended rate.
+    """
+    per_family = 4 if smoke else 16
+    backends = ("gpv", "ndlog", "hlp")
+
+    def sweep():
+        results = {}
+        for family in FAMILIES:
+            clear_verdict_cache()
+            specs = ScenarioGenerator(
+                SEED, families=(family,), profile="quick").generate(per_family)
+            report = CampaignRunner(
+                CampaignConfig(jobs=1, backends=backends)).run(specs)
+            results[family] = report
+        return results
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"scenarios per family: {per_family} (fixed seed {SEED}, "
+             f"backends {'+'.join(backends)})"]
+    for family, report in reports.items():
+        assert report.scenario_count == per_family
+        assert report.disagreement_count == 0, report.summary()
+        rate = report.scenarios_per_second
+        lines.append(f"{family:>11}: {rate:>8.1f} scenarios/s "
+                     f"({report.wall_clock_s:.2f}s)")
+        benchmark.extra_info[f"sps_{family}"] = rate
+    save_result("campaign_family_throughput", "\n".join(lines))

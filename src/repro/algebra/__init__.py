@@ -27,6 +27,7 @@ from .base import (
     rank_sort,
 )
 from .extended import AlgebraTables, ExtendedAlgebra, TableAlgebra
+from .hlp import HLP_WEIGHTS, HLPCostAlgebra
 from .gadgets import (
     GADGET_ZOO,
     bad_gadget,
@@ -57,6 +58,8 @@ __all__ = [
     "BandwidthAlgebra",
     "ClosedFormCertificate",
     "ExtendedAlgebra",
+    "HLPCostAlgebra",
+    "HLP_WEIGHTS",
     "Label",
     "LexicalProduct",
     "MonoEntry",

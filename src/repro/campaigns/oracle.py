@@ -39,6 +39,7 @@ from ..exec import (
     ExecutionOutcome,
     get_backend,
     route_mismatches,
+    route_set_mismatches,
     schedule_events,
 )
 from ..experiments.extraction import extract_spp
@@ -68,6 +69,11 @@ _ANALYZER: SafetyAnalyzer | None = None
 _STORE: VerdictStore | None = None
 _STORE_PATH: str | None = None
 _STORE_PID: int | None = None
+
+#: Memo hits not yet written to the store (flushed per chunk/campaign —
+#: a warmed cache must not pay a write transaction per scenario).
+_PENDING_HITS: dict[str, int] = {}
+_PENDING_HITS_FLUSH_AT = 256
 
 
 @dataclass(frozen=True)
@@ -111,13 +117,22 @@ def configure_verdict_store(path: str | None) -> None:
         return
     if _STORE is not None:
         if _STORE_PID == pid:
+            flush_store_hits()
             _STORE.close()
         _STORE = None
+    _PENDING_HITS.clear()  # a forked worker drops the parent's tally too
     _STORE_PATH = path
     _STORE_PID = pid
     if path is not None:
         _STORE = VerdictStore(path)
         _VERDICT_CACHE.update(_STORE.load_all())
+
+
+def flush_store_hits() -> None:
+    """Write accumulated memo-hit counts through to the attached store."""
+    if _STORE is not None and _PENDING_HITS:
+        _STORE.touch_many(_PENDING_HITS)
+    _PENDING_HITS.clear()
 
 
 def cached_verdict(
@@ -130,6 +145,13 @@ def cached_verdict(
         _VERDICT_CACHE[key] = (report.safe, report.method)
         if _STORE is not None:
             _STORE.put(key, report.safe, report.method)
+    elif _STORE is not None:
+        # Hit statistics drive the store's eviction pass (`repro verdicts
+        # --compact` drops rows no campaign ever re-used); batched so the
+        # warmed-cache fast path stays write-free.
+        _PENDING_HITS[key] = _PENDING_HITS.get(key, 0) + 1
+        if sum(_PENDING_HITS.values()) >= _PENDING_HITS_FLUSH_AT:
+            flush_store_hits()
     safe, method = _VERDICT_CACHE[key]
     return safe, method, hit
 
@@ -146,9 +168,19 @@ def evaluate(spec: ScenarioSpec,
         if scenario.analysis_subject is not None:
             safe, method, cache_hit = cached_verdict(scenario.analysis_subject)
 
+        # Backends declare per-scenario applicability (the HLP protocol
+        # cannot execute, say, an iBGP reflection hierarchy), so one
+        # --backends list can span heterogeneous families; the first
+        # supporting backend is the scenario's primary.
+        backends = [name for name in options.backends
+                    if get_backend(name).supports(scenario)]
+        if not backends:
+            raise ValueError(
+                f"no backend in {list(options.backends)} supports "
+                f"family {spec.family!r}")
         sessions = []
         outcomes: list[ExecutionOutcome] = []
-        for index, name in enumerate(options.backends):
+        for index, name in enumerate(backends):
             # Each session owns a mutable network: re-materialize for every
             # backend after the first (materialization is deterministic).
             scn = scenario if index == 0 else materialize(spec)
@@ -192,7 +224,8 @@ def evaluate(spec: ScenarioSpec,
 
 def classify_backend_pair(safe: bool | None, first: ExecutionOutcome,
                           second: ExecutionOutcome,
-                          algebra: RoutingAlgebra) -> tuple[str, str]:
+                          algebra: RoutingAlgebra, *,
+                          top_k: int = 1) -> tuple[str, str]:
     """``(status, detail)`` for one backend~backend cross-check.
 
     Convergence-status and route-table mismatches are *hard* divergences
@@ -200,6 +233,12 @@ def classify_backend_pair(safe: bool | None, first: ExecutionOutcome,
     differing stable states (``multi-stable`` — DISAGREE has two) and
     timing-dependent divergence (``nondeterministic``) are documented
     outcomes, not failures.
+
+    Multipath scenarios (``top_k > 1``) additionally compare the selected
+    route *sets* rank-wise up to algebra preference-equality
+    (:func:`~repro.exec.base.route_set_mismatches`) — agreeing on the best
+    route while ranking or dropping alternates differently is still a
+    divergence there.
     """
     if first.converged != second.converged:
         status = STATUS_DIVERGED if safe else NONDETERMINISTIC
@@ -208,6 +247,8 @@ def classify_backend_pair(safe: bool | None, first: ExecutionOutcome,
     if not first.converged:
         return AGREE, "both diverged"
     mismatches = route_mismatches(algebra, first, second)
+    if not mismatches and top_k > 1:
+        mismatches = route_set_mismatches(algebra, first, second)
     if not mismatches:
         return AGREE, ""
     status = ROUTE_DIVERGED if safe else MULTI_STABLE
@@ -224,7 +265,8 @@ def _pairwise(scenario: Scenario, safe: bool | None,
     for i, first in enumerate(outcomes):
         for second in outcomes[i + 1:]:
             status, detail = classify_backend_pair(
-                safe, first, second, scenario.algebra)
+                safe, first, second, scenario.algebra,
+                top_k=scenario.top_k)
             pairs.append(PairOutcome(first.backend, second.backend,
                                      status, detail))
     return tuple(pairs)
@@ -241,4 +283,7 @@ def evaluate_chunk(specs: list[ScenarioSpec],
     """
     options = options or EvaluationOptions()
     configure_verdict_store(options.verdict_store_path)
-    return [evaluate(spec, options) for spec in specs]
+    try:
+        return [evaluate(spec, options) for spec in specs]
+    finally:
+        flush_store_hits()

@@ -42,6 +42,7 @@ from .oracle import (
     configure_verdict_store,
     evaluate,
     evaluate_chunk,
+    flush_store_hits,
 )
 from .report import CampaignReport, ScenarioResult
 from .sink import AggregatingSink, ResultSink
@@ -160,11 +161,14 @@ class CampaignRunner:
         # Unconditional (including None): a cache-less campaign must detach
         # any store a previous run left configured in this process.
         configure_verdict_store(options.verdict_store_path)
-        for spec in specs:
-            state.consume(evaluate(spec, options))
-            state.aborted = self._abort_reason(state)
-            if state.aborted:
-                return
+        try:
+            for spec in specs:
+                state.consume(evaluate(spec, options))
+                state.aborted = self._abort_reason(state)
+                if state.aborted:
+                    return
+        finally:
+            flush_store_hits()
 
     # -- parallel path -------------------------------------------------------
 

@@ -17,7 +17,14 @@ Family → oracle wiring:
 * ``ibgp`` — a reflection hierarchy with hot-potato selection; analysis
   must follow the paper's Sec. VI-B extraction workflow (run first, extract
   the SPP from logged advertisements, then analyze), so the subject is
-  filled in by the oracle after execution.
+  filled in by the oracle after execution;
+* ``hlp`` — a domain hierarchy (paper Sec. VI-D) labelled for the
+  domain-constrained :class:`~repro.algebra.hlp.HLPCostAlgebra`, so the
+  generic backends compute exactly what the HLP engine computes and the
+  three-way ``gpv ~ ndlog ~ hlp`` differential is meaningful;
+* ``multipath`` — one of the AS/intradomain shapes re-materialized with
+  ``top_k > 1`` (Sec. VI-D's top-k propagation); backends advertise and
+  the oracle compares k-best route *sets*.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Hashable
 
 from ..algebra.base import RoutingAlgebra
 from ..algebra.gadgets import GADGET_ZOO, disagree_chain, replicate
+from ..algebra.hlp import HLPCostAlgebra
 from ..algebra.library import (
     ShortestHopCount,
     ShortestPath,
@@ -40,7 +48,9 @@ from ..algebra.library import (
 from ..algebra.spp import SPPAlgebra, SPPInstance
 from ..ndlog.codegen import network_from_spp
 from ..net.network import Network
+from ..protocols.hlp import DOMAIN_ATTR
 from ..topology.caida import caida_like, hierarchy
+from ..topology.hlp_topo import hlp_topology
 from ..topology.ibgp import EXT_DEST, make_ibgp_config, IGPCostAlgebra
 from ..topology.rocketfuel import rocketfuel_like
 from .spec import ScenarioSpec
@@ -74,6 +84,12 @@ class Scenario:
     #: Destination whose SPP is extracted after the run (iBGP workflow).
     extract_dest: str | None = None
     log_routes: bool = False
+    #: Routes advertised per (neighbor, destination) — the paper's Sec.
+    #: VI-D top-k propagation when > 1 (the ``multipath`` family).
+    top_k: int = 1
+    #: Periodic propagation interval (the paper's "batch and propagate
+    #: routes every second"); None ⇒ advertise per change.
+    batch_interval: float | None = None
     events: list[ResolvedEvent] = field(default_factory=list)
 
 
@@ -82,7 +98,9 @@ def materialize(spec: ScenarioSpec) -> Scenario:
     builder = _BUILDERS.get(spec.family)
     if builder is None:
         raise ValueError(f"unknown scenario family {spec.family!r}")
-    return builder(spec)
+    scenario = builder(spec)
+    scenario.batch_interval = spec.param("batch_interval")
+    return scenario
 
 
 # -- gadget family -----------------------------------------------------------
@@ -238,6 +256,100 @@ def _topology_scenario(spec: ScenarioSpec, network: Network,
     return scenario
 
 
+# -- HLP family --------------------------------------------------------------
+
+
+def _materialize_hlp(spec: ScenarioSpec) -> Scenario:
+    """HLP domain hierarchy, labelled for the domain-constrained algebra.
+
+    Every directed link label becomes ``(weight, receiver_domain,
+    sender_domain)`` so the generic backends (native GPV, generated NDlog)
+    compute exactly the metric the HLP engine's link-state + FPV machinery
+    does — the property the three-way differential rests on.
+
+    Event resolution is family-specific: failures bind to sorted
+    *cross-domain* links (a cross failure can never partition a domain's
+    LSA flood), perturbations bind to sorted *intra-domain* links and
+    re-weight both directions.
+    """
+    rng = random.Random(spec.seed)
+    # Random cross-link placement can leave a domain unattached on small
+    # configurations; step the topology seed deterministically until the
+    # generator produces a connected instance (still a pure function of
+    # the spec).
+    last_error: RuntimeError | None = None
+    for attempt in range(32):
+        try:
+            network = hlp_topology(
+                spec.param("domains", 3), spec.param("nodes_per_domain", 5),
+                spec.param("cross_links", 8), seed=spec.seed + attempt)
+            break
+        except RuntimeError as error:
+            last_error = error
+    else:
+        raise RuntimeError(
+            f"no connected HLP topology near seed {spec.seed}: {last_error}")
+    domain_of = {node: network.node_attrs(node)[DOMAIN_ATTR]
+                 for node in network.nodes()}
+    for link in network.links():
+        da, db = domain_of[link.a], domain_of[link.b]
+        link.labels[(link.a, link.b)] = (link.weight, da, db)
+        link.labels[(link.b, link.a)] = (link.weight, db, da)
+    algebra = HLPCostAlgebra(domains=sorted(set(domain_of.values())))
+    scenario = Scenario(
+        spec=spec,
+        network=network,
+        algebra=algebra,
+        destinations=_pick_destinations(
+            network, spec.param("destinations", 1), rng),
+        analysis_subject=algebra,
+    )
+    scenario.events = _resolve_hlp_events(spec, network, domain_of)
+    return scenario
+
+
+def _resolve_hlp_events(spec: ScenarioSpec, network: Network,
+                        domain_of: dict) -> list[ResolvedEvent]:
+    by_kind = {"fail": [], "perturb": []}
+    for link in sorted(network.links(),
+                       key=lambda l: tuple(sorted((l.a, l.b)))):
+        cross = domain_of[link.a] != domain_of[link.b]
+        by_kind["fail" if cross else "perturb"].append(link)
+    resolved = []
+    failed: set[frozenset] = set()
+    for event in spec.events:
+        links = by_kind[event.kind]
+        if not links:
+            continue
+        link = links[event.link_index % len(links)]
+        label: Hashable = None
+        if event.kind == "fail":
+            if link.ends in failed:
+                continue
+            failed.add(link.ends)
+        else:
+            domain = domain_of[link.a]
+            label = (event.weight, domain, domain)
+        resolved.append(ResolvedEvent(
+            time=event.time, kind=event.kind, a=link.a, b=link.b,
+            label=label))
+    return resolved
+
+
+# -- multipath family --------------------------------------------------------
+
+
+def _materialize_multipath(spec: ScenarioSpec) -> Scenario:
+    """Top-k scenario: one of the AS/intradomain shapes plus a ``top_k``."""
+    shape = spec.param("shape", "caida")
+    builder = _BUILDERS.get(shape)
+    if builder is None or shape == "multipath":
+        raise ValueError(f"unknown multipath shape {shape!r}")
+    scenario = builder(spec)
+    scenario.top_k = spec.param("top_k", 2)
+    return scenario
+
+
 # -- iBGP family -------------------------------------------------------------
 
 
@@ -295,4 +407,6 @@ _BUILDERS = {
     "hierarchy": _materialize_hierarchy,
     "rocketfuel": _materialize_rocketfuel,
     "ibgp": _materialize_ibgp,
+    "hlp": _materialize_hlp,
+    "multipath": _materialize_multipath,
 }

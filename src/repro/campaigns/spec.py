@@ -14,20 +14,28 @@ re-derived deterministically from it.  That makes specs
 
 :class:`ScenarioGenerator` draws randomized specs spanning every topology
 generator in :mod:`repro.topology` (CAIDA-like, deterministic hierarchies,
-Rocketfuel-like intradomain graphs, iBGP reflection hierarchies) and the
-full algebra library (Gao-Rexford A/B, their hop-count lexical products,
-widest-shortest, safe backup, shortest-path/hop-count, SPP gadgets plus
-seeded *perturbed* gadgets whose rankings are randomly reshuffled).
+Rocketfuel-like intradomain graphs, iBGP reflection hierarchies, HLP
+domain hierarchies) and the full algebra library (Gao-Rexford A/B, their
+hop-count lexical products, widest-shortest, safe backup,
+shortest-path/hop-count, the HLP domain-constrained cost algebra, SPP
+gadgets plus seeded *perturbed* gadgets whose rankings are randomly
+reshuffled).  The ``multipath`` family re-draws the AS/intradomain shapes
+with ``top_k > 1`` — the paper's Sec. VI-D top-k propagation — so the
+k-best advertisement machinery is differentially tested too.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterator, Sequence
 
 #: Topology families a spec can name.
-FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp")
+FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp", "hlp",
+            "multipath")
+
+#: Topology shapes the multipath (top-k) family rides on.
+MULTIPATH_SHAPES = ("caida", "hierarchy", "rocketfuel")
 
 #: Algebras drawn for the AS-level families (CAIDA-like and hierarchy).
 INTERDOMAIN_ALGEBRAS = (
@@ -240,6 +248,51 @@ class ScenarioGenerator:
             seed=rng.randrange(2**31), params=params,
             until=60.0, max_events=30_000 if self.quick else 120_000,
             events=tuple(events))
+
+    def _make_hlp(self, index: int, rng: random.Random) -> ScenarioSpec:
+        """HLP domain hierarchies (paper Sec. VI-D), three-way comparable.
+
+        Events are family-specific: ``fail`` indexes the sorted
+        *cross-domain* link list (cross failures exercise FPV withdrawals
+        without ever partitioning a domain's link-state flood), ``perturb``
+        indexes the sorted *intra-domain* list with a fresh weight (the
+        regime HLP's cost hiding was designed around).
+        """
+        domains = rng.randint(3, 3 if self.quick else 4)
+        nodes_per_domain = rng.randint(4, 5 if self.quick else 6)
+        params = (
+            ("domains", domains),
+            ("nodes_per_domain", nodes_per_domain),
+            ("cross_links", rng.randint(domains + 2, 2 * domains + 2)),
+            ("destinations", rng.randint(1, 2)),
+        )
+        events: list[LinkEventSpec] = list(
+            self._maybe_failures(rng, count=rng.randint(0, 1)))
+        if rng.random() < 0.6:
+            events.append(LinkEventSpec(
+                time=round(rng.uniform(0.1, 0.5), 3), kind="perturb",
+                link_index=rng.randrange(64), weight=rng.randint(1, 10)))
+        events.sort(key=lambda e: e.time)
+        return ScenarioSpec(
+            scenario_id=index, family="hlp", algebra="hlp-cost",
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=60_000 if self.quick else 250_000,
+            events=tuple(events))
+
+    def _make_multipath(self, index: int, rng: random.Random) -> ScenarioSpec:
+        """Top-k GPV scenarios (paper Sec. VI-D's multipath extension).
+
+        Re-draws one of the AS/intradomain shapes, then asks every
+        backend to propagate the k-best route set instead of the single
+        best — the generated NDlog program compiles to the ranked
+        ``a_topK`` variant and must stay differential with the native
+        engine's multipath advertisements.
+        """
+        shape = rng.choice(MULTIPATH_SHAPES)
+        base = getattr(self, f"_make_{shape}")(index, rng)
+        params = base.params + (("shape", shape),
+                                ("top_k", rng.randint(2, 3)))
+        return replace(base, family="multipath", params=params)
 
     def _make_ibgp(self, index: int, rng: random.Random) -> ScenarioSpec:
         routers = rng.randint(14, 16 if self.quick else 24)

@@ -25,7 +25,8 @@ CREATE TABLE IF NOT EXISTS verdicts (
     key        TEXT PRIMARY KEY,
     safe       INTEGER NOT NULL,
     method     TEXT NOT NULL,
-    created_at REAL NOT NULL
+    created_at REAL NOT NULL,
+    hits       INTEGER NOT NULL DEFAULT 0
 )
 """
 
@@ -41,7 +42,17 @@ class VerdictStore:
         except sqlite3.OperationalError:
             pass  # e.g. unsupported filesystem; rollback journal still works
         self._conn.execute(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Add the ``hits`` column to stores written before it existed."""
+        columns = {row[1] for row in
+                   self._conn.execute("PRAGMA table_info(verdicts)")}
+        if "hits" not in columns:
+            self._conn.execute(
+                "ALTER TABLE verdicts ADD COLUMN hits INTEGER NOT NULL "
+                "DEFAULT 0")
 
     # -- reads ----------------------------------------------------------------
 
@@ -72,6 +83,63 @@ class VerdictStore:
             "VALUES (?, ?, ?, ?)",
             (key, int(safe), method, time.time()))
         self._conn.commit()
+
+    def touch(self, key: str) -> None:
+        """Count one memo hit against the stored verdict (hygiene data)."""
+        self.touch_many({key: 1})
+
+    def touch_many(self, counts: dict[str, int]) -> None:
+        """Add accumulated hit counts in one transaction.
+
+        The oracle batches its memo hits and flushes them per chunk — a
+        warmed-cache campaign must not pay one write transaction per
+        scenario for bookkeeping.
+        """
+        if not counts:
+            return
+        self._conn.executemany(
+            "UPDATE verdicts SET hits = hits + ? WHERE key = ?",
+            [(count, key) for key, count in counts.items()])
+        self._conn.commit()
+
+    # -- hygiene ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Row/hit statistics for ``repro verdicts --stats``."""
+        total, safe, hits, never = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(safe), 0), "
+            "COALESCE(SUM(hits), 0), "
+            "COALESCE(SUM(CASE WHEN hits = 0 THEN 1 ELSE 0 END), 0) "
+            "FROM verdicts").fetchone()
+        methods = dict(self._conn.execute(
+            "SELECT method, COUNT(*) FROM verdicts GROUP BY method"))
+        hottest = self._conn.execute(
+            "SELECT key, hits FROM verdicts WHERE hits > 0 "
+            "ORDER BY hits DESC, key LIMIT 5").fetchall()
+        return {
+            "verdicts": total,
+            "safe": safe,
+            "unsafe": total - safe,
+            "hits": hits,
+            "never_hit": never,
+            "methods": methods,
+            "hottest": hottest,
+        }
+
+    def compact(self) -> int:
+        """Evict never-hit rows and reclaim the space; returns the count.
+
+        The store grows forever otherwise: every distinct perturbed-gadget
+        constraint system a campaign ever drew stays around even if no
+        later campaign re-encounters it.  Rows with zero recorded hits are
+        exactly those — dropping them re-derives the verdict on the next
+        encounter at the cost of one SMT solve.
+        """
+        evicted = self._conn.execute(
+            "DELETE FROM verdicts WHERE hits = 0").rowcount
+        self._conn.commit()
+        self._conn.execute("VACUUM")
+        return evicted
 
     def close(self) -> None:
         self._conn.close()

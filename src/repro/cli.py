@@ -12,11 +12,15 @@ Python:
 * ``figure {fig4,fig5,fig6} [--quick]`` — regenerate an evaluation figure;
 * ``campaign`` — run a randomized differential-testing campaign
   (analysis verdict vs one or more execution backends over many
-  scenarios; ``--backends gpv,ndlog`` cross-checks the native engine
-  against the generated NDlog implementation, ``--stream-out`` records
-  every scenario as JSONL in constant memory, ``--shard-index`` /
-  ``--shard-count`` stride the deterministic spec stream across machines,
-  ``--verdict-cache`` persists SMT verdicts across invocations).
+  scenarios; ``--backends gpv,ndlog,hlp`` cross-checks the native engine
+  against the generated NDlog implementation and the hierarchical HLP
+  protocol, ``--families hlp,multipath`` selects the workload families,
+  ``--stream-out`` records every scenario as JSONL in constant memory,
+  ``--shard-index`` / ``--shard-count`` stride the deterministic spec
+  stream across machines, ``--verdict-cache`` persists SMT verdicts
+  across invocations);
+* ``verdicts <path> [--stats|--compact]`` — inspect a persistent verdict
+  cache's hit statistics, or evict the rows no campaign ever re-used.
 
 Exit codes are consistent across subcommands: **0** when the command ran
 and the verdict is good (safe / converged / no disagreement), **1** when
@@ -148,6 +152,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("campaign rejected: --scenarios must be >= 1",
               file=sys.stderr)
         return 2
+    # Families accept both spellings: --families hlp multipath and
+    # --families hlp,multipath (CI one-liners favor the comma form).
+    families = None
+    if args.families:
+        families = [name for token in args.families
+                    for name in token.split(",") if name]
     sink = None
     if args.stream_out:
         try:
@@ -161,7 +171,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             args.scenarios,
             seed=args.seed,
             jobs=args.jobs,
-            families=args.families,
+            families=families,
             profile=args.profile,
             chunk_size=args.chunk_size,
             wall_clock_budget_s=args.budget_s,
@@ -192,6 +202,41 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("campaign rejected: zero scenarios were evaluated",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_verdicts(args: argparse.Namespace) -> int:
+    import os
+
+    from .campaigns import VerdictStore
+    if not os.path.exists(args.path):
+        print(f"verdict cache rejected: no such file: {args.path}",
+              file=sys.stderr)
+        return 1
+    store = VerdictStore(args.path)
+    try:
+        if args.compact:
+            before = len(store)
+            evicted = store.compact()
+            print(f"compacted {args.path}: evicted {evicted} never-hit "
+                  f"verdicts ({before} -> {before - evicted})")
+        stats = store.stats()
+    finally:
+        store.close()
+    print(f"verdict cache {args.path}:")
+    print(f"  verdicts: {stats['verdicts']} "
+          f"({stats['safe']} safe, {stats['unsafe']} unsafe)")
+    methods = " ".join(f"{method}={count}"
+                       for method, count in sorted(stats["methods"].items()))
+    if methods:
+        print(f"  methods:  {methods}")
+    print(f"  hits:     {stats['hits']} total; "
+          f"{stats['never_hit']} verdicts never hit")
+    if stats["hottest"]:
+        print("  hottest:")
+        for key, hits in stats["hottest"]:
+            rendered = key if len(key) <= 64 else key[:61] + "..."
+            print(f"    {hits:>6}  {rendered}")
     return 0
 
 
@@ -243,8 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (reproducible scenario stream)")
     p.add_argument("--families", nargs="+", default=None, metavar="FAMILY",
-                   help="restrict to these scenario families "
-                        "(gadget, caida, hierarchy, rocketfuel, ibgp)")
+                   help="restrict to these scenario families, space- or "
+                        "comma-separated (gadget, caida, hierarchy, "
+                        "rocketfuel, ibgp, hlp, multipath)")
     p.add_argument("--profile", default="default",
                    help="workload profile: default or quick")
     p.add_argument("--chunk-size", type=int, default=8,
@@ -255,7 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop once this many disagreements were found")
     p.add_argument("--backends", default="gpv", metavar="NAME[,NAME...]",
                    help="execution backends to cross-check per scenario, "
-                        "comma-separated (gpv, ndlog; default: gpv)")
+                        "comma-separated (gpv, ndlog, hlp; default: gpv). "
+                        "Backends skip scenarios they cannot execute (hlp "
+                        "runs the hlp family only)")
     p.add_argument("--stream-out", default=None, metavar="PATH",
                    help="stream one JSONL record per scenario to PATH as "
                         "results are produced (constant memory)")
@@ -267,6 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-count", type=int, default=1,
                    help="total shards striding the spec stream")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "verdicts",
+        help="inspect or compact a persistent verdict cache")
+    p.add_argument("path", help="sqlite verdict cache written by "
+                                "campaign --verdict-cache")
+    p.add_argument("--stats", action="store_true",
+                   help="print row/hit statistics (the default action)")
+    p.add_argument("--compact", action="store_true",
+                   help="evict never-hit verdicts and reclaim space, "
+                        "then print statistics")
+    p.set_defaults(fn=cmd_verdicts)
 
     return parser
 

@@ -7,10 +7,14 @@ on N independent implementations and cross-check their route tables:
 
 * ``gpv`` (:class:`GPVBackend`) — the native Python path-vector engine;
 * ``ndlog`` (:class:`NDlogBackend`) — the algebra compiled to NDlog and
-  interpreted by the runtime (the paper's generated-implementation path).
+  interpreted by the runtime (the paper's generated-implementation path);
+* ``hlp`` (:class:`HLPBackend`) — the hierarchical link-state / FPV
+  protocol of the paper's Sec. VI-D case study, comparable on HLP-cost
+  scenarios (it declares per-scenario applicability via
+  :meth:`ExecutionBackend.supports`).
 
-See ``src/repro/exec/README.md`` for the backend contract and how to add
-a third backend (e.g. HLP).
+See ``src/repro/exec/README.md`` for the backend contract and the
+checklist for adding further backends.
 """
 
 from .base import (
@@ -18,15 +22,18 @@ from .base import (
     ExecutionOutcome,
     ExecutionSession,
     route_mismatches,
+    route_set_mismatches,
     schedule_events,
 )
 from .gpv import GPVBackend, GPVSession
+from .hlp import HLPBackend, HLPSession
 from .ndlog import NDlogBackend, NDlogSession
 
 #: Registry of backend name → singleton instance (backends are stateless).
 BACKENDS: dict[str, ExecutionBackend] = {
     GPVBackend.name: GPVBackend(),
     NDlogBackend.name: NDlogBackend(),
+    HLPBackend.name: HLPBackend(),
 }
 
 #: The default single-backend configuration (fast path).
@@ -64,10 +71,13 @@ __all__ = [
     "ExecutionSession",
     "GPVBackend",
     "GPVSession",
+    "HLPBackend",
+    "HLPSession",
     "NDlogBackend",
     "NDlogSession",
     "get_backend",
     "resolve_backends",
     "route_mismatches",
+    "route_set_mismatches",
     "schedule_events",
 ]

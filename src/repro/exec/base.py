@@ -57,11 +57,14 @@ class ExecutionOutcome:
     sim_time_s: float = 0.0
     routes: dict = field(default_factory=dict)
     sigs: dict = field(default_factory=dict)
+    #: Multipath outcomes only (``top_k > 1``): ``(node, dest)`` → ranked
+    #: tuple of selected ``(sig, path)`` routes, best first, capped at k.
+    route_sets: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (route tables are summarized, not dumped)."""
         held = sum(1 for path in self.routes.values() if path is not None)
-        return {
+        record = {
             "backend": self.backend,
             "converged": self.converged,
             "stop_reason": self.stop_reason,
@@ -71,6 +74,10 @@ class ExecutionOutcome:
             "routes_held": held,
             "route_pairs": len(self.routes),
         }
+        if self.route_sets:
+            record["multipath_routes"] = sum(
+                len(routes) for routes in self.route_sets.values())
+        return record
 
 
 class ExecutionSession(ABC):
@@ -116,18 +123,39 @@ class ExecutionSession(ABC):
             sim_time_s=self.sim.now,
             routes=routes,
             sigs=sigs,
+            route_sets=self.route_sets(),
         )
 
     @abstractmethod
     def route_table(self) -> tuple[dict, dict]:
         """``(routes, sigs)`` keyed ``(node, dest)`` over all pairs."""
 
+    def route_sets(self) -> dict:
+        """Top-k selected route sets per ``(node, dest)`` (multipath only).
+
+        Single-path sessions return ``{}`` — the best-route table already
+        carries everything comparable.
+        """
+        return {}
+
 
 class ExecutionBackend(ABC):
     """Factory for :class:`ExecutionSession`s; stateless and reusable."""
 
-    #: Registry / CLI name (``--backends gpv,ndlog``).
+    #: Registry / CLI name (``--backends gpv,ndlog,hlp``).
     name: str = "backend"
+
+    def supports(self, scenario: "Scenario") -> bool:
+        """Can this backend execute the scenario?
+
+        The generic backends run any algebra over any network, so the
+        default is True.  Protocol-specific backends (HLP needs
+        domain-annotated topologies and the HLP cost algebra for its
+        outcome to be comparable) override this; the campaign oracle skips
+        non-supporting backends per scenario, so one ``--backends`` list
+        can span heterogeneous families.
+        """
+        return True
 
     @abstractmethod
     def prepare(self, scenario: "Scenario", *, seed: int = 0,
@@ -171,6 +199,43 @@ def route_mismatches(algebra: RoutingAlgebra, first: ExecutionOutcome,
                 mismatches.append(
                     f"{node}->{dest}: {first.backend}={p1}({s1}) "
                     f"{second.backend}={p2}({s2})")
+        if len(mismatches) >= limit:
+            break
+    return mismatches
+
+
+def route_set_mismatches(algebra: RoutingAlgebra, first: ExecutionOutcome,
+                         second: ExecutionOutcome,
+                         limit: int = 8) -> list[str]:
+    """Where two converged multipath outcomes' k-best *sets* disagree.
+
+    Strict rank-wise comparison: both backends must hold the same number
+    of routes per ``(node, dest)`` and the signatures at each rank must
+    be preference-EQUAL (paths may differ — ties are real, and stickiness
+    makes the tied pick arrival-order dependent).  This flags dropped or
+    extra k-best entries, wrong ranking order, and strictly-worse
+    alternates alike.  Empirically the stable k-best sets match at this
+    granularity across every campaign family (ordered per-link transport
+    plus tie-refined algebras make the stable state unique); if a
+    scenario ever surfaces a genuine tie-margin ambiguity, the oracle
+    should flag it for human eyes rather than silently absorb it.
+    """
+    mismatches: list[str] = []
+    for key in sorted(set(first.route_sets) | set(second.route_sets)):
+        node, dest = key
+        routes1 = first.route_sets.get(key, ())
+        routes2 = second.route_sets.get(key, ())
+        if len(routes1) != len(routes2):
+            mismatches.append(
+                f"{node}->{dest}: {first.backend} holds {len(routes1)} "
+                f"routes, {second.backend} holds {len(routes2)}")
+        elif any(algebra.preference(sig1, sig2) is not Pref.EQUAL
+                 for (sig1, _p1), (sig2, _p2) in zip(routes1, routes2)):
+            render1 = [str(sig) for sig, _path in routes1]
+            render2 = [str(sig) for sig, _path in routes2]
+            mismatches.append(
+                f"{node}->{dest}: k-best sets diverge "
+                f"{first.backend}={render1} {second.backend}={render2}")
         if len(mismatches) >= limit:
             break
     return mismatches

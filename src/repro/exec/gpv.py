@@ -23,9 +23,11 @@ class GPVSession(ExecutionSession):
 
     def __init__(self, scenario: "Scenario", *, seed: int,
                  log_routes: bool):
-        self.engine = GPVEngine(scenario.network, scenario.algebra,
-                                scenario.destinations, seed=seed,
-                                log_routes=log_routes)
+        self.top_k = getattr(scenario, "top_k", 1)
+        self.engine = GPVEngine(
+            scenario.network, scenario.algebra, scenario.destinations,
+            seed=seed, log_routes=log_routes, top_k=self.top_k,
+            batch_interval=getattr(scenario, "batch_interval", None))
         self.sim = self.engine.sim
         self.algebra = scenario.algebra
         self.destinations = list(scenario.destinations)
@@ -60,6 +62,19 @@ class GPVSession(ExecutionSession):
                 routes[(node, dest)] = route[1] if route else None
                 sigs[(node, dest)] = route[0] if route else None
         return routes, sigs
+
+    def route_sets(self) -> dict:
+        if self.top_k < 2:
+            return {}
+        sets: dict = {}
+        for node in self.network.nodes():
+            for dest in self.destinations:
+                if node == dest:
+                    continue
+                ranked = self.engine.known_routes(node, dest)[:self.top_k]
+                if ranked:
+                    sets[(node, dest)] = tuple(ranked)
+        return sets
 
 
 class GPVBackend(ExecutionBackend):

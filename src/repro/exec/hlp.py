@@ -1,0 +1,113 @@
+"""HLP execution backend (paper Sec. VI-D as a third implementation).
+
+Wraps :class:`~repro.protocols.hlp.HLPEngine` — hybrid link-state /
+fragmented-path-vector routing over a domain-annotated topology — behind
+the :class:`ExecutionBackend` contract, so campaigns can cross-check a
+*mechanistically different* implementation against the native GPV engine
+and the generated NDlog program.
+
+What makes the three comparable is the algebra: HLP-family scenarios label
+their links for :class:`~repro.algebra.hlp.HLPCostAlgebra` (summed weights
+under domain-granularity loop prevention), which is precisely the metric
+HLP's link-state + FPV machinery computes.  This session renders HLP's
+routing state in that algebra's signature vocabulary — ``(cost, dpath)``
+per ``(node, destination)`` — and the oracle's preference-equality
+comparison does the rest: equal costs agree, regardless of which concrete
+(router- or domain-level) path each implementation settled on.
+
+The paths this backend reports are *domain-granular* (HLP's fragmented
+path vector intentionally hides router-level detail), so cross-backend
+route comparison virtually always falls through to signature equality —
+which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..algebra.hlp import HLPCostAlgebra
+from ..protocols.hlp import HLPEngine
+from .base import ExecutionBackend, ExecutionOutcome, ExecutionSession
+
+if TYPE_CHECKING:
+    from ..campaigns.scenarios import ResolvedEvent, Scenario
+
+
+class HLPSession(ExecutionSession):
+    """A prepared :class:`HLPEngine` run."""
+
+    def __init__(self, scenario: "Scenario", *, seed: int,
+                 log_routes: bool):
+        if not isinstance(scenario.algebra, HLPCostAlgebra):
+            raise ValueError(
+                "the HLP backend executes HLP-cost scenarios only "
+                f"(got algebra {scenario.algebra.name!r})")
+        self.engine = HLPEngine(scenario.network, seed=seed)
+        self.sim = self.engine.sim
+        self.algebra = scenario.algebra
+        self.destinations = list(scenario.destinations)
+        #: HLP's fragmented adverts carry no router-level paths, so there
+        #: is nothing SPP extraction could consume — the log stays empty
+        #: (the oracle keeps a path-vector backend primary for families
+        #: that extract).
+        self.route_log: list = []
+
+    def apply_event(self, event: "ResolvedEvent") -> None:
+        if not self.network.has_link(event.a, event.b):
+            return  # already failed (or never materialized)
+        if event.kind == "fail":
+            self.engine.fail_link(event.a, event.b)
+        elif event.kind == "perturb":
+            # HLP-family perturbations re-weight intra-domain links; the
+            # resolved label is the algebra triple (weight, domain, domain).
+            self.engine.perturb_link(event.a, event.b, event.label[0])
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> ExecutionOutcome:
+        reason = self.engine.run(until=until, max_events=max_events)
+        return self._outcome(HLPBackend.name, reason)
+
+    def route_table(self) -> tuple[dict, dict]:
+        routes: dict = {}
+        sigs: dict = {}
+        for node in self.network.nodes():
+            for dest in self.destinations:
+                if node == dest:
+                    continue
+                routes[(node, dest)], sigs[(node, dest)] = \
+                    self._render_route(node, dest)
+        return routes, sigs
+
+    def _render_route(self, node: str, dest: str) -> tuple:
+        """``(path, sig)`` of HLP's current route in algebra vocabulary."""
+        engine = self.engine
+        cost = engine.route_cost(node, dest)
+        if cost is None:
+            return None, None
+        state = engine._states[node]
+        if engine._domain(dest) == state.domain:
+            return (node, dest), (cost, (state.domain,))
+        _border_cost, dpath, border = state.best_ext[dest]
+        path = (node, dest) if border == node else (node, border, dest)
+        return path, (cost, tuple(dpath))
+
+
+class HLPBackend(ExecutionBackend):
+    """The hierarchical protocol (`hlp`): link-state + FPV over domains."""
+
+    name = "hlp"
+
+    def supports(self, scenario: "Scenario") -> bool:
+        """Only HLP-cost scenarios are executable *and* comparable.
+
+        The algebra check implies the topology one: HLP-family
+        materialization only labels domain-annotated networks for
+        :class:`HLPCostAlgebra`, and the signatures it renders are only
+        meaningful against backends running the same algebra.
+        """
+        return (isinstance(scenario.algebra, HLPCostAlgebra)
+                and getattr(scenario, "top_k", 1) == 1)
+
+    def prepare(self, scenario: "Scenario", *, seed: int = 0,
+                log_routes: bool = False) -> HLPSession:
+        return HLPSession(scenario, seed=seed, log_routes=log_routes)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..algebra.base import PHI
+from ..algebra.base import PHI, rank_routes
 from ..ndlog.codegen import deploy_gpv
 from ..net.simulator import Simulator
 from .base import ExecutionBackend, ExecutionOutcome, ExecutionSession
@@ -34,8 +34,9 @@ from .base import ExecutionBackend, ExecutionOutcome, ExecutionSession
 if TYPE_CHECKING:
     from ..campaigns.scenarios import ResolvedEvent, Scenario
 
-#: Column positions of the generated GPV program's relations.
-SIG_NEIGHBOR, SIG_DEST, SIG_SIG, SIG_PATH = 1, 2, 3, 4
+#: Column positions of the generated GPV program's relations (the top-k
+#: variant appends a rank column to ``sig`` at SIG_RANK).
+SIG_NEIGHBOR, SIG_DEST, SIG_SIG, SIG_PATH, SIG_RANK = 1, 2, 3, 4, 5
 OPT_DEST, OPT_SIG, OPT_PATH = 1, 2, 3
 
 
@@ -46,9 +47,12 @@ class NDlogSession(ExecutionSession):
                  log_routes: bool):
         self.algebra = scenario.algebra
         self.destinations = list(scenario.destinations)
+        self.top_k = getattr(scenario, "top_k", 1)
         self.sim = Simulator(scenario.network, seed=seed)
-        self.runtime = deploy_gpv(scenario.network, scenario.algebra,
-                                  self.destinations, simulator=self.sim)
+        self.runtime = deploy_gpv(
+            scenario.network, scenario.algebra, self.destinations,
+            simulator=self.sim, top_k=self.top_k,
+            batch_interval=getattr(scenario, "batch_interval", None))
         self.route_log: list = []
         if log_routes:
             self.runtime.observers.append(self._log_route)
@@ -84,6 +88,12 @@ class NDlogSession(ExecutionSession):
             runtime.delete_facts(node, "label",
                                  lambda row: row[1] == gone)
             runtime.drop_neighbor_state(node, gone)
+            if self.top_k > 1:
+                # Rank slots already advertised toward the vanished
+                # neighbor are void (the label join keeps them from ever
+                # being re-derived or sent).
+                runtime.delete_facts(node, "advBest",
+                                     lambda row: row[1] == gone)
             for row in runtime.table_rows(node, "sig"):
                 if row[SIG_SIG] is PHI:
                     continue
@@ -93,6 +103,8 @@ class NDlogSession(ExecutionSession):
                 if learned_from_gone or originated_over:
                     withdrawal = (node, row[SIG_NEIGHBOR], row[SIG_DEST],
                                   PHI, (node,))
+                    if self.top_k > 1:
+                        withdrawal += (row[SIG_RANK],)
                     runtime.apply_delta(node, "sig", withdrawal)
 
     def perturb_link(self, a: str, b: str, *, label_ab=None,
@@ -116,8 +128,10 @@ class NDlogSession(ExecutionSession):
                 except (KeyError, NotImplementedError):
                     sig = PHI
                 if sig is not PHI:
-                    runtime.apply_delta(node, "sig",
-                                        (node, node, src, sig, (node, src)))
+                    origination = (node, node, src, sig, (node, src))
+                    if self.top_k > 1:
+                        origination += (0,)
+                    runtime.apply_delta(node, "sig", origination)
 
     # -- run / snapshot -------------------------------------------------------
 
@@ -141,6 +155,30 @@ class NDlogSession(ExecutionSession):
                 routes[(node, dest)] = row[OPT_PATH] if row else None
                 sigs[(node, dest)] = row[OPT_SIG] if row else None
         return routes, sigs
+
+    def route_sets(self) -> dict:
+        """Ranked candidate pool per pair, capped at k (multipath only).
+
+        Mirrors the native engine's ``known_routes``: all non-φ ``sig``
+        rows for the pair, in the shared :func:`rank_routes` order.
+        """
+        if self.top_k < 2:
+            return {}
+        sets: dict = {}
+        dests = set(self.destinations)
+        for node in self.network.nodes():
+            pools: dict = {}
+            for row in self.runtime.table_rows(node, "sig"):
+                if row[SIG_DEST] not in dests:
+                    continue
+                pools.setdefault(row[SIG_DEST], []).append(
+                    (row[SIG_SIG], row[SIG_PATH]))
+            for dest, pool in pools.items():
+                if node == dest:
+                    continue
+                ranked = rank_routes(self.algebra.better, pool)
+                sets[(node, dest)] = tuple(ranked[:self.top_k])
+        return sets
 
 
 class NDlogBackend(ExecutionBackend):

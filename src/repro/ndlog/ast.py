@@ -15,14 +15,39 @@ friends) need, mirroring RapidNet/P2:
   never stored;
 * body elements: relation atoms, assignments ``X := f_fn(...)``, and boolean
   conditions ``expr OP expr``;
-* one aggregate form in heads: ``a_pref<S>`` — "pick the most preferred
-  row per group", the route-selection step of GPV.
+* two aggregate forms in heads:
+
+  - ``a_pref<S>`` — "pick the most preferred row per group", the
+    route-selection step of GPV;
+  - ``a_topK<S>`` (e.g. ``a_top3<S>``) — a *ranked* aggregate maintaining
+    the K most preferred rows per group.  The head relation's stored rows
+    carry one extra trailing **rank column** (0 = best) that does not
+    appear among the head's written arguments; vacated rank slots are
+    filled with φ rows so downstream rules observe withdrawals.  Ranked
+    aggregates may join several (materialized) body atoms — the top-k
+    send rule of the multipath GPV program ranks ``sig ⋈ label`` per
+    neighbor.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Union
+
+#: Ranked-aggregate function names: ``a_top<K>`` with K >= 1.
+_RANKED_AGGREGATE_RE = re.compile(r"a_top(\d+)")
+
+
+def ranked_aggregate_k(func: str) -> int | None:
+    """``K`` when ``func`` names a ranked aggregate (``a_topK``), else None."""
+    match = _RANKED_AGGREGATE_RE.fullmatch(func)
+    if match is None:
+        return None
+    k = int(match.group(1))
+    if k < 1:
+        raise ValueError(f"ranked aggregate {func!r} needs K >= 1")
+    return k
 
 
 @dataclass(frozen=True)
@@ -151,6 +176,15 @@ class Rule:
     def is_aggregate(self) -> bool:
         return self.head.aggregate_index() is not None
 
+    def ranked_k(self) -> int | None:
+        """K of this rule's ranked aggregate (``a_topK``), or None."""
+        index = self.head.aggregate_index()
+        if index is None:
+            return None
+        aggregate = self.head.args[index]
+        assert isinstance(aggregate, Aggregate)
+        return ranked_aggregate_k(aggregate.func)
+
     def __str__(self) -> str:
         body = ", ".join(str(el) for el in self.body)
         return f"{self.name} {self.head} :- {body}."
@@ -195,11 +229,25 @@ class Program:
             if not atoms:
                 raise ValueError(f"rule {rule.name}: no body atoms")
             if rule.is_aggregate:
-                if len(atoms) != 1:
+                if rule.ranked_k() is not None:
+                    # Ranked aggregates may join several atoms (the top-k
+                    # send rule ranks sig ⋈ label per neighbor), but every
+                    # one must be a stored table the maintenance can rescan.
+                    unstored = [a.relation for a in atoms
+                                if not self.is_materialized(a.relation)]
+                    if unstored:
+                        raise ValueError(
+                            f"rule {rule.name}: ranked aggregate over "
+                            f"event relations {unstored}")
+                    if not self.is_materialized(rule.head.relation):
+                        raise ValueError(
+                            f"rule {rule.name}: ranked aggregate head "
+                            f"{rule.head.relation} must be materialized")
+                elif len(atoms) != 1:
                     raise ValueError(
                         f"rule {rule.name}: aggregate rules must have exactly "
                         "one body atom")
-                if not self.is_materialized(atoms[0].relation):
+                elif not self.is_materialized(atoms[0].relation):
                     raise ValueError(
                         f"rule {rule.name}: aggregate over event relation "
                         f"{atoms[0].relation}")

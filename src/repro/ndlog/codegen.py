@@ -28,7 +28,7 @@ from ..net.network import Network
 from ..net.simulator import Simulator
 from .functions import FunctionRegistry
 from .parser import parse_program
-from .programs import GPV
+from .programs import GPV, gpv_topk
 from .runtime import NDlogRuntime, TransportPolicy
 
 
@@ -134,7 +134,8 @@ def deploy_gpv(network: Network, algebra: RoutingAlgebra,
                destinations: Iterable[str], *,
                seed: int = 0,
                batch_interval: float | None = None,
-               simulator: Simulator | None = None) -> NDlogRuntime:
+               simulator: Simulator | None = None,
+               top_k: int = 1) -> NDlogRuntime:
     """Assemble a runnable GPV deployment (Fig. 1's left-hand path).
 
     Returns an :class:`NDlogRuntime` with origination facts injected at
@@ -143,19 +144,36 @@ def deploy_gpv(network: Network, algebra: RoutingAlgebra,
     failure/perturbation timeline shared with another backend — instead of
     a fresh internal one (``seed`` is ignored in that case: the external
     simulator already carries its own RNG).
+
+    ``top_k > 1`` deploys the multipath variant
+    (:func:`~repro.ndlog.programs.gpv_topk`): ``sig`` and the wire format
+    gain a trailing rank column, originations occupy rank 0, and the send
+    side advertises the k-best exportable set per neighbor through the
+    ranked ``a_topK`` aggregate.
     """
-    program = parse_program(GPV, name="gpv")
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    if top_k == 1:
+        program = parse_program(GPV, name="gpv")
+        transport = TransportPolicy(msg_relation="msg", dest_pos=2,
+                                    sig_pos=3, path_pos=4,
+                                    batch_interval=batch_interval)
+    else:
+        program = parse_program(gpv_topk(top_k), name=f"gpv-top{top_k}")
+        transport = TransportPolicy(msg_relation="msg", dest_pos=2,
+                                    sig_pos=3, path_pos=4, rank_pos=5,
+                                    batch_interval=batch_interval)
     if simulator is None:
         simulator = Simulator(network, seed=seed)
     elif simulator.network is not network:
         raise ValueError("the supplied simulator runs a different network")
-    transport = TransportPolicy(msg_relation="msg", dest_pos=2, sig_pos=3,
-                                path_pos=4, batch_interval=batch_interval)
     runtime = NDlogRuntime(program, simulator, make_functions(algebra),
                            transport)
     for node, row in label_facts(network):
         runtime.install_fact(node, "label", row)
     for node, row in origination_facts(network, algebra, destinations):
+        if top_k > 1:
+            row = row + (0,)  # originations are their own rank-0 slot
         runtime.inject(node, "sig", row, at=0.0)
     return runtime
 

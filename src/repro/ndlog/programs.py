@@ -52,3 +52,48 @@ gpvSend msg(@N,U,D,SExp,P) :- localOpt(@U,D,S,P),
     N != D,
     SExp := f_exportSig(L,S,P,N).
 """
+
+
+def gpv_topk(k: int) -> str:
+    """The multipath GPV variant: advertise the k-best set per neighbor
+    (paper Sec. VI-D, "propagating the top-k paths instead of the current
+    best path").
+
+    Differences from the single-path program:
+
+    * ``sig`` carries a trailing **rank column** ``K`` (part of the
+      adjacency-RIB-in key): a neighbor's advertisement set occupies up to
+      ``k`` per-rank slots, each replaced independently, with φ rows
+      filling vacated slots (a per-rank withdraw);
+    * route selection (``localOpt``) is unchanged — it aggregates over the
+      whole ranked candidate pool;
+    * the send side replaces ``gpvSend``-from-``localOpt`` with a *ranked
+      aggregate*: ``advBest`` maintains, per (node, neighbor, destination),
+      the k most preferred exportable routes — export filter and split
+      horizon are applied per candidate *before* ranking (``f_exportSig``
+      inside the aggregate body), matching the native engine's pool
+      construction — and every rank-row delta ships as an ordinary
+      message.
+    """
+    if k < 1:
+        raise ValueError("top-k propagation needs k >= 1")
+    return f"""
+materialize(label, infinity, infinity, keys(1,2)).
+materialize(sig, infinity, infinity, keys(1,2,3,6)).
+materialize(localOpt, infinity, infinity, keys(1,2)).
+materialize(advBest, infinity, infinity, keys(1,2,3,6)).
+
+gpvRecv sig(@U,V,D,SNew,PNew,K) :- msg(@U,V,D,S,P,K),
+    label(@U,V,L),
+    SNew := f_combine(L,S,P,U),
+    PNew := f_concatPath(U,P).
+
+gpvSelect localOpt(@U,D,a_pref<S>,P) :- sig(@U,V,D,S,P,K).
+
+gpvRank advBest(@U,N,D,a_top{k}<SExp>,P) :- sig(@U,V,D,S,P,K),
+    label(@U,N,L),
+    N != D,
+    SExp := f_exportSig(L,S,P,N).
+
+gpvSend msg(@N,U,D,S,P,K) :- advBest(@U,N,D,S,P,K).
+"""

@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
-from ..algebra.base import PHI
-from ..net.simulator import Simulator
+from ..algebra.base import PHI, rank_routes
+from ..net.simulator import Simulator, next_flush_time
 from ..net.sizes import update_size
 from .ast import (
     Aggregate,
@@ -56,15 +56,19 @@ class TransportPolicy:
 
     ``dest_pos`` / ``sig_pos`` / ``path_pos`` identify the destination,
     signature and path columns of ``msg_relation`` (GPV: positions 2/3/4).
+    ``rank_pos`` names the rank column of top-k programs: coalescing, the
+    RIB-out and φ-suppression then operate per (destination, rank) slot,
+    so a rank-1 advertisement never clobbers the pending rank-0 one.
     ``batch_interval`` enables periodic propagation: outgoing messages are
     buffered and flushed on the interval grid, coalescing to the latest
-    advertisement per (neighbor, destination).
+    advertisement per (neighbor, destination[, rank]).
     """
 
     msg_relation: str = "msg"
     dest_pos: int | None = None
     sig_pos: int | None = None
     path_pos: int | None = None
+    rank_pos: int | None = None
     batch_interval: float | None = None
     default_size_bytes: int = 64
 
@@ -140,9 +144,12 @@ class NDlogRuntime:
         self.transport = transport or TransportPolicy()
         self._states = {node: _NodeState(node, program)
                         for node in self.network.nodes()}
-        #: Relations whose change counts as a route change (aggregate heads).
+        #: Relations whose change counts as a route change (best-row
+        #: aggregate heads; ranked top-k tables shuffle without the best
+        #: route moving, so they do not count).
         self._best_relations = {rule.head.relation for rule in program.rules
-                                if rule.is_aggregate}
+                                if rule.is_aggregate
+                                and rule.ranked_k() is None}
         #: Called as ``observer(node, relation, row)`` after every *changed*
         #: materialized upsert (route logging, extraction, instrumentation).
         self.observers: list = []
@@ -235,15 +242,22 @@ class NDlogRuntime:
                 for observer in self.observers:
                     observer(node, rel, tup)
             for rule, position in self.program.rules_triggered_by(rel):
-                if rule.is_aggregate:
-                    produced = self._maintain_aggregate(node, rule, tup)
-                else:
-                    produced = self._fire_rule(node, rule, position, tup)
+                produced = self._dispatch_rule(node, rule, position, tup)
                 for head_rel, head_row, target in produced:
                     if target == node:
                         worklist.append((head_rel, head_row))
                     else:
                         self._emit(node, target, head_rel, head_row)
+
+    def _dispatch_rule(self, node: str, rule: Rule, position: int,
+                       row: Row) -> list[tuple[str, Row, str]]:
+        """Route one delta into the evaluation strategy the rule needs."""
+        if rule.is_aggregate:
+            k = rule.ranked_k()
+            if k is not None:
+                return self._maintain_topk(node, rule, position, row, k)
+            return self._maintain_aggregate(node, rule, row)
+        return self._fire_rule(node, rule, position, row)
 
     # -- rule evaluation ------------------------------------------------------------
 
@@ -430,13 +444,91 @@ class NDlogRuntime:
         # caller only routes the produced tuples.
         for dependent, position in self.program.rules_triggered_by(
                 rule.head.relation):
-            if dependent.is_aggregate:
-                out.extend(self._maintain_aggregate(node, dependent,
-                                                    candidate_row))
-            else:
-                out.extend(self._fire_rule(node, dependent, position,
+            out.extend(self._dispatch_rule(node, dependent, position,
                                            candidate_row))
         return out
+
+    # -- ranked (top-k) aggregates --------------------------------------------------
+
+    def _maintain_topk(self, node: str, rule: Rule, delta_pos: int,
+                       delta_row: Row, k: int) -> list[tuple[str, Row, str]]:
+        """Recompute the affected groups' k-best rank slots.
+
+        The head's written arguments before the aggregate are the group
+        keys (GPV multipath: ``advBest(@U,N,D,a_topK<SExp>,P)`` groups by
+        ``(U, N, D)``); stored head rows carry the **rank appended as a
+        trailing column** (part of the declared key).  Unlike ``a_pref``,
+        the body may join several materialized atoms, so the delta only
+        *localizes* the recomputation: the full body is re-joined seeded
+        with whatever group variables the delta binds, and every group in
+        the result is diffed slot-by-slot against the head table.  Slots
+        beyond the surviving candidates are φ-filled — the per-rank
+        withdraw downstream rules and the transport's φ-suppression expect.
+        """
+        delta_atom = rule.body[delta_pos]
+        assert isinstance(delta_atom, Atom)
+        delta_bindings = self._unify(delta_atom, delta_row, {})
+        if delta_bindings is None:
+            return []
+        agg_index = rule.head.aggregate_index()
+        assert agg_index is not None
+        aggregate = rule.head.args[agg_index]
+        assert isinstance(aggregate, Aggregate)
+        group_exprs = list(rule.head.args[:agg_index])
+        trailing_exprs = list(rule.head.args[agg_index + 1:])
+        seed = {expr.name: delta_bindings[expr.name]
+                for expr in group_exprs
+                if isinstance(expr, Var) and expr.name in delta_bindings}
+
+        groups: dict[tuple, list[tuple]] = {}
+        for bindings in self._join(node, list(rule.body), dict(seed)):
+            key = tuple(self._eval(arg, bindings) for arg in group_exprs)
+            sig = self._eval(aggregate.var, bindings)
+            trailing = tuple(self._eval(arg, bindings)
+                             for arg in trailing_exprs)
+            groups.setdefault(key, []).append((sig, trailing))
+
+        head_table = self._states[node].tables.get(rule.head.relation)
+        if head_table is None:
+            raise NDlogRuntimeError(
+                f"ranked aggregate head {rule.head.relation} must be "
+                "materialized")
+        out: list[tuple[str, Row, str]] = []
+        for key, candidates in groups.items():
+            ranked = self._rank_candidates(candidates)
+            filler = tuple((key[rule.head.loc_index],)
+                           for _ in trailing_exprs)
+            for rank in range(k):
+                sig, trailing = (ranked[rank] if rank < len(ranked)
+                                 else (PHI, filler))
+                row = (*key, sig, *trailing, rank)
+                changed, _old = head_table.upsert(row)
+                if not changed:
+                    continue
+                for observer in self.observers:
+                    observer(node, rule.head.relation, row)
+                for dependent, position in self.program.rules_triggered_by(
+                        rule.head.relation):
+                    out.extend(self._dispatch_rule(node, dependent, position,
+                                                   row))
+        return out
+
+    def _rank_candidates(self, candidates: list[tuple]) -> list[tuple]:
+        """Non-φ candidates best-first in the shared k-best order.
+
+        Delegates to :func:`~repro.algebra.base.rank_routes` with the
+        algebra-generated ``f_better`` comparator so the ranked aggregate,
+        the native engine's RIB and the session snapshots cannot drift
+        apart; the tie key generalizes the native (len(path), path) rule
+        to the aggregate's trailing columns (one path column in GPV)."""
+        def better(s1, s2) -> bool:
+            return bool(self.functions.call("f_better", s1, s2))
+
+        def tie_key(trailing: tuple) -> tuple:
+            return tuple((len(value), value) if isinstance(value, tuple)
+                         else (-1, value) for value in trailing)
+
+        return rank_routes(better, candidates, tie_key=tie_key)
 
     def _head_row_from(self, rule: Rule, bindings: dict, agg_index: int,
                        aggregate: Aggregate) -> Row:
@@ -512,13 +604,16 @@ class NDlogRuntime:
         state.out_buffer[(target, coalesce_key)] = (relation, row)
         if not state.flush_scheduled:
             state.flush_scheduled = True
-            interval = policy.batch_interval
-            ticks = int(self.sim.now / interval) + 1
-            self.sim.at(ticks * interval, lambda: self._flush(node))
+            self.sim.at(next_flush_time(node, self.sim.now,
+                                        policy.batch_interval, self.sim.rng),
+                        lambda: self._flush(node))
 
     def _coalesce_key(self, target: str, row: Row) -> Hashable:
         if self.transport.dest_pos is not None:
-            return row[self.transport.dest_pos]
+            key: Hashable = row[self.transport.dest_pos]
+            if self.transport.rank_pos is not None:
+                key = (key, row[self.transport.rank_pos])
+            return key
         return row
 
     def _suppress(self, state: _NodeState, target: str, relation: str,

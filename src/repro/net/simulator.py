@@ -20,12 +20,35 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .network import Network
 from .stats import StatsCollector
+
+
+def next_flush_time(node: str, now: float, interval: float,
+                    rng: random.Random | None = None) -> float:
+    """Next batched-propagation tick for ``node`` (MRAI-style timers).
+
+    Each node flushes on its own phase-shifted grid — the offset is a
+    deterministic function of the node name — plus, when a seeded ``rng``
+    is supplied, a small per-flush drift: real per-peer advertisement
+    timers run mutually desynchronized and drift.  A globally aligned
+    grid would keep symmetric oscillators (DISAGREE) in perfect lockstep
+    forever; staggered, drifting timers let one node observe the other's
+    settled state mid-cycle and wedge into a stable solution, which is
+    exactly how periodic advertisement (MRAI) tames those configurations
+    in deployed BGP.
+    """
+    phase = (zlib.crc32(node.encode()) % 997) / 997 * interval
+    tick = phase + (math.floor((now - phase) / interval) + 1) * interval
+    if rng is not None:
+        tick += rng.uniform(0.0, 0.1 * interval)
+    return tick
 
 
 @dataclass(order=True)
@@ -73,6 +96,8 @@ class Simulator:
         self._handlers: dict[str, Callable[[str, Any], None]] = {}
         #: Per-direction earliest free time of each link (FIFO serialization).
         self._link_free_at: dict[tuple[str, str], float] = {}
+        #: Per-direction latest scheduled arrival (FIFO delivery).
+        self._link_arrival_at: dict[tuple[str, str], float] = {}
         self._stopped = False
 
     # -- wiring --------------------------------------------------------------
@@ -107,7 +132,13 @@ class Simulator:
 
         Models FIFO serialization per link direction: a burst of updates
         queues behind itself, which is what makes oscillating configurations
-        visibly saturate links in the Fig. 5 traces.
+        visibly saturate links in the Fig. 5 traces.  Delivery is FIFO per
+        direction as well — jitter perturbs arrival times but never
+        reorders two messages on the same directed link, because the
+        protocol sessions this simulates (BGP over TCP, RapidNet's
+        transport) are ordered byte streams; without the clamp a stale
+        advertisement could overtake the fresh one that replaces it and
+        freeze a stale adjacency-RIB entry into the converged state.
         """
         link = self.network.link(src, dst)
         direction = (src, dst)
@@ -115,7 +146,9 @@ class Simulator:
         tx_done = start + link.transmission_delay(size_bytes)
         self._link_free_at[direction] = tx_done
         jitter = self.rng.uniform(0.0, link.jitter_s) if link.jitter_s else 0.0
-        arrival = tx_done + link.latency_s + jitter
+        arrival = max(tx_done + link.latency_s + jitter,
+                      self._link_arrival_at.get(direction, 0.0))
+        self._link_arrival_at[direction] = arrival
         self.stats.record_send(self.now, src, dst, size_bytes)
         message = Message(src, dst, payload, size_bytes)
         self.at(arrival, lambda: self._deliver(message))

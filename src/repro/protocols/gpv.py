@@ -25,10 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
-from ..algebra.base import PHI, RoutingAlgebra, Signature
+from ..algebra.base import PHI, RoutingAlgebra, Signature, rank_routes
 from ..algebra.extended import ExtendedAlgebra
 from ..net.network import Network
-from ..net.simulator import Simulator
+from ..net.simulator import Simulator, next_flush_time
 from ..net.sizes import update_size
 
 Path = tuple
@@ -216,6 +216,12 @@ class GPVEngine:
             self._advertise(node, dest, lost)
             return
         if current == winner:
+            if self.top_k > 1:
+                # The best survived the loss but the advertised k-best
+                # *set* shrank — neighbors must not keep alternates that
+                # ride the failed link (per-neighbor RIB-out dedup keeps
+                # this quiet when the set is in fact unchanged).
+                self._advertise(node, dest, winner)
             return
         state.best[dest] = winner
         self.sim.stats.record_route_change(self.sim.now, node)
@@ -294,25 +300,7 @@ class GPVEngine:
 
     def _ranked(self, candidates: list[Route]) -> list[Route]:
         """Non-φ candidates, most preferred first, deduplicated by path."""
-        import functools
-
-        seen: set[Path] = set()
-        unique = []
-        for route in candidates:
-            if route[0] is PHI or route[1] in seen:
-                continue
-            seen.add(route[1])
-            unique.append(route)
-
-        def compare(r1: Route, r2: Route) -> int:
-            if self.algebra.better(r1[0], r2[0]):
-                return -1
-            if self.algebra.better(r2[0], r1[0]):
-                return 1
-            return -1 if (len(r1[1]), r1[1]) <= (len(r2[1]), r2[1]) else 1
-
-        unique.sort(key=functools.cmp_to_key(compare))
-        return unique
+        return rank_routes(self.algebra.better, candidates)
 
     def _reselect(self, node: str, dest: str) -> None:
         state = self._states[node]
@@ -400,8 +388,8 @@ class GPVEngine:
         state.out_buffer[rib_key] = adv
         if not state.flush_scheduled:
             state.flush_scheduled = True
-            ticks = int(self.sim.now / self.batch_interval) + 1
-            self.sim.at(ticks * self.batch_interval,
+            self.sim.at(next_flush_time(node, self.sim.now,
+                                        self.batch_interval, self.sim.rng),
                         lambda: self._flush(node))
 
     def _flush(self, node: str) -> None:

@@ -113,6 +113,9 @@ class _NodeState:
     fpv_out: dict[tuple[str, str], FpvAdvert] = field(default_factory=dict)
     #: Last (cost, dpath) view this border re-flooded per destination.
     refloods: dict[str, tuple] = field(default_factory=dict)
+    #: Records whose intra-domain forwarding this node suppressed as
+    #: dominated — revisited when the dominating evidence weakens.
+    suppressed_forwards: set[tuple[str, str]] = field(default_factory=set)
     ext_serial: int = 0
     lsdb_version: int = 0
     #: Cached intra-domain distance maps, keyed by lsdb_version.
@@ -188,10 +191,52 @@ class HLPEngine:
             raise ValueError("perturb_link is for intra-domain links")
         self.network.link(a, b).weight = weight
         for endpoint in (a, b):
-            state = self._states[endpoint]
-            current = state.lsdb.get(endpoint)
-            serial = (current.serial + 1) if current else 1
-            self._accept_lsa(endpoint, self._own_lsa(endpoint, serial), None)
+            self._reoriginate_lsa(endpoint)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take the link between ``a`` and ``b`` down at the current time.
+
+        BGP-session semantics, mirroring the other protocol engines: items
+        in flight across the dead link are dropped on delivery, and the
+        failure propagates through the protocol's own machinery.
+
+        * A **cross-domain** failure deletes everything learned over the
+          link from both ends' cross RIBs; each former endpoint refloods
+          its (possibly now empty) view of every affected destination,
+          which cascades into FPV withdrawals toward other domains.
+        * An **intra-domain** failure makes both endpoints re-originate
+          their LSAs without the link; distances recompute and border
+          adverts refresh exactly as for a weight change.  Note that a
+          failure that *partitions* a domain leaves the far partition's
+          stale LSAs in place forever (LSAs carry no expiry here), so
+          campaign schedules only fail cross-domain links.
+        """
+        cross = self._domain(a) != self._domain(b)
+        self.network.remove_link(a, b)
+        for node, gone in ((a, b), (b, a)):
+            state = self._states[node]
+            state.out_queues.pop(gone, None)
+        if not cross:
+            for endpoint in (a, b):
+                self._reoriginate_lsa(endpoint)
+            return
+        for node, gone in ((a, b), (b, a)):
+            state = self._states[node]
+            affected = [dest for (src, dest) in list(state.rib_cross)
+                        if src == gone]
+            for dest in affected:
+                del state.rib_cross[(gone, dest)]
+            for key in [k for k in state.fpv_out if k[0] == gone]:
+                del state.fpv_out[key]
+            for dest in affected:
+                self._reflood_ext(node, dest)
+
+    def _reoriginate_lsa(self, endpoint: str) -> None:
+        """Flood a fresh own-LSA with a bumped serial (topology changed)."""
+        state = self._states[endpoint]
+        current = state.lsdb.get(endpoint)
+        serial = (current.serial + 1) if current else 1
+        self._accept_lsa(endpoint, self._own_lsa(endpoint, serial), None)
 
     # -- queries ----------------------------------------------------------------------
 
@@ -218,6 +263,8 @@ class HLPEngine:
 
     def _make_handler(self, node: str):
         def handler(src: str, payload) -> None:
+            if not self.network.has_link(node, src):
+                return  # session failed while the packet was in flight
             if not isinstance(payload, Packet):  # pragma: no cover - defensive
                 raise TypeError(f"unexpected HLP payload {payload!r}")
             for item in payload.items:
@@ -300,6 +347,15 @@ class HLPEngine:
                 for dest in {d for (_, d) in state.ext_records}:
                     self._reselect_ext(node, dest)
             self._refresh_cross_adverts(node, changed, borders_changed)
+            # Domination gaps are functions of intra-domain distances, so a
+            # metric change (e.g. a weight perturbation growing a path) can
+            # invalidate earlier suppression decisions — both forwards
+            # declined by this node and own views it never flooded.
+            self._recheck_suppressed_forwards(node)
+            if self._cross_neighbors(node):
+                for dest in {d for (_, d) in state.rib_cross
+                             if state.refloods.get(d) is None}:
+                    self._reflood_ext(node, dest)
 
     # -- FPV machinery ------------------------------------------------------------------------
 
@@ -367,13 +423,18 @@ class HLPEngine:
         self._accept_ext_record(node, record, None)
 
     def _dominated(self, node: str, dest: str, my_cost: int) -> bool:
-        """Is some circulating record provably at least as good everywhere?"""
+        """Is some circulating record provably *strictly* better everywhere?
+
+        Strict, not weak, dominance: a cost tie is settled by the domain
+        path under the HLP preference order, so a weakly dominated view
+        could still be the one every node would select.
+        """
         state = self._states[node]
         for (border, d), record in state.ext_records.items():
             if d != dest or record.cost < 0 or border == node:
                 continue
             to_border = state.dist.get(border)
-            if to_border is not None and record.cost + to_border <= my_cost:
+            if to_border is not None and record.cost + to_border < my_cost:
                 return True
         return False
 
@@ -393,22 +454,53 @@ class HLPEngine:
         # domination strictly decrease cost, so the per-node optimum always
         # propagates.
         if known is not None or not self._forward_dominated(node, record):
+            state.suppressed_forwards.discard(key)
             for neighbor in self._intra_neighbors(node):
                 if neighbor != from_neighbor:
                     self._enqueue(node, neighbor, record)
+        else:
+            state.suppressed_forwards.add(key)
         self._reselect_ext(node, record.dest)
-        # A suppressed view of mine may have become competitive now that
-        # another border's record worsened or vanished.
+        # Suppression is only sound against the evidence it was decided
+        # on: when a record is withdrawn or worsens, both a suppressed
+        # view of mine and records I declined to forward may have become
+        # competitive.
         if (record.border != node and state.refloods.get(record.dest) is None
                 and self._cross_neighbors(node)):
             self._reflood_ext(node, record.dest)
+        if known is not None and (record.cost < 0
+                                  or (known.cost >= 0
+                                      and record.cost > known.cost)):
+            self._recheck_suppressed_forwards(node, record.dest)
+
+    def _recheck_suppressed_forwards(self, node: str,
+                                     dest: str | None = None) -> None:
+        """Forward previously dominated records that no longer are.
+
+        Neighbors that already hold a re-forwarded record drop it on the
+        serial check, so revisiting is idempotent and cheap.
+        """
+        state = self._states[node]
+        for key in list(state.suppressed_forwards):
+            if dest is not None and key[1] != dest:
+                continue
+            record = state.ext_records.get(key)
+            if record is None or record.cost < 0:
+                state.suppressed_forwards.discard(key)
+                continue
+            if not self._forward_dominated(node, record):
+                state.suppressed_forwards.discard(key)
+                for neighbor in self._intra_neighbors(node):
+                    self._enqueue(node, neighbor, record)
 
     def _forward_dominated(self, node: str, record: ExtRecord) -> bool:
         """Does a known record beat ``record`` at every possible node?
 
         Record from border b' with cost c' dominates (b, c) when
-        ``c' + dist(b, b') <= c``: for any node x,
-        ``dist(x, b') + c' <= dist(x, b) + dist(b, b') + c' <= dist(x, b) + c``.
+        ``c' + dist(b, b') < c``: for any node x,
+        ``dist(x, b') + c' <= dist(x, b) + dist(b, b') + c' < dist(x, b) + c``.
+        Strictly — a cost tie is settled by the domain path under the HLP
+        preference order, so a weakly dominated record could still win.
         Distances come from this node's (possibly partial) LSDB, which can
         only over-estimate — suppression stays sound during cold start.
         """
@@ -419,7 +511,7 @@ class HLPEngine:
             if border == record.border:
                 continue
             gap = self._intra_dist(node, record.border, border)
-            if gap is not None and other.cost + gap <= record.cost:
+            if gap is not None and other.cost + gap < record.cost:
                 return True
         return False
 
@@ -468,7 +560,12 @@ class HLPEngine:
             to_border = 0 if border == node else state.dist.get(border)
             if to_border is None:
                 continue
-            rank = (to_border + record.cost, len(record.dpath), border)
+            # Tie order mirrors the HLP cost algebra's preference —
+            # (cost, |dpath|, dpath) — so every implementation settles on
+            # the same signature; the border name only breaks exact
+            # signature ties deterministically.
+            rank = (to_border + record.cost, len(record.dpath),
+                    record.dpath, border)
             if best_rank is None or rank < best_rank:
                 best_rank = rank
                 best = (record.cost, record.dpath, border)
@@ -515,8 +612,10 @@ class HLPEngine:
         if self._domain(dest) == state.domain:
             dpath: tuple = (state.domain,)
         else:
+            # The selected record's domain path already leads with this
+            # domain (refloods prepend it) — advertise it as is.
             choice = state.best_ext.get(dest)
-            dpath = ((state.domain,) + tuple(choice[1])) if choice else ()
+            dpath = tuple(choice[1]) if choice else ()
         for neighbor in cross:
             if neighbor == dest:
                 continue

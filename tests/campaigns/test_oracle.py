@@ -53,8 +53,21 @@ class TestKnownGadgets:
         assert result.classification == UNSAFE_DIVERGED
         assert not result.safe and not result.converged
 
-    def test_disagree_is_the_documented_false_positive(self):
+    def test_disagree_oscillates_under_per_change_advertisement(self):
+        """Message-driven DISAGREE flips on every received update, so with
+        per-change advertisements over the ordered transport the pair
+        stays in lockstep — the async oscillation the model checker
+        exhibits."""
         result = evaluate(gadget_spec("disagree"))
+        assert result.classification == UNSAFE_DIVERGED
+        assert not result.safe and not result.converged
+
+    def test_batched_disagree_is_the_documented_false_positive(self):
+        """Under periodic (MRAI-style) advertisement the desynchronized
+        timers coalesce one endpoint's flip away and DISAGREE wedges into
+        a stable state: analysis says unsafe, execution converges — the
+        paper's canonical false positive (Sec. IV-A)."""
+        result = evaluate(gadget_spec("disagree", batch_interval=0.05))
         assert result.classification == FALSE_POSITIVE
         assert not result.safe and result.converged
 

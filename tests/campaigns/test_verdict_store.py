@@ -119,3 +119,72 @@ class TestOracleIntegration:
         store = VerdictStore(path)
         assert len(store) == 1
         store.close()
+
+
+class TestHygiene:
+    def test_touch_counts_hits(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "v.sqlite"))
+        store.put("k1", True, "smt")
+        store.put("k2", False, "smt")
+        store.touch("k1")
+        store.touch("k1")
+        stats = store.stats()
+        assert stats["verdicts"] == 2
+        assert stats["hits"] == 2
+        assert stats["never_hit"] == 1
+        assert stats["hottest"] == [("k1", 2)]
+        store.close()
+
+    def test_compact_drops_only_never_hit_rows(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "v.sqlite"))
+        store.put("hot", True, "smt")
+        store.put("cold", True, "smt")
+        store.touch("hot")
+        assert store.compact() == 1
+        assert store.get("hot") is not None
+        assert store.get("cold") is None
+        store.close()
+
+    def test_pre_hits_schema_is_migrated(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE verdicts (key TEXT PRIMARY KEY, "
+            "safe INTEGER NOT NULL, method TEXT NOT NULL, "
+            "created_at REAL NOT NULL)")
+        conn.execute(
+            "INSERT INTO verdicts VALUES ('legacy', 1, 'smt', 0.0)")
+        conn.commit()
+        conn.close()
+        store = VerdictStore(path)
+        assert store.get("legacy") == (True, "smt")
+        store.touch("legacy")
+        assert store.stats()["hits"] == 1
+        store.close()
+
+    def test_oracle_hits_touch_the_store(self, tmp_path):
+        from repro.campaigns.oracle import (
+            cached_verdict,
+            clear_verdict_cache,
+            configure_verdict_store,
+        )
+        from repro.algebra import good_gadget
+
+        path = str(tmp_path / "v.sqlite")
+        try:
+            clear_verdict_cache()
+            configure_verdict_store(path)
+            cached_verdict(good_gadget())   # solve + write-through
+            cached_verdict(good_gadget())   # memo hit -> touch
+            cached_verdict(good_gadget())
+        finally:
+            configure_verdict_store(None)
+            clear_verdict_cache()
+        store = VerdictStore(path)
+        stats = store.stats()
+        assert stats["verdicts"] == 1
+        assert stats["hits"] == 2
+        assert stats["never_hit"] == 0
+        store.close()

@@ -36,17 +36,22 @@ def run_backend(name: str, spec: ScenarioSpec, *, log_routes: bool = False):
     return session, outcome
 
 
-def gadget_spec(kind: str, *, seed: int = 3,
-                events: tuple = ()) -> ScenarioSpec:
+def gadget_spec(kind: str, *, seed: int = 3, events: tuple = (),
+                **extra) -> ScenarioSpec:
+    params = (("gadget", kind),) + tuple(sorted(extra.items()))
     return ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
                         seed=seed, until=30.0, max_events=25_000,
-                        params=(("gadget", kind),), events=events)
+                        params=params, events=events)
 
 
 SAFE_SPECS = [
     gadget_spec("good"),
     gadget_spec("figure3-fixed"),
-    gadget_spec("chain"),
+    # A fully conflicting chain is DISAGREE-unsafe; the conflict-free
+    # chain is the provably safe member of the family.
+    gadget_spec("chain", conflict=0.0),
+    # The paper's periodic-propagation mode, differentially tested.
+    gadget_spec("good", batch_interval=0.05),
     ScenarioSpec(scenario_id=1, family="caida", algebra="gr-a", seed=11,
                  until=60.0, max_events=120_000,
                  params=(("as_count", 14), ("peer_fraction", 0.2),
@@ -128,7 +133,7 @@ class TestEventSemantics:
     """Event schedules mean the same thing to every backend."""
 
     def test_failed_link_routes_are_withdrawn_everywhere(self):
-        spec = SAFE_SPECS[4]  # hierarchy with two link failures
+        spec = SAFE_SPECS[5]  # hierarchy with two link failures
         gpv_session, gpv = run_backend("gpv", spec)
         ndlog_session, ndlog = run_backend("ndlog", spec)
         # The failures removed links from both session-owned networks

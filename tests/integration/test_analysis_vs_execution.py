@@ -70,9 +70,16 @@ def test_analysis_is_deterministic(instance):
 
 def test_disagree_is_the_documented_false_positive():
     """Unsafe verdict + convergent execution: strictness is sufficient,
-    not necessary (paper Sec. IV-A)."""
+    not necessary (paper Sec. IV-A).
+
+    Executed under periodic (MRAI-style) advertisement: DISAGREE flips on
+    every received update, so per-change advertisements over the ordered
+    transport oscillate forever, while the desynchronized per-node timers
+    coalesce one endpoint's flip away and wedge it into a stable state.
+    """
     instance = disagree()
     assert not ANALYZER.analyze(instance).safe
     net = network_from_spp(instance, jitter_s=0.003)
-    engine = GPVEngine(net, SPPAlgebra(instance), ["0"], seed=5)
+    engine = GPVEngine(net, SPPAlgebra(instance), ["0"], seed=5,
+                       batch_interval=0.05)
     assert engine.run(until=300.0, max_events=500_000) == "quiescent"

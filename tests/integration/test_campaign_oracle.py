@@ -17,6 +17,7 @@ import pytest
 from repro.campaigns import (
     ERROR,
     FALSE_POSITIVE,
+    FAMILIES,
     SAFE_CONVERGED,
     UNSAFE_DIVERGED,
     CampaignConfig,
@@ -70,7 +71,7 @@ def test_population_is_actually_diverse(report):
     assert counters[SAFE_CONVERGED] > 0
     assert counters[UNSAFE_DIVERGED] + counters[FALSE_POSITIVE] > 0
     families = {r.family for r in report.results}
-    assert len(families) == 5
+    assert families == set(FAMILIES)
 
 
 def test_reproducer_seeds_empty_on_clean_campaign(report):

@@ -112,9 +112,12 @@ class TestGPVOnGadgets:
 
     def test_disagree_settles_into_valid_stable_state(self):
         """The withdraw (φ advertisement) flow prevents the mutual-loop
-        pseudo-solution; one node defers to the other."""
+        pseudo-solution; one node defers to the other.  Runs under
+        periodic (MRAI-style) advertisement — per-change advertisements
+        over the ordered transport keep DISAGREE flipping in lockstep."""
         instance = disagree()
-        runtime = deploy_spp(instance, seed=5, jitter_s=0.003)
+        runtime = deploy_spp(instance, seed=5, jitter_s=0.003,
+                             batch_interval=0.05)
         assert runtime.sim.run(until=120.0) == "quiescent"
         best = self._best_paths(runtime, instance)
         assert best in (
@@ -162,9 +165,10 @@ class TestPhiSuppression:
     def test_phi_not_sent_to_uninvolved_neighbors(self):
         """A node that never received a route gets no withdraw for it."""
         instance = disagree()
-        runtime = deploy_spp(instance, seed=5, jitter_s=0.003)
-        runtime.sim.run(until=120.0)
+        runtime = deploy_spp(instance, seed=5, jitter_s=0.003,
+                             batch_interval=0.05)
+        assert runtime.sim.run(until=120.0) == "quiescent"
         # All messages must either carry a real signature or follow a real
         # advertisement (checked indirectly: the run terminates instead of
         # ping-ponging withdraw noise).
-        assert runtime.sim.run() == "quiescent"
+        assert runtime.sim.run(max_events=10) == "quiescent"

@@ -29,7 +29,11 @@ class TestGadgetDynamics:
         assert engine.best_path("3", "0") == ("3", "0")
 
     def test_disagree_valid_stable_state(self):
-        engine = spp_engine(disagree(), seed=4, jitter_s=0.003)
+        # Periodic advertisement (desynchronized per-node timers) is what
+        # wedges DISAGREE: per-change advertisements over the ordered
+        # transport would keep the pair flipping in lockstep forever.
+        engine = spp_engine(disagree(), seed=4, jitter_s=0.003,
+                            batch_interval=0.05)
         assert engine.run(until=120.0) == "quiescent"
         state = (engine.best_path("1", "0"), engine.best_path("2", "0"))
         assert state in (

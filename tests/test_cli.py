@@ -256,3 +256,76 @@ class TestCampaignBackends:
         assert main(["campaign", "--scenarios", "4",
                      "--shard-index", "3", "--shard-count", "2"]) == 2
         assert "shard" in capsys.readouterr().err
+
+
+class TestCampaignFamilies:
+    def test_comma_separated_families(self, capsys):
+        assert main(["campaign", "--scenarios", "4", "--seed", "7",
+                     "--profile", "quick",
+                     "--families", "hlp,multipath",
+                     "--backends", "gpv,ndlog,hlp"]) == 0
+        out = capsys.readouterr().out
+        assert "hlp" in out and "multipath" in out
+        assert "DIVERGENCES" not in out
+
+    def test_space_separated_families_still_work(self, capsys):
+        assert main(["campaign", "--scenarios", "4", "--seed", "7",
+                     "--profile", "quick",
+                     "--families", "hlp", "multipath"]) == 0
+        out = capsys.readouterr().out
+        assert "hlp" in out and "multipath" in out
+
+    def test_unknown_family_in_comma_list_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--scenarios", "2",
+                     "--families", "hlp,nonsense"]) == 2
+        assert "nonsense" in capsys.readouterr().err
+
+
+class TestVerdictsCommand:
+    def _populated_store(self, tmp_path, capsys):
+        from repro.campaigns import clear_verdict_cache, configure_verdict_store
+
+        path = str(tmp_path / "verdicts.sqlite")
+        args = ["campaign", "--scenarios", "6", "--seed", "7",
+                "--profile", "quick", "--families", "gadget",
+                "--verdict-cache", path]
+        try:
+            clear_verdict_cache()
+            configure_verdict_store(None)
+            assert main(args) == 0
+            clear_verdict_cache()           # fresh process: hits touch rows
+            configure_verdict_store(None)
+            assert main(args) == 0
+        finally:
+            configure_verdict_store(None)
+            clear_verdict_cache()
+        capsys.readouterr()
+        return path
+
+    def test_stats_reports_hits(self, tmp_path, capsys):
+        path = self._populated_store(tmp_path, capsys)
+        assert main(["verdicts", path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "verdicts:" in out
+        assert "hits:" in out
+        assert "hottest:" in out
+
+    def test_compact_evicts_never_hit_rows(self, tmp_path, capsys):
+        from repro.campaigns import VerdictStore
+
+        path = self._populated_store(tmp_path, capsys)
+        store = VerdictStore(path)
+        store.put("('never', 'hit')", True, "smt")
+        before = len(store)
+        store.close()
+        assert main(["verdicts", path, "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1" in out
+        store = VerdictStore(path)
+        assert len(store) == before - 1
+        assert store.get("('never', 'hit')") is None
+        store.close()
+
+    def test_missing_store_is_rejected(self, tmp_path, capsys):
+        assert main(["verdicts", str(tmp_path / "absent.sqlite")]) == 1
+        assert "no such file" in capsys.readouterr().err
