@@ -19,9 +19,13 @@ the native GPV engine vs the generated NDlog program vs the two run
 differentially — so the cost of three-way cross-checking stays visible.
 """
 
+import json
 import os
+import pathlib
+from collections import Counter
 
 from repro.campaigns import (
+    ERROR,
     FAMILIES,
     CampaignConfig,
     CampaignRunner,
@@ -149,6 +153,74 @@ def test_per_backend_throughput(benchmark, save_result, smoke):
     save_result("campaign_backend_throughput", "\n".join(lines))
     for key, rate in rates.items():
         benchmark.extra_info[f"sps_{key}"] = rate
+
+
+def test_analysis_tier_rates(benchmark, save_result, smoke):
+    """Tier-hit and cache-hit rates of the staged analysis pipeline.
+
+    Two sub-campaigns on the same fixed seed: the gadget (SPP) family
+    alone — where the tier-1 dispute-digraph fast path must decide a
+    majority of scenarios without ever invoking the solver — and the full
+    family rotation, showing the per-tier method mix (closed-form /
+    composition / dispute-digraph / smt).  Headline numbers land in
+    ``BENCH_analysis.json`` for the CI artifact trail.
+    """
+    spp_count = 24 if smoke else 96
+    mixed_count = 21 if smoke else 70
+
+    def method_mix(report):
+        return Counter(r.method for r in report.results
+                       if r.classification != ERROR and r.method)
+
+    def run_spp():
+        clear_verdict_cache()
+        specs = ScenarioGenerator(
+            SEED, families=("gadget",), profile="quick").generate(spp_count)
+        return CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+
+    spp_report = benchmark.pedantic(run_spp, rounds=1, iterations=1)
+    spp_methods = method_mix(spp_report)
+    spp_analyzed = sum(spp_methods.values())
+    tier1 = spp_methods.get("dispute-digraph", 0)
+    assert spp_analyzed > 0
+    tier1_rate = tier1 / spp_analyzed
+    # The acceptance bar: the combinatorial fast path carries the SPP
+    # family; the solver is the fallback, not the workhorse.
+    assert tier1_rate > 0.5, (
+        f"tier-1 decided only {tier1}/{spp_analyzed} SPP scenarios")
+
+    clear_verdict_cache()
+    mixed_specs = ScenarioGenerator(
+        SEED, profile="quick").generate(mixed_count)
+    mixed_report = CampaignRunner(CampaignConfig(jobs=1)).run(mixed_specs)
+    mixed_methods = method_mix(mixed_report)
+
+    lines = [
+        f"scenarios: {spp_count} gadget-family + {mixed_count} mixed "
+        f"(fixed seed {SEED})",
+        f"gadget family: tier-1 hit rate "
+        f"{tier1_rate:.0%} ({tier1}/{spp_analyzed} dispute-digraph), "
+        f"cache-hit rate {spp_report.cache_hit_rate:.0%}",
+        "mixed families, methods: " + " ".join(
+            f"{m}={n}" for m, n in sorted(mixed_methods.items())),
+        f"mixed cache-hit rate: {mixed_report.cache_hit_rate:.0%}",
+    ]
+    save_result("analysis_tier_rates", "\n".join(lines))
+    payload = {
+        "seed": SEED,
+        "spp_scenarios": spp_count,
+        "spp_methods": dict(spp_methods),
+        "tier1_rate": tier1_rate,
+        "spp_cache_hit_rate": spp_report.cache_hit_rate,
+        "mixed_scenarios": mixed_count,
+        "mixed_methods": dict(mixed_methods),
+        "mixed_cache_hit_rate": mixed_report.cache_hit_rate,
+        "spp_scenarios_per_second": spp_report.scenarios_per_second,
+    }
+    pathlib.Path("BENCH_analysis.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info["tier1_rate"] = tier1_rate
+    benchmark.extra_info["cache_hit_rate"] = spp_report.cache_hit_rate
 
 
 def test_per_family_throughput(benchmark, save_result, smoke):

@@ -11,23 +11,45 @@
 """
 
 from .composition import analyze_product
-from .dispute import DisputeDigraph, build_dispute_digraph, is_dispute_free
+from .dispute import (
+    DisputeDigraph,
+    build_dispute_digraph,
+    cycle_constraint_sources,
+    is_dispute_free,
+)
 from .encoder import ConstraintSource, Encoding, encode, sig_name
 from .modelcheck import ModelChecker, ModelCheckResult, Trace
 from .modelcheck import check as model_check
+from .pipeline import (
+    AnalysisPipeline,
+    AnalysisStage,
+    CertificateStage,
+    DisputeStage,
+    SmtStage,
+    StageTiming,
+    default_stages,
+)
 from .safety import SafetyAnalyzer, SafetyReport
 
 __all__ = [
+    "AnalysisPipeline",
+    "AnalysisStage",
+    "CertificateStage",
     "ConstraintSource",
     "DisputeDigraph",
+    "DisputeStage",
     "Encoding",
     "ModelCheckResult",
     "ModelChecker",
     "SafetyAnalyzer",
     "SafetyReport",
+    "SmtStage",
+    "StageTiming",
     "Trace",
     "analyze_product",
     "build_dispute_digraph",
+    "cycle_constraint_sources",
+    "default_stages",
     "encode",
     "is_dispute_free",
     "model_check",

@@ -20,8 +20,10 @@ generated instances.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
+from ..algebra.base import MonoEntry, PrefStatement, Rel
 from ..algebra.spp import Path, SPPInstance
 
 
@@ -92,6 +94,77 @@ class DisputeDigraph:
     def is_acyclic(self) -> bool:
         return self.find_cycle() is None
 
+    def find_min_cycle(self) -> list[Arc] | None:
+        """A minimum-length directed cycle, or None when acyclic.
+
+        A simple cycle's arcs are a *minimal* conflict (each arc is one
+        strict constraint; dropping any arc leaves an acyclic — hence
+        satisfiable — remainder), and a minimum-length cycle matches the
+        smallest cores the solver reports, so the analysis fast path uses
+        this as its solver-free unsat core.  Deterministic: starts are
+        tried in :meth:`SPPInstance.all_paths` order, BFS explores arcs in
+        insertion order, and only a strictly shorter cycle replaces the
+        incumbent.
+        """
+        best: list[Arc] | None = None
+        for start in self.instance.all_paths():
+            prev: dict[Path, Arc] = {}
+            seen = {start}
+            queue = deque([start])
+            closing: Arc | None = None
+            while queue and closing is None:
+                node = queue.popleft()
+                for arc in self.successors(node):
+                    if arc.dst == start:
+                        closing = arc
+                        break
+                    if arc.dst not in seen:
+                        seen.add(arc.dst)
+                        prev[arc.dst] = arc
+                        queue.append(arc.dst)
+            if closing is None:
+                continue
+            cycle = [closing]
+            cursor = closing.src
+            while cursor != start:
+                arc = prev[cursor]
+                cycle.append(arc)
+                cursor = arc.src
+            cycle.reverse()
+            if best is None or len(cycle) < len(best):
+                best = cycle
+        return best
+
+    def layering_model(self) -> dict[Path, int]:
+        """A concrete positive-integer model of an *acyclic* digraph.
+
+        Every arc ``src -> dst`` stands for the strict constraint
+        ``src < dst``, so on a DAG the longest-chain layering
+        ``value(p) = 1 + max(value(pred))`` satisfies every constraint with
+        the smallest possible integers — the combinatorial twin of the
+        solver's shortest-path model (the paper's ``C=1, P=2, R=2``).
+        Raises ``ValueError`` when the digraph is cyclic.
+        """
+        paths = self.instance.all_paths()
+        incoming: dict[Path, list[Path]] = {}
+        indegree = {path: 0 for path in paths}
+        for arc in self.arcs:
+            incoming.setdefault(arc.dst, []).append(arc.src)
+            indegree[arc.dst] += 1
+        ready = deque(path for path in paths if indegree[path] == 0)
+        value: dict[Path, int] = {}
+        while ready:
+            path = ready.popleft()
+            value[path] = 1 + max(
+                (value[pred] for pred in incoming.get(path, [])), default=0)
+            for arc in self.successors(path):
+                indegree[arc.dst] -= 1
+                if indegree[arc.dst] == 0:
+                    ready.append(arc.dst)
+        if len(value) != len(paths):
+            raise ValueError("layering_model on a cyclic digraph")
+        return value
+
     def describe_cycle(self) -> str | None:
         cycle = self.find_cycle()
         if cycle is None:
@@ -134,3 +207,33 @@ def build_dispute_digraph(instance: SPPInstance) -> DisputeDigraph:
 def is_dispute_free(instance: SPPInstance) -> bool:
     """True iff the dispute digraph is acyclic (a safety guarantee)."""
     return build_dispute_digraph(instance).is_acyclic
+
+
+def cycle_constraint_sources(instance: SPPInstance,
+                             cycle: list[Arc]) -> list:
+    """Map a dispute cycle back to the policy entries that induce it.
+
+    Each arc corresponds 1:1 to a constraint of the SMT encoding — a
+    ranking arc to the :class:`~repro.algebra.base.PrefStatement` of the
+    consecutive ranked pair, a transmission arc to the
+    :class:`~repro.algebra.base.MonoEntry` of the permitted extension —
+    so a simple cycle renders exactly like a solver unsat core.  Sources
+    are returned in the encoder's input order (ranking chains by node,
+    then ⊕ entries by path order) to match solver-reported cores.
+    """
+    rankings = []
+    monos = []
+    for arc in cycle:
+        if arc.kind == "ranking":
+            node = arc.src[0]
+            rankings.append(PrefStatement(
+                arc.src, Rel.STRICT, arc.dst, origin=f"rank[{node}]"))
+        else:
+            extension = arc.dst
+            label = ("l", extension[0], extension[1])
+            monos.append(MonoEntry(
+                label, arc.src, extension, origin=f"mono[{extension[0]}]"))
+    rankings.sort(key=lambda s: (s.s1[0], instance.rank_of(s.s1)))
+    path_order = {path: i for i, path in enumerate(instance.all_paths())}
+    monos.sort(key=lambda e: path_order.get(e.result, len(path_order)))
+    return rankings + monos

@@ -1,0 +1,337 @@
+"""The tiered analysis pipeline: staged safety verdicts.
+
+FSR layers combinatorial structure (dispute wheels, paper Sec. IV) under
+SMT; this module makes that layering an explicit pipeline of
+:class:`AnalysisStage`\\ s, cheapest first:
+
+* **tier 0 — certificates**: closed-form monotonicity certificates for
+  infinite-Σ algebras (spot-checked on a sample) and the lexical-product
+  composition rule, which recurses into the pipeline per component;
+* **tier 1 — dispute digraph**: for SPP instances the dispute digraph *is*
+  the strict constraint graph (every arc a strict ``<``), so acyclicity
+  decides strict monotonicity combinatorially — safe verdicts come with a
+  longest-chain layering model, unsafe verdicts with a minimum dispute
+  cycle rendered as an unsat core, and neither touches the solver.
+  Monotonicity rides along for free: a pure-transmission cycle is
+  impossible (path length strictly increases along transmission arcs), so
+  every dispute cycle pins at least one strict ranking arc and therefore
+  also refutes the *non-strict* encoding, making ``monotonic == safe``
+  for every SPP instance;
+* **tier 2 — SMT**: the difference-logic fallback for every remaining
+  finite algebra, run on a *persistent*
+  :class:`~repro.smt.solver.IncrementalSolver` per preference prefix —
+  the strict and non-strict checks of one analysis (and analyses of
+  algebras sharing the prefix) push/pop suffixes against warm distances
+  instead of re-deriving them.
+
+Each stage either decides (returns a :class:`~repro.analysis.safety.
+SafetyReport`) or passes (returns None); the pipeline stamps the report
+with the deciding tier and per-stage :class:`StageTiming` provenance, so
+``repro analyze --explain`` can show exactly which tier decided and what
+it cost.
+
+Adding a stage: subclass :class:`AnalysisStage`, set ``name``/``tier``,
+implement :meth:`~AnalysisStage.try_analyze` returning a report or None,
+and insert it into the ``stages`` sequence passed to
+:class:`AnalysisPipeline` (or the default built by ``default_stages()``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..algebra.base import RoutingAlgebra
+from ..algebra.product import LexicalProduct
+from ..algebra.spp import SPPAlgebra
+from ..smt import Atom, SolverStats
+from ..smt.solver import IncrementalSolver
+from .dispute import build_dispute_digraph, cycle_constraint_sources
+from .encoder import encode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .safety import SafetyAnalyzer, SafetyReport
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Provenance of one pipeline stage attempt on one subject."""
+
+    stage: str
+    tier: int
+    elapsed_s: float
+    decided: bool
+    note: str = ""
+
+    def describe(self) -> str:
+        outcome = f"decided ({self.note})" if self.decided else \
+            (self.note or "passed")
+        return (f"tier {self.tier} {self.stage}: {outcome} "
+                f"[{self.elapsed_s * 1e3:.2f} ms]")
+
+
+class AnalysisStage:
+    """One tier of the pipeline: decide the subject or pass it on."""
+
+    #: Display name, used in :class:`StageTiming` and ``--explain`` output.
+    name: str = "stage"
+    #: Position in the cheap-to-expensive ordering (0 is cheapest).
+    tier: int = -1
+
+    def try_analyze(self, algebra: RoutingAlgebra,
+                    analyzer: "SafetyAnalyzer") -> "SafetyReport | None":
+        """Return a finished report, or None to fall through."""
+        raise NotImplementedError
+
+
+class CertificateStage(AnalysisStage):
+    """Tier 0: closed-form certificates and lexical-product composition."""
+
+    name = "certificates"
+    tier = 0
+
+    def try_analyze(self, algebra, analyzer):
+        from .safety import SafetyReport
+
+        if isinstance(algebra, LexicalProduct):
+            from .composition import analyze_product
+            return analyze_product(algebra, analyzer)
+        if algebra.is_finite:
+            return None
+        certificate = algebra.closed_form_monotonicity
+        if certificate is None:
+            raise NotImplementedError(
+                f"{algebra.name}: infinite Σ requires a closed-form "
+                "monotonicity certificate")
+        self._spot_check(algebra, certificate.strictly_monotonic)
+        return SafetyReport(
+            algebra_name=algebra.name,
+            safe=certificate.strictly_monotonic,
+            method="closed-form",
+            strictly_monotonic=certificate.strictly_monotonic,
+            monotonic=certificate.monotonic,
+            detail=certificate.justification,
+        )
+
+    @staticmethod
+    def _spot_check(algebra: RoutingAlgebra, claims_strict: bool) -> None:
+        """Falsify a wrong certificate on a finite sample (defence in depth)."""
+        from ..algebra.base import PHI, Pref
+
+        for sig in algebra.sample_signatures(12):
+            for label in algebra.labels():
+                extended = algebra.oplus(label, sig)
+                if extended is PHI:
+                    continue
+                pref = algebra.preference(sig, extended)
+                if claims_strict and pref is not Pref.BETTER:
+                    raise AssertionError(
+                        f"{algebra.name}: certificate claims strict "
+                        f"monotonicity but {label} (+) {sig} = {extended} "
+                        f"is not strictly worse than {sig}")
+                if pref is Pref.WORSE:
+                    raise AssertionError(
+                        f"{algebra.name}: certificate claims monotonicity "
+                        f"but {label} (+) {sig} = {extended} is preferred "
+                        f"to {sig}")
+
+
+class DisputeStage(AnalysisStage):
+    """Tier 1: dispute-digraph acyclicity, the solver-free SPP fast path."""
+
+    name = "dispute-digraph"
+    tier = 1
+
+    def try_analyze(self, algebra, analyzer):
+        from .safety import SafetyReport
+
+        if not isinstance(algebra, SPPAlgebra):
+            return None
+        instance = algebra.instance
+        digraph = build_dispute_digraph(instance)
+        preference_count = len(digraph.ranking_arcs)
+        monotonicity_count = len(digraph.transmission_arcs)
+        # One DFS decides the (majority) safe case; the per-path BFS
+        # minimum-wheel search only runs when a core must be produced.
+        cycle = None
+        if digraph.find_cycle() is not None:
+            cycle = digraph.find_min_cycle()
+        if cycle is None:
+            return SafetyReport(
+                algebra_name=algebra.name,
+                safe=True,
+                method="dispute-digraph",
+                strictly_monotonic=True,
+                monotonic=True,
+                model=digraph.layering_model(),
+                constraint_count=preference_count + monotonicity_count,
+                preference_count=preference_count,
+                monotonicity_count=monotonicity_count,
+                detail="dispute digraph acyclic; layering model derived "
+                       "without the solver",
+            )
+        return SafetyReport(
+            algebra_name=algebra.name,
+            safe=False,
+            method="dispute-digraph",
+            strictly_monotonic=False,
+            # A dispute cycle always contains a strict ranking arc (pure
+            # transmission cycles cannot exist), so the same cycle refutes
+            # the non-strict encoding too.
+            monotonic=False,
+            core=cycle_constraint_sources(instance, cycle),
+            constraint_count=preference_count + monotonicity_count,
+            preference_count=preference_count,
+            monotonicity_count=monotonicity_count,
+            detail=f"minimum dispute wheel of {len(cycle)} arcs",
+        )
+
+
+class SmtStage(AnalysisStage):
+    """Tier 2: incremental difference-logic solving (the fallback).
+
+    Constraint systems are split at the encoder boundary: preference
+    atoms form the *prefix*, monotonicity atoms the *suffix*.  A
+    persistent :class:`IncrementalSolver` is kept per distinct prefix
+    (bounded LRU): the strict check pushes the strict suffix, the
+    non-strict check (unsafe verdicts only) pops it and pushes the
+    relaxed suffix — both start from the prefix's warm distance
+    labelling, as does any later analysis of an algebra sharing the
+    prefix (e.g. a τ-sweep over HLP variants that only re-weights ⊕).
+    """
+
+    name = "smt"
+    tier = 2
+
+    def __init__(self, max_cached_prefixes: int = 16):
+        self.max_cached_prefixes = max_cached_prefixes
+        #: prefix key → (solver, the prefix Atoms asserted at its base
+        #: level).  The base atoms matter: a later encoding sharing the
+        #: prefix has structurally identical but *distinct* Atom objects
+        #: (fresh uids), and unsat cores must be reported in the current
+        #: encoding's atoms for ``sources_for`` to resolve them.
+        self._solvers: OrderedDict[
+            tuple, tuple[IncrementalSolver, list[Atom]]] = OrderedDict()
+        self._retired = SolverStats()
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+
+    # -- prefix-keyed solver cache ------------------------------------------
+
+    def _solver_for(
+            self, prefix: Sequence[Atom]
+    ) -> tuple[IncrementalSolver, list[Atom]]:
+        key = tuple((a.lhs.name, a.rel.value, a.rhs.name, a.const)
+                    for a in prefix)
+        entry = self._solvers.get(key)
+        if entry is not None:
+            self.prefix_hits += 1
+            self._solvers.move_to_end(key)
+            return entry
+        self.prefix_misses += 1
+        solver = IncrementalSolver()
+        base_atoms = list(prefix)
+        solver.add(base_atoms)
+        solver.check()  # warm the prefix distances once
+        entry = (solver, base_atoms)
+        self._solvers[key] = entry
+        if len(self._solvers) > self.max_cached_prefixes:
+            _, (evicted, _) = self._solvers.popitem(last=False)
+            self._retired.merge(evicted.stats)
+        return entry
+
+    def solver_stats(self) -> SolverStats:
+        """Aggregate statistics over live and retired prefix solvers."""
+        total = SolverStats()
+        total.merge(self._retired)
+        for solver, _ in self._solvers.values():
+            total.merge(solver.stats)
+        return total
+
+    # -- analysis ------------------------------------------------------------
+
+    def try_analyze(self, algebra, analyzer):
+        from .safety import SafetyReport
+
+        encoding = encode(algebra, strict=True)
+        split = encoding.preference_count
+        prefix = encoding.system.atoms[:split]
+        suffix = encoding.system.atoms[split:]
+        solver, base_atoms = self._solver_for(prefix)
+        # On a cache hit the solver's base-level atoms came from an earlier
+        # structurally-equal encoding; translate them back positionally so
+        # cores resolve against *this* encoding's sources.
+        base_to_current = {atom.uid: prefix[i]
+                           for i, atom in enumerate(base_atoms)}
+        solver.push()
+        try:
+            solver.add(suffix)
+            result = solver.check()
+            report = SafetyReport(
+                algebra_name=algebra.name,
+                safe=result.is_sat,
+                method="smt",
+                strictly_monotonic=result.is_sat,
+                constraint_count=len(encoding.system),
+                preference_count=encoding.preference_count,
+                monotonicity_count=encoding.monotonicity_count,
+            )
+            if result.is_sat:
+                report.model = encoding.model_signatures(result.model)
+                report.monotonic = True
+                return report
+            report.core_atoms = [base_to_current.get(a.uid, a)
+                                 for a in result.core]
+            report.core = encoding.sources_for(report.core_atoms)
+            # Non-strict check: same prefix, relaxed suffix, warm start.
+            solver.pop()
+            solver.push()
+            solver.add([Atom.le(a.lhs, a.rhs, origin=a.origin)
+                        for a in suffix])
+            report.monotonic = solver.check().is_sat
+            return report
+        finally:
+            solver.pop()
+
+
+def default_stages() -> list[AnalysisStage]:
+    """The standard tier 0 → 1 → 2 pipeline."""
+    return [CertificateStage(), DisputeStage(), SmtStage()]
+
+
+class AnalysisPipeline:
+    """Run a subject through the stages, stamping per-stage provenance."""
+
+    def __init__(self, analyzer: "SafetyAnalyzer",
+                 stages: Sequence[AnalysisStage] | None = None):
+        self.analyzer = analyzer
+        self.stages: list[AnalysisStage] = (
+            list(stages) if stages is not None else default_stages())
+
+    def analyze(self, algebra: RoutingAlgebra) -> "SafetyReport":
+        timings: list[StageTiming] = []
+        for stage in self.stages:
+            started = time.perf_counter()
+            report = stage.try_analyze(algebra, self.analyzer)
+            elapsed = time.perf_counter() - started
+            if report is None:
+                timings.append(StageTiming(
+                    stage.name, stage.tier, elapsed, False,
+                    "not applicable"))
+                continue
+            timings.append(StageTiming(
+                stage.name, stage.tier, elapsed, True, report.method))
+            report.tier = stage.tier
+            report.stages = tuple(timings)
+            return report
+        raise NotImplementedError(
+            f"no pipeline stage decided {algebra.name!r}")
+
+    def solver_stats(self) -> SolverStats:
+        """Tier-2 solver statistics (zeros when SMT never ran)."""
+        for stage in self.stages:
+            if isinstance(stage, SmtStage):
+                return stage.solver_stats()
+        return SolverStats()

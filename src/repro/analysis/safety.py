@@ -1,20 +1,29 @@
 """Automated safety analysis (paper Sec. IV).
 
 By Sobrinho's theorem (paper Thm. 4.1) a strictly monotonic algebra makes
-any path-vector protocol converge.  :class:`SafetyAnalyzer` decides strict
-monotonicity by compiling the algebra to integer constraints and invoking
-the difference-logic solver:
+any path-vector protocol converge.  :class:`SafetyAnalyzer` is the front
+door; the actual decision runs through the tiered
+:class:`~repro.analysis.pipeline.AnalysisPipeline`:
 
-* ``sat``   → the algebra is strictly monotonic → **provably safe**, with a
-  concrete integer instantiation of the signatures (the paper's
-  ``C=1, P=2, R=2``);
-* ``unsat`` → not strictly monotonic → reported unsafe (a *sufficient*
-  condition, so false positives are possible, paper Sec. IV-A), with a
-  minimal unsatisfiable core mapped back to the policy entries.
+* **tier 0** — closed-form certificates for infinite-Σ algebras
+  (cross-checked on a finite sample) and the lexical-product composition
+  rule of :mod:`repro.analysis.composition`;
+* **tier 1** — dispute-digraph acyclicity, the solver-free fast path for
+  SPP instances (verdict, layering model, and minimum-wheel unsat core
+  all derived combinatorially);
+* **tier 2** — the difference-logic solver over a persistent incremental
+  constraint graph:
 
-Closed-form (infinite-Σ) algebras are discharged through their analytic
-certificate, cross-checked on a finite sample.  Lexical products use the
-composition rule of :mod:`repro.analysis.composition`.
+  * ``sat``   → strictly monotonic → **provably safe**, with a concrete
+    integer instantiation of the signatures (the paper's ``C=1, P=2,
+    R=2``);
+  * ``unsat`` → not strictly monotonic → reported unsafe (a *sufficient*
+    condition, so false positives are possible, paper Sec. IV-A), with a
+    minimal unsatisfiable core mapped back to the policy entries.
+
+Every report records which tier decided (``method`` / ``tier``) and what
+each attempted stage cost (``stages``), surfaced by
+``repro analyze --explain``.
 """
 
 from __future__ import annotations
@@ -22,10 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..algebra.base import RoutingAlgebra, Signature
-from ..algebra.product import LexicalProduct
 from ..algebra.spp import SPPAlgebra, SPPInstance
-from ..smt import Atom, DifferenceSolver
+from ..smt import Atom, DifferenceSolver, SolverStats
 from .encoder import ConstraintSource, encode
+from .pipeline import AnalysisPipeline, AnalysisStage, StageTiming
 
 
 @dataclass
@@ -35,12 +44,14 @@ class SafetyReport:
     ``safe`` is the headline verdict (strict monotonicity established).
     ``monotonic`` is filled in when the analyzer also ran the non-strict
     check (always for unsafe verdicts — it distinguishes "merely lacks a
-    tie-breaker" from "fundamentally cyclic").
+    tie-breaker" from "fundamentally cyclic").  ``method`` and ``tier``
+    name the pipeline stage that decided; ``stages`` carries the
+    per-stage timing provenance of the whole pipeline pass.
     """
 
     algebra_name: str
     safe: bool
-    method: str  # "smt" | "closed-form" | "composition"
+    method: str  # "smt" | "closed-form" | "composition" | "dispute-digraph"
     strictly_monotonic: bool
     monotonic: bool | None = None
     model: dict[Signature, int] = field(default_factory=dict)
@@ -50,11 +61,17 @@ class SafetyReport:
     preference_count: int = 0
     monotonicity_count: int = 0
     detail: str = ""
+    #: Deciding pipeline tier (0 certificates, 1 dispute digraph, 2 SMT).
+    tier: int | None = None
+    #: Per-stage timing provenance, in pipeline order.
+    stages: tuple[StageTiming, ...] = ()
 
     def summary(self) -> str:
         """One-paragraph human-readable report."""
         verdict = "SAFE (strictly monotonic)" if self.safe else "NOT PROVED SAFE"
         lines = [f"{self.algebra_name}: {verdict} [{self.method}]"]
+        if self.tier is not None:
+            lines.append(f"  decided by: tier {self.tier} ({self.method})")
         if self.constraint_count:
             lines.append(
                 f"  constraints: {self.constraint_count} "
@@ -76,24 +93,30 @@ class SafetyReport:
             lines.append(f"  note: {self.detail}")
         return "\n".join(lines)
 
+    def explain(self) -> str:
+        """Per-stage pipeline provenance (``repro analyze --explain``)."""
+        lines = ["pipeline stages:"]
+        for timing in self.stages:
+            lines.append(f"  {timing.describe()}")
+        if not self.stages:
+            lines.append("  (no stage provenance recorded)")
+        return "\n".join(lines)
+
 
 class SafetyAnalyzer:
     """Front door of the analysis pipeline (Fig. 1, right-hand path)."""
 
-    def __init__(self, solver: DifferenceSolver | None = None):
+    def __init__(self, solver: DifferenceSolver | None = None,
+                 stages: list[AnalysisStage] | None = None):
+        #: One-shot solver kept for core enumeration (the repair loop).
         self.solver = solver or DifferenceSolver()
+        self.pipeline = AnalysisPipeline(self, stages=stages)
 
     # -- public API ----------------------------------------------------------
 
     def analyze(self, policy: RoutingAlgebra | SPPInstance) -> SafetyReport:
         """Full analysis: strict check, plus mono check when strict fails."""
-        algebra = self._as_algebra(policy)
-        if isinstance(algebra, LexicalProduct):
-            from .composition import analyze_product
-            return analyze_product(algebra, self)
-        if not algebra.is_finite:
-            return self._analyze_closed_form(algebra)
-        return self._analyze_finite(algebra)
+        return self.pipeline.analyze(self._as_algebra(policy))
 
     def check_strict(self, policy: RoutingAlgebra | SPPInstance) -> bool:
         """True iff the policy is strictly monotonic."""
@@ -101,19 +124,8 @@ class SafetyAnalyzer:
 
     def check_monotone(self, policy: RoutingAlgebra | SPPInstance) -> bool:
         """True iff the policy is (at least non-strictly) monotonic."""
-        algebra = self._as_algebra(policy)
-        if isinstance(algebra, LexicalProduct):
-            from .composition import analyze_product
-            report = analyze_product(algebra, self)
-            return bool(report.monotonic) or report.safe
-        if not algebra.is_finite:
-            certificate = algebra.closed_form_monotonicity
-            if certificate is None:
-                raise NotImplementedError(
-                    f"{algebra.name}: infinite Σ and no certificate")
-            return certificate.monotonic
-        encoding = encode(algebra, strict=False)
-        return self.solver.solve(encoding.system).is_sat
+        report = self.analyze(policy)
+        return bool(report.monotonic) or report.safe
 
     def enumerate_cores(
         self, policy: RoutingAlgebra | SPPInstance, limit: int = 16
@@ -124,6 +136,10 @@ class SafetyAnalyzer:
         cores = self.solver.all_cores(encoding.system, limit=limit)
         return [encoding.sources_for(core) for core in cores]
 
+    def solver_stats(self) -> SolverStats:
+        """Aggregate tier-2 statistics (``repro analyze --explain``)."""
+        return self.pipeline.solver_stats()
+
     # -- internals ------------------------------------------------------------
 
     @staticmethod
@@ -132,62 +148,10 @@ class SafetyAnalyzer:
             return SPPAlgebra(policy)
         return policy
 
-    def _analyze_finite(self, algebra: RoutingAlgebra) -> SafetyReport:
-        encoding = encode(algebra, strict=True)
-        result = self.solver.solve(encoding.system)
-        report = SafetyReport(
-            algebra_name=algebra.name,
-            safe=result.is_sat,
-            method="smt",
-            strictly_monotonic=result.is_sat,
-            constraint_count=len(encoding.system),
-            preference_count=encoding.preference_count,
-            monotonicity_count=encoding.monotonicity_count,
-        )
-        if result.is_sat:
-            report.model = encoding.model_signatures(result.model)
-            report.monotonic = True
-        else:
-            report.core_atoms = result.core
-            report.core = encoding.sources_for(result.core)
-            mono_encoding = encode(algebra, strict=False)
-            report.monotonic = self.solver.solve(mono_encoding.system).is_sat
-        return report
 
-    def _analyze_closed_form(self, algebra: RoutingAlgebra) -> SafetyReport:
-        certificate = algebra.closed_form_monotonicity
-        if certificate is None:
-            raise NotImplementedError(
-                f"{algebra.name}: infinite Σ requires a closed-form "
-                "monotonicity certificate")
-        self._spot_check_certificate(algebra, certificate.strictly_monotonic)
-        return SafetyReport(
-            algebra_name=algebra.name,
-            safe=certificate.strictly_monotonic,
-            method="closed-form",
-            strictly_monotonic=certificate.strictly_monotonic,
-            monotonic=certificate.monotonic,
-            detail=certificate.justification,
-        )
-
-    def _spot_check_certificate(self, algebra: RoutingAlgebra,
-                                claims_strict: bool) -> None:
-        """Falsify a wrong certificate on a finite sample (defence in depth)."""
-        from ..algebra.base import PHI, Pref
-
-        for sig in algebra.sample_signatures(12):
-            for label in algebra.labels():
-                extended = algebra.oplus(label, sig)
-                if extended is PHI:
-                    continue
-                pref = algebra.preference(sig, extended)
-                if claims_strict and pref is not Pref.BETTER:
-                    raise AssertionError(
-                        f"{algebra.name}: certificate claims strict "
-                        f"monotonicity but {label} (+) {sig} = {extended} "
-                        f"is not strictly worse than {sig}")
-                if pref is Pref.WORSE:
-                    raise AssertionError(
-                        f"{algebra.name}: certificate claims monotonicity "
-                        f"but {label} (+) {sig} = {extended} is preferred "
-                        f"to {sig}")
+# Re-exported for stages and external callers that type against them.
+__all__ = [
+    "SafetyAnalyzer",
+    "SafetyReport",
+    "StageTiming",
+]

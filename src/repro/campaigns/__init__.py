@@ -13,8 +13,9 @@ hand-written gadgets — and, through the pluggable execution backends of
   full algebra library, with deterministic shard striding;
 * :mod:`repro.campaigns.scenarios` — deterministic spec → scenario
   materialization;
-* :mod:`repro.campaigns.canonical` — canonical algebra keys for verdict
-  memoization;
+* :mod:`repro.campaigns.canonical` — isomorphism-invariant canonical
+  keys for verdict memoization (canonical relabeling via iterative
+  refinement with orbit tie-breaking);
 * :mod:`repro.campaigns.oracle` — the differential oracle (SMT verdict vs
   N execution backends, pairwise cross-checks, per-worker verdict cache
   with optional cross-process persistence);
@@ -71,7 +72,7 @@ from .spec import (
     ScenarioGenerator,
     ScenarioSpec,
 )
-from .verdict_store import VerdictStore
+from .verdict_store import NO_RETENTION, RetentionPolicy, VerdictStore
 
 __all__ = [
     "AGREE",
@@ -93,10 +94,12 @@ __all__ = [
     "LinkEventSpec",
     "MULTI_STABLE",
     "NONDETERMINISTIC",
+    "NO_RETENTION",
     "PROFILES",
     "PairOutcome",
     "ROUTE_DIVERGED",
     "ResultSink",
+    "RetentionPolicy",
     "SAFE_CONVERGED",
     "SAFE_DIVERGED",
     "STATUS_DIVERGED",

@@ -1,36 +1,55 @@
 """Canonicalization of analysis subjects for verdict memoization.
 
 The safety verdict of an algebra is independent of the topology it runs on
-and of incidental naming (``disagree`` and ``disagree#3`` behave the same),
-so a campaign that draws hundreds of scenarios from a handful of policies
-should pay for each distinct SMT solve exactly once per worker.
-:func:`canonical_key` maps an analysis subject to a hashable key that is
-equal precisely when the generated constraint system is equal:
+and of incidental naming, so a campaign that draws hundreds of scenarios
+from a handful of policies should pay for each distinct constraint system
+exactly once per worker.  :func:`canonical_key` maps an analysis subject
+to a hashable key that is equal precisely when the generated constraint
+systems are equal *up to renaming*:
 
-* **SPP instances** — destination, per-node rankings and edge set (the
-  ``name`` is ignored);
-* **table algebras** — the full tables (labels, signatures, ranks, ⊕
-  entries, filters, reversals, originations);
+* **SPP instances** — a canonical relabeling of the nodes is computed by
+  iterative color refinement (paths, rankings and adjacency refine the
+  node colors) with orbit tie-breaking (every member of the first
+  non-singleton orbit is individualized in turn and the lexicographically
+  least rendering wins), so ``disagree`` perturbed at node ``1`` and the
+  same gadget perturbed at node ``2`` — isomorphic under swapping the two
+  nodes — share one key and one solve;
+* **table algebras** — labels and signatures are canonically renamed by
+  the same refinement engine over the algebra's relational structure
+  (ordinal preference ranks, ⊕ entries, filters, reversals,
+  originations), so relabeled-but-identical policies coincide;
 * **lexical products** — the pair of component keys (the composition rule
   only looks at components);
 * **closed-form algebras** — class plus label vocabulary plus certificate
   (their analysis is the certificate spot-check).
+
+Soundness note: canonical keys *are* complete renderings of the structure
+under the canonical ordering — equal keys imply isomorphic subjects, so a
+cache hit can never cross two systems with different verdicts.  When an
+instance is too large (or too symmetric) to canonicalize within budget,
+the key falls back to a name-faithful rendering under a distinct tag:
+correctness is kept, only cross-relabeling hits are forgone.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable, Sequence
 
-from ..algebra.base import RoutingAlgebra
+from ..algebra.base import PHI, RoutingAlgebra
 from ..algebra.extended import TableAlgebra
 from ..algebra.product import LexicalProduct
 from ..algebra.spp import SPPAlgebra, SPPInstance
 
 Key = Hashable
 
+#: Instances with more nodes than this skip canonicalization entirely.
+CANONICALIZATION_NODE_LIMIT = 64
+#: Individualization branches explored before giving up on an instance.
+CANONICALIZATION_BRANCH_LIMIT = 2048
+
 
 def canonical_key(subject: RoutingAlgebra | SPPInstance) -> Key:
-    """A hashable identity for the subject's constraint system."""
+    """A hashable, relabeling-invariant identity for the subject."""
     if isinstance(subject, SPPInstance):
         return _spp_key(subject)
     if isinstance(subject, SPPAlgebra):
@@ -54,18 +73,238 @@ def canonical_key(subject: RoutingAlgebra | SPPInstance) -> Key:
             tuple(str(e) for e in subject.mono_entries()))
 
 
+# -- the individualization-refinement engine ---------------------------------
+
+
+def _densify(elements: Sequence, colors: dict) -> dict:
+    """Re-map arbitrary comparable color keys to dense integers."""
+    order = {key: i for i, key in
+             enumerate(sorted({colors[e] for e in elements}, key=repr))}
+    return {e: order[colors[e]] for e in elements}
+
+
+def canonical_render(
+    elements: Sequence,
+    initial_colors: dict,
+    signature_fn: Callable[[Any, dict], Any],
+    render_fn: Callable[[dict], tuple],
+    branch_limit: int = CANONICALIZATION_BRANCH_LIMIT,
+) -> tuple | None:
+    """Minimum rendering of a finite structure over canonical orderings.
+
+    Classic individualization-refinement: colors are refined to a fixpoint
+    with ``signature_fn`` (which must describe an element *only* through
+    the colors of its relational context, never through its name); when a
+    color class remains non-singleton, each of its members is
+    individualized in turn (orbit tie-breaking) and the lexicographically
+    least fully-discrete rendering wins.  Discovered automorphisms prune
+    the search: when two sibling branches render identically, the element
+    permutation between their orderings is an automorphism, and further
+    candidates in the same orbit are provably redundant (this is what
+    keeps replicated/chained gadgets — large automorphism groups —
+    near-linear instead of factorial).  Returns None when the branch
+    budget is exhausted: a partially explored minimum is *not* canonical,
+    so the whole computation is abandoned and callers fall back to a
+    name-faithful key.
+    """
+    budget = [branch_limit]
+    failed = [False]
+
+    def refine(colors: dict) -> dict:
+        while True:
+            sigs = {e: (colors[e], signature_fn(e, colors))
+                    for e in elements}
+            refined = _densify(elements, sigs)
+            if len(set(refined.values())) == len(set(colors.values())):
+                return refined
+            colors = refined
+
+    def explore(colors: dict) -> tuple[tuple, dict] | None:
+        """Return ``(rendering, discrete_index)`` or None on budget burn."""
+        colors = refine(colors)
+        classes: dict[int, list] = {}
+        for element in elements:
+            classes.setdefault(colors[element], []).append(element)
+        target = None
+        for color in sorted(classes):
+            if len(classes[color]) > 1:
+                target = classes[color]
+                break
+        if target is None:
+            return render_fn(colors), colors  # discrete: colors are 0..n-1
+        best: tuple[tuple, dict] | None = None
+        # Union-find over the target cell for automorphism pruning.
+        parent = {e: e for e in target}
+
+        def find(e):
+            while parent[e] != e:
+                parent[e] = parent[parent[e]]
+                e = parent[e]
+            return e
+
+        explored_roots: set = set()
+        for candidate in target:
+            if find(candidate) in explored_roots:
+                continue  # orbit already represented by an explored sibling
+            if budget[0] <= 0:
+                failed[0] = True
+                return None
+            budget[0] -= 1
+            explored_roots.add(find(candidate))
+            branched = dict(colors)
+            branched[candidate] = len(elements)  # fresh unique color
+            outcome = explore(branched)
+            if failed[0]:
+                return None
+            if outcome is None:
+                continue
+            rendering, index = outcome
+            if best is None or rendering < best[0]:
+                best = outcome
+            elif rendering == best[0]:
+                # Equal renderings from two orderings: the permutation
+                # between them is an automorphism — merge its orbits.
+                position_of = {index[e]: e for e in elements}
+                for element in target:
+                    image = position_of[best[1][element]]
+                    if image in parent:
+                        root_a, root_b = find(element), find(image)
+                        if root_a != root_b:
+                            parent[root_a] = root_b
+                            if root_a in explored_roots:
+                                explored_roots.add(root_b)
+        return best
+
+    outcome = explore(_densify(elements, initial_colors))
+    if failed[0] or outcome is None:
+        return None
+    return outcome[0]
+
+
+# -- SPP instances ------------------------------------------------------------
+
+
 def _spp_key(instance: SPPInstance) -> Key:
-    rankings = tuple(
-        (node, tuple(instance.permitted[node]))
-        for node in sorted(instance.permitted))
-    edges = _sorted_tuple(tuple(sorted(edge)) for edge in instance.edges)
-    return ("spp", instance.destination, rankings, edges)
+    """Canonical key of an SPP instance.
+
+    The instance is first decomposed into the connected components of its
+    destination-removed graph: every permitted path lives inside one
+    component (its non-destination nodes form a connected chain), so the
+    instance is a disjoint union of components sharing only the
+    destination, and any isomorphism is a permutation of isomorphic
+    components composed with within-component isomorphisms.  The key is
+    therefore the sorted multiset of per-component canonical renderings —
+    which turns the huge automorphism groups of replicated/chained
+    gadgets (factorial in the copy count) into cheap small-component
+    canonicalizations.
+    """
+    components = _spp_components(instance)
+    renderings = []
+    for component in components:
+        if len(component) + 1 > CANONICALIZATION_NODE_LIMIT:
+            renderings = None
+            break
+        rendering = _spp_component_render(instance, component)
+        if rendering is None:
+            renderings = None
+            break
+        renderings.append(rendering)
+    if renderings is not None:
+        return ("spp3", tuple(sorted(renderings, key=repr)))
+    return ("spp-raw", instance.destination, _spp_raw_rankings(instance),
+            _sorted_tuple(tuple(sorted(edge)) for edge in instance.edges))
+
+
+def _spp_raw_rankings(instance: SPPInstance) -> tuple:
+    return tuple((node, tuple(instance.permitted[node]))
+                 for node in sorted(instance.permitted))
+
+
+def _spp_components(instance: SPPInstance) -> list[list[str]]:
+    """Connected components of the graph with the destination removed."""
+    destination = instance.destination
+    adjacency: dict[str, list[str]] = {}
+    for node in instance.nodes():
+        if node != destination:
+            adjacency[node] = []
+    for edge in instance.edges:
+        pair = sorted(edge)
+        if len(pair) < 2 or destination in pair:
+            continue
+        a, b = pair
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    components: list[list[str]] = []
+    seen: set[str] = set()
+    for start in adjacency:
+        if start in seen:
+            continue
+        stack, component = [start], []
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def _spp_component_render(instance: SPPInstance,
+                          component: list[str]) -> tuple | None:
+    """Canonical rendering of one component (destination included)."""
+    destination = instance.destination
+    members = set(component) | {destination}
+    nodes = sorted(members)
+    permitted = {node: instance.permitted[node] for node in component
+                 if node in instance.permitted}
+    edges = [tuple(sorted(edge)) for edge in instance.edges
+             if set(edge) <= members]
+
+    adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+    for a, b in edges:
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+
+    initial = {
+        node: ("dest",) if node == destination else
+        ("node", len(permitted.get(node, ())),
+         tuple(len(p) for p in permitted.get(node, ())),
+         len(adjacency[node]))
+        for node in nodes
+    }
+
+    def signature(node: str, colors: dict) -> tuple:
+        ranked = tuple(tuple(colors[m] for m in path)
+                       for path in permitted.get(node, ()))
+        neighborhood = tuple(sorted(colors[nb] for nb in adjacency[node]))
+        return (ranked, neighborhood)
+
+    def render(index: dict) -> tuple:
+        rankings = tuple(sorted(
+            (index[node], tuple(tuple(index[m] for m in path)
+                                for path in paths))
+            for node, paths in permitted.items()))
+        rendered_edges = tuple(sorted(
+            tuple(sorted(index[n] for n in edge)) for edge in edges))
+        return (index[destination], rankings, rendered_edges)
+
+    return canonical_render(nodes, initial, signature, render)
+
+
+# -- table algebras ------------------------------------------------------------
 
 
 def _table_key(algebra: TableAlgebra) -> Key:
+    rendering = _table_canonical_render(algebra)
+    if rendering is not None:
+        return ("table3",) + rendering
     t = algebra.tables
     return (
-        "table",
+        "table-raw",
         _sorted_tuple(t.labels),
         _sorted_tuple(t.signatures),
         _sorted_tuple(t.preference.items()),
@@ -75,6 +314,116 @@ def _table_key(algebra: TableAlgebra) -> Key:
         _sorted_tuple(t.reverse.items()),
         _sorted_tuple(t.origination.items()),
     )
+
+
+def _table_canonical_render(algebra: TableAlgebra) -> tuple | None:
+    t = algebra.tables
+    labels = list(dict.fromkeys(t.labels))
+    signatures = list(dict.fromkeys(t.signatures))
+    if len(labels) + len(signatures) > CANONICALIZATION_NODE_LIMIT:
+        return None
+
+    label_set, signature_set = set(labels), set(signatures)
+
+    # Ordinal preference ranks: only the relative order (and ties) matter
+    # for the generated constraints, never the literal rank values.
+    rank_order = {rank: i for i, rank in
+                  enumerate(sorted({t.preference[s] for s in signatures}))}
+    ordinal = {s: rank_order[t.preference[s]] for s in signatures}
+
+    concat = [((label, sig), out) for (label, sig), out in t.concat.items()
+              if out is not PHI and label in label_set
+              and sig in signature_set]
+    by_label: dict = {l: [] for l in labels}
+    by_input: dict = {s: [] for s in signatures}
+    by_output: dict = {s: [] for s in signatures}
+    for (label, sig), out in concat:
+        by_label[label].append((sig, out))
+        by_input[sig].append((label, out))
+        if out in by_output:
+            by_output[out].append((label, sig))
+    imports: dict = {l: [] for l in labels}
+    exports: dict = {l: [] for l in labels}
+    imported_at: dict = {s: [] for s in signatures}
+    exported_at: dict = {s: [] for s in signatures}
+    for label, sig in t.import_filter:
+        if label in imports and sig in imported_at:
+            imports[label].append(sig)
+            imported_at[sig].append(label)
+    for label, sig in t.export_filter:
+        if label in exports and sig in exported_at:
+            exports[label].append(sig)
+            exported_at[sig].append(label)
+    originated: dict = {s: [] for s in signatures}
+    for label, sig in t.origination.items():
+        if sig in originated:
+            originated[sig].append(label)
+
+    elements = [("L", l) for l in labels] + [("S", s) for s in signatures]
+    initial = {}
+    for l in labels:
+        initial[("L", l)] = ("L", len(by_label[l]), len(imports[l]),
+                             len(exports[l]))
+    for s in signatures:
+        initial[("S", s)] = ("S", ordinal[s])
+
+    def color_of(colors, kind, value):
+        return colors[(kind, value)]
+
+    def signature_fn(element, colors):
+        kind, value = element
+        if kind == "L":
+            reverse_color = color_of(colors, "L", t.reverse[value]) \
+                if value in t.reverse else -1
+            origination_color = (
+                color_of(colors, "S", t.origination[value])
+                if value in t.origination and
+                t.origination[value] in signature_set else -1)
+            return (
+                tuple(sorted((color_of(colors, "S", s),
+                              color_of(colors, "S", out))
+                             for s, out in by_label[value])),
+                reverse_color,
+                tuple(sorted(color_of(colors, "S", s)
+                             for s in imports[value])),
+                tuple(sorted(color_of(colors, "S", s)
+                             for s in exports[value])),
+                origination_color,
+            )
+        return (
+            tuple(sorted((color_of(colors, "L", l),
+                          color_of(colors, "S", out))
+                         for l, out in by_input[value])),
+            tuple(sorted((color_of(colors, "L", l),
+                          color_of(colors, "S", s))
+                         for l, s in by_output[value])),
+            tuple(sorted(color_of(colors, "L", l)
+                         for l in imported_at[value])),
+            tuple(sorted(color_of(colors, "L", l)
+                         for l in exported_at[value])),
+            tuple(sorted(color_of(colors, "L", l)
+                         for l in originated[value])),
+        )
+
+    def render(index: dict) -> tuple:
+        return (
+            len(labels),
+            tuple(sorted((index[("S", s)], ordinal[s]) for s in signatures)),
+            tuple(sorted((index[("L", l)], index[("S", s)],
+                          index[("S", out)]) for (l, s), out in concat)),
+            tuple(sorted((index[("L", l)], index[("L", t.reverse[l])])
+                         for l in labels if l in t.reverse)),
+            tuple(sorted((index[("L", l)], index[("S", s)])
+                         for l in labels for s in imports[l])),
+            tuple(sorted((index[("L", l)], index[("S", s)])
+                         for l in labels for s in exports[l])),
+            tuple(sorted((index[("L", l)], index[("S", t.origination[l])])
+                         for l in labels
+                         if l in t.origination
+                         and t.origination[l] in signature_set)),
+        )
+
+    return canonical_render(elements, initial, signature_fn, render)
 
 
 def _sorted_tuple(items: Any) -> tuple:

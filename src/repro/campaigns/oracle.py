@@ -4,11 +4,15 @@
 
 1. materialize the spec (once per backend — sessions own a mutable
    network, so each backend gets its own deterministic copy);
-2. obtain the safety verdict — through the per-process **verdict cache**
-   keyed by ``repr(canonical_key(...))``, optionally warmed from and
-   persisted to a cross-process :class:`~repro.campaigns.verdict_store.
-   VerdictStore`, so repeated campaigns pay for each distinct constraint
-   system once *ever*;
+2. obtain the safety verdict — from the tiered
+   :class:`~repro.analysis.pipeline.AnalysisPipeline` (certificates →
+   dispute digraph → incremental SMT; the result's ``method`` records
+   the deciding tier) through the per-process **verdict cache** keyed by
+   ``repr(canonical_key(...))`` — an *isomorphism-invariant* rendering,
+   so relabeled copies of one gadget share a single solve — optionally
+   warmed from and persisted to a cross-process
+   :class:`~repro.campaigns.verdict_store.VerdictStore`, so repeated
+   campaigns pay for each distinct constraint system once *ever*;
 3. execute the scenario on every configured
    :class:`~repro.exec.base.ExecutionBackend` (native GPV engine,
    generated NDlog program, ...) over the same seeded simulator timeline

@@ -21,7 +21,10 @@ shortest-path/hop-count, the HLP domain-constrained cost algebra, SPP
 gadgets plus seeded *perturbed* gadgets whose rankings are randomly
 reshuffled).  The ``multipath`` family re-draws the AS/intradomain shapes
 with ``top_k > 1`` — the paper's Sec. VI-D top-k propagation — so the
-k-best advertisement machinery is differentially tested too.
+k-best advertisement machinery is differentially tested too.  Every
+family additionally draws ``batch_interval > 0`` for a fraction of its
+specs, putting the paper's "batch and propagate every second" transport
+mode under the same continuous differential test.
 """
 
 from __future__ import annotations
@@ -189,6 +192,7 @@ class ScenarioGenerator:
         if rng.random() < 0.5:
             params.append(("perturb", round(rng.uniform(0.2, 0.9), 2)))
         events = self._maybe_failures(rng, count=1)
+        params.extend(self._batch_params(rng))
         return ScenarioSpec(
             scenario_id=index, family="gadget", algebra="spp",
             seed=rng.randrange(2**31), params=tuple(params),
@@ -201,7 +205,7 @@ class ScenarioGenerator:
             ("as_count", rng.randint(8, 14 if self.quick else 28)),
             ("peer_fraction", round(rng.uniform(0.05, 0.3), 2)),
             ("destinations", rng.randint(1, 2)),
-        )
+        ) + self._batch_params(rng)
         return ScenarioSpec(
             scenario_id=index, family="caida", algebra=algebra,
             seed=rng.randrange(2**31), params=params,
@@ -215,7 +219,7 @@ class ScenarioGenerator:
             ("branching", rng.randint(2, 3)),
             ("max_nodes", 16 if self.quick else 30),
             ("destinations", rng.randint(1, 2)),
-        )
+        ) + self._batch_params(rng)
         return ScenarioSpec(
             scenario_id=index, family="hierarchy", algebra=algebra,
             seed=rng.randrange(2**31), params=params,
@@ -234,7 +238,7 @@ class ScenarioGenerator:
             ("links", 2 * routers + rng.randint(0, 6)),
             ("weights", weights),
             ("destinations", rng.randint(1, 2)),
-        )
+        ) + self._batch_params(rng)
         events = list(self._maybe_failures(rng, count=rng.randint(0, 1)))
         if rng.random() < 0.5:
             # Metric perturbation: any weight from the algebra's own
@@ -265,7 +269,7 @@ class ScenarioGenerator:
             ("nodes_per_domain", nodes_per_domain),
             ("cross_links", rng.randint(domains + 2, 2 * domains + 2)),
             ("destinations", rng.randint(1, 2)),
-        )
+        ) + self._batch_params(rng)
         events: list[LinkEventSpec] = list(
             self._maybe_failures(rng, count=rng.randint(0, 1)))
         if rng.random() < 0.6:
@@ -303,13 +307,33 @@ class ScenarioGenerator:
             ("reflector_count", max(4, routers // 3)),
             ("egress_count", 3),
             ("embed_gadget", rng.random() < 0.5),
-        )
+            # Tight convergence window (until=8s): batch fast when batching.
+        ) + self._batch_params(rng, low=0.1, high=0.3)
         return ScenarioSpec(
             scenario_id=index, family="ibgp", algebra="igp-cost",
             seed=rng.randrange(2**31), params=params,
             until=8.0, max_events=20_000 if self.quick else 60_000)
 
     # -- helpers --------------------------------------------------------------
+
+    #: Probability that a spec runs in periodic-advertisement mode.
+    BATCH_PROBABILITY = 0.25
+
+    def _batch_params(self, rng: random.Random, *,
+                      low: float = 0.2,
+                      high: float = 1.0) -> tuple[tuple[str, Any], ...]:
+        """Maybe draw a ``batch_interval`` for this spec.
+
+        The paper's deployment mode "batches and propagates routes every
+        second"; giving every family a fraction of batched specs keeps the
+        periodic-timer transport (MRAI-style, per-node phase-staggered)
+        under continuous differential test instead of only in the
+        conformance suite.  The ``multipath`` family inherits the draw
+        from the shape builder it re-runs.
+        """
+        if rng.random() < self.BATCH_PROBABILITY:
+            return (("batch_interval", round(rng.uniform(low, high), 2)),)
+        return ()
 
     @staticmethod
     def _maybe_failures(rng: random.Random,

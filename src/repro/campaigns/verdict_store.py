@@ -1,4 +1,4 @@
-"""Cross-process persistence for SMT safety verdicts.
+"""Cross-process persistence for safety verdicts (schema v3).
 
 The per-process memo in :mod:`repro.campaigns.oracle` pays for each
 distinct constraint system once per worker *lifetime*; this module makes
@@ -6,19 +6,34 @@ verdicts survive across processes and campaign invocations, so repeated
 campaigns and CI runs skip already-proved algebras entirely.
 
 Verdicts are content-addressed by the ``repr`` of
-:func:`~repro.campaigns.canonical.canonical_key` — a stable rendering of
-the constraint system itself (plain tuples of strings/ints/tuples), so a
-key written by one process parses identically in every other.  Storage is
-a single sqlite database: concurrent campaign workers each hold their own
-connection, WAL mode keeps readers off the writers' locks, and
-``INSERT OR IGNORE`` makes duplicate solves from racing workers harmless
-(both computed the same verdict from the same key).
+:func:`~repro.campaigns.canonical.canonical_key` — since schema v3 an
+*isomorphism-invariant* rendering (canonically relabeled SPP instances
+and algebra signatures), so seeds that draw relabeled-but-isomorphic
+instances hit the same row.  Storage is a single sqlite database:
+concurrent campaign workers each hold their own connection, WAL mode
+keeps readers off the writers' locks, and ``INSERT OR IGNORE`` makes
+duplicate solves from racing workers harmless (both computed the same
+verdict from the same key).
+
+Opening a store applies two automatic hygiene passes (replacing the old
+manual ``--compact``-only workflow):
+
+* **migration** — pre-v3 ``("spp", ...)`` keys are parsed back into
+  instances and re-keyed canonically (merging rows that v3 collapses);
+  other superseded key formats are left in place and age out naturally;
+* **retention** — hit counts decay by halving per elapsed half-life,
+  rows that decayed to zero hits and exceed the age bound are evicted,
+  and the size bound evicts coldest-first beyond ``max_rows``.
 """
 
 from __future__ import annotations
 
+import ast
 import sqlite3
 import time
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS verdicts (
@@ -30,29 +45,191 @@ CREATE TABLE IF NOT EXISTS verdicts (
 )
 """
 
+_META_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    name  TEXT PRIMARY KEY,
+    value REAL NOT NULL
+)
+"""
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Automatic hygiene bounds applied every time a store is opened.
+
+    ``decay_half_life_days``
+        Hit counts are integer-halved once per elapsed half-life, so a
+        row that stops being hit loses its protection gradually instead
+        of keeping a stale high-water mark forever.
+    ``max_age_days``
+        Rows whose (decayed) hit count is zero and whose age exceeds the
+        bound are evicted — they re-derive on the next encounter at the
+        cost of one analysis.
+    ``max_rows``
+        Hard size bound; beyond it the coldest rows (fewest hits, then
+        oldest) are evicted regardless of age.
+    """
+
+    max_rows: int = 100_000
+    max_age_days: float = 30.0
+    decay_half_life_days: float = 7.0
+
+    @property
+    def max_age_s(self) -> float:
+        return self.max_age_days * 86_400.0
+
+    @property
+    def half_life_s(self) -> float:
+        return self.decay_half_life_days * 86_400.0
+
+    @property
+    def mutates_on_open(self) -> bool:
+        return (self.max_rows > 0 or self.max_age_s > 0
+                or self.half_life_s > 0)
+
+
+#: Opt-out policy for callers that must not rewrite rows on open: skips
+#: decay/eviction AND the v2→v3 key migration (a v2 store inspected this
+#: way keeps serving its old keys).  Structural column additions (the
+#: ``hits`` column, without which queries fail) still apply.
+NO_RETENTION = RetentionPolicy(max_rows=0, max_age_days=0.0,
+                               decay_half_life_days=0.0)
+
 
 class VerdictStore:
     """An append-mostly ``canonical key → (safe, method)`` sqlite store."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str,
+                 retention: RetentionPolicy | None = None,
+                 now: float | None = None):
         self.path = path
+        self.retention = retention or RetentionPolicy()
+        #: What the automatic open-time hygiene did (for stats/tests).
+        self.last_retention: dict[str, int] = {}
         self._conn = sqlite3.connect(path, timeout=30.0)
         try:  # WAL lets campaign workers read while one writes.
             self._conn.execute("PRAGMA journal_mode=WAL")
         except sqlite3.OperationalError:
             pass  # e.g. unsupported filesystem; rollback journal still works
         self._conn.execute(_SCHEMA)
-        self._migrate()
+        self._conn.execute(_META_SCHEMA)
+        self._ensure_columns()
         self._conn.commit()
+        if self.retention.mutates_on_open:
+            # Serialize racing openers (parallel campaign workers all open
+            # the store): take the write lock up front, then re-check the
+            # schema version / decay timestamps under it — the losers of
+            # the race see the winner's bump instead of replaying the
+            # migration from a stale snapshot (double-merged hit counts,
+            # or SQLITE_BUSY upgrading a deferred read transaction).
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._migrate()
+                self._apply_retention(
+                    now if now is not None else time.time())
+            except BaseException:
+                self._conn.rollback()
+                raise
+            self._conn.commit()
 
-    def _migrate(self) -> None:
-        """Add the ``hits`` column to stores written before it existed."""
+    # -- schema migration -----------------------------------------------------
+
+    def _ensure_columns(self) -> None:
+        """v1 → v2: add the ``hits`` column (required by every query)."""
         columns = {row[1] for row in
                    self._conn.execute("PRAGMA table_info(verdicts)")}
         if "hits" not in columns:
             self._conn.execute(
                 "ALTER TABLE verdicts ADD COLUMN hits INTEGER NOT NULL "
                 "DEFAULT 0")
+
+    def _migrate(self) -> None:
+        """v2 → v3: re-key ``("spp", ...)`` rows under the
+        isomorphism-invariant canonicalization (hits and the earliest
+        creation time merge when several old rows collapse into one
+        canonical key).  Other v2 key formats ("table", "product",
+        "finite" renderings) cannot be re-keyed in place; they are kept
+        verbatim — they simply never match a v3 key again and age out
+        through retention.
+        """
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version >= SCHEMA_VERSION:
+            return
+        migrated = 0
+        rows = self._conn.execute(
+            "SELECT key, safe, method, created_at, hits "
+            "FROM verdicts").fetchall()
+        for key, safe, method, created_at, hits in rows:
+            new_key = _rekey_v2_spp(key)
+            if new_key is None or new_key == key:
+                continue
+            self._conn.execute(
+                "INSERT INTO verdicts (key, safe, method, created_at, hits) "
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "hits = hits + excluded.hits, "
+                "created_at = MIN(created_at, excluded.created_at)",
+                (new_key, safe, method, created_at, hits))
+            self._conn.execute("DELETE FROM verdicts WHERE key = ?", (key,))
+            migrated += 1
+        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        if migrated:
+            self.last_retention["migrated"] = migrated
+
+    # -- automatic retention --------------------------------------------------
+
+    def _apply_retention(self, now: float) -> None:
+        policy = self.retention
+        if policy.half_life_s <= 0 and policy.max_age_s <= 0 \
+                and policy.max_rows <= 0:
+            return
+        stats = self.last_retention
+        # Hit-count decay: integer halving per elapsed half-life.
+        if policy.half_life_s > 0:
+            last = self._meta("last_decay_at")
+            if last is None:
+                self._set_meta("last_decay_at", now)
+            else:
+                halvings = int((now - last) / policy.half_life_s)
+                if halvings > 0:
+                    # hits >> halvings, floored at 0.
+                    self._conn.execute(
+                        "UPDATE verdicts SET hits = hits / ? WHERE hits > 0",
+                        (2 ** min(halvings, 62),))
+                    self._set_meta(
+                        "last_decay_at",
+                        last + halvings * policy.half_life_s)
+                    stats["decay_halvings"] = halvings
+        # Age bound: cold rows past the horizon are evicted.
+        if policy.max_age_s > 0:
+            evicted = self._conn.execute(
+                "DELETE FROM verdicts WHERE hits = 0 AND created_at < ?",
+                (now - policy.max_age_s,)).rowcount
+            if evicted:
+                stats["age_evicted"] = evicted
+        # Size bound: coldest-first beyond max_rows.
+        if policy.max_rows > 0:
+            total = self._conn.execute(
+                "SELECT COUNT(*) FROM verdicts").fetchone()[0]
+            excess = total - policy.max_rows
+            if excess > 0:
+                self._conn.execute(
+                    "DELETE FROM verdicts WHERE key IN ("
+                    "SELECT key FROM verdicts "
+                    "ORDER BY hits ASC, created_at ASC LIMIT ?)",
+                    (excess,))
+                stats["size_evicted"] = excess
+
+    def _meta(self, name: str) -> float | None:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE name = ?", (name,)).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, name: str, value: float) -> None:
+        self._conn.execute(
+            "INSERT INTO store_meta (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = excluded.value",
+            (name, value))
 
     # -- reads ----------------------------------------------------------------
 
@@ -116,6 +293,7 @@ class VerdictStore:
         hottest = self._conn.execute(
             "SELECT key, hits FROM verdicts WHERE hits > 0 "
             "ORDER BY hits DESC, key LIMIT 5").fetchall()
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         return {
             "verdicts": total,
             "safe": safe,
@@ -124,16 +302,16 @@ class VerdictStore:
             "never_hit": never,
             "methods": methods,
             "hottest": hottest,
+            "schema_version": version,
+            "retention": dict(self.last_retention),
         }
 
     def compact(self) -> int:
         """Evict never-hit rows and reclaim the space; returns the count.
 
-        The store grows forever otherwise: every distinct perturbed-gadget
-        constraint system a campaign ever drew stays around even if no
-        later campaign re-encounters it.  Rows with zero recorded hits are
-        exactly those — dropping them re-derives the verdict on the next
-        encounter at the cost of one SMT solve.
+        Retention bounds the store automatically on open; ``compact`` is
+        the aggressive manual variant — *every* zero-hit row goes,
+        regardless of age, and the file is VACUUMed.
         """
         evicted = self._conn.execute(
             "DELETE FROM verdicts WHERE hits = 0").rowcount
@@ -143,3 +321,28 @@ class VerdictStore:
 
     def close(self) -> None:
         self._conn.close()
+
+
+def _rekey_v2_spp(key: str) -> str | None:
+    """Re-key one v2 ``("spp", dest, rankings, edges)`` rendering.
+
+    Returns the v3 key, the input unchanged when it is not an spp
+    rendering (kept verbatim), or None when parsing fails (also kept).
+    """
+    if not key.startswith("('spp',"):
+        return key
+    try:
+        parsed = ast.literal_eval(key)
+        tag, destination, rankings, edges = parsed
+        if tag != "spp":
+            return key
+        from ..algebra.spp import SPPInstance
+        from .canonical import canonical_key
+        permitted = {node: [tuple(path) for path in paths]
+                     for node, paths in rankings}
+        instance = SPPInstance.build(
+            "migrated", destination, permitted,
+            extra_edges=[tuple(edge) for edge in edges])
+        return repr(canonical_key(instance))
+    except (ValueError, SyntaxError, TypeError, KeyError):
+        return None

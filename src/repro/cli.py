@@ -55,8 +55,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     instance = _gadget(args.gadget)
     print(instance)
     print()
-    report = SafetyAnalyzer().analyze(instance)
+    analyzer = SafetyAnalyzer()
+    report = analyzer.analyze(instance)
     print(report.summary())
+    if args.explain:
+        print()
+        print(report.explain())
+        print(f"solver: {analyzer.solver_stats().summary()}")
+    # Exit codes stay aligned with the campaign subcommand: 0 verdict-good,
+    # 1 analysis failure (unsafe), 2 usage errors (argparse).
     return 0 if report.safe else 1
 
 
@@ -224,6 +231,11 @@ def cmd_verdicts(args: argparse.Namespace) -> int:
     finally:
         store.close()
     print(f"verdict cache {args.path}:")
+    print(f"  schema:   v{stats['schema_version']}")
+    if stats["retention"]:
+        hygiene = " ".join(f"{name}={count}" for name, count
+                           in sorted(stats["retention"].items()))
+        print(f"  hygiene:  {hygiene}   (applied on open)")
     print(f"  verdicts: {stats['verdicts']} "
           f"({stats['safe']} safe, {stats['unsafe']} unsafe)")
     methods = " ".join(f"{method}={count}"
@@ -249,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="safety verdict for a gadget")
     p.add_argument("gadget", choices=sorted(GADGETS))
+    p.add_argument("--explain", action="store_true",
+                   help="print per-tier pipeline timings and solver "
+                        "statistics alongside the verdict")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("run", help="execute a gadget's implementation")

@@ -618,16 +618,30 @@ class NDlogRuntime:
 
     def _suppress(self, state: _NodeState, target: str, relation: str,
                   row: Row, coalesce_key: Hashable) -> bool:
-        """RIB-out filtering: drop duplicate and pointless-φ advertisements."""
+        """RIB-out filtering: drop duplicate and pointless-φ advertisements.
+
+        When batching, the *buffered* row for this coalescing slot is the
+        effective last advertisement, not ``rib_out`` — judging against
+        rib_out while a contradictory row waits in the buffer let a
+        same-window withdraw be classified as noise and recorded, after
+        which the buffered stale route flushed to the neighbor with no
+        withdraw ever following (the source of stale top-k alternates
+        under batching).
+        """
         policy = self.transport
         rib_key = (target, relation, coalesce_key)
-        last = state.rib_out.get(rib_key)
+        pending = state.out_buffer.get((target, coalesce_key)) \
+            if policy.batch_interval is not None else None
+        last = pending[1] if pending is not None else state.rib_out.get(rib_key)
         if last == row:
             return True
         if policy.sig_pos is not None and row[policy.sig_pos] is PHI:
             if last is None or last[policy.sig_pos] is PHI:
                 # The neighbor never held this route; a withdraw is noise.
-                state.rib_out[rib_key] = row
+                # rib_out bookkeeping belongs to send time: here when
+                # unbatched, in _flush otherwise.
+                if policy.batch_interval is None:
+                    state.rib_out[rib_key] = row
                 return True
         return False
 
@@ -637,11 +651,16 @@ class NDlogRuntime:
         state.flush_scheduled = False
         pending = list(state.out_buffer.items())
         state.out_buffer.clear()
+        sig_pos = self.transport.sig_pos
         for (target, coalesce_key), (relation, row) in pending:
             rib_key = (target, relation, coalesce_key)
-            if state.rib_out.get(rib_key) == row:
+            last = state.rib_out.get(rib_key)
+            if last == row:
                 continue
             state.rib_out[rib_key] = row
+            if sig_pos is not None and row[sig_pos] is PHI and \
+                    (last is None or last[sig_pos] is PHI):
+                continue  # withdraw of a route the neighbor never heard
             self.sim.send(node, target, (relation, row),
                           self.transport.size_of(row))
 

@@ -374,12 +374,25 @@ class GPVEngine:
     def _emit(self, node: str, neighbor: str, adv: Advertisement) -> None:
         state = self._states[node]
         rib_key = (neighbor, adv.dest)
-        last = state.rib_out.get(rib_key)
         current = (adv.sig, adv.path, adv.alternates)
+        # The effective last advertisement is the *buffered* one when
+        # batching: consulting rib_out while a contradictory advert waits
+        # in the out buffer let a same-window withdraw be recorded as
+        # "neighbor never held it" and the stale advert flush afterwards.
+        pending = state.out_buffer.get(rib_key) \
+            if self.batch_interval is not None else None
+        if pending is not None:
+            last = (pending.sig, pending.path, pending.alternates)
+        else:
+            last = state.rib_out.get(rib_key)
         if last == current:
             return
         if adv.sig is PHI and (last is None or last[0] is PHI):
-            state.rib_out[rib_key] = current
+            # The neighbor never held (and will never hear about) this
+            # route; a withdraw is noise.  Bookkeeping happens at send
+            # time (here when unbatched, in _flush otherwise).
+            if self.batch_interval is None:
+                state.rib_out[rib_key] = current
             return
         if self.batch_interval is None:
             state.rib_out[rib_key] = current
@@ -399,7 +412,10 @@ class GPVEngine:
         state.out_buffer.clear()
         for (neighbor, dest), adv in pending:
             current = (adv.sig, adv.path, adv.alternates)
-            if state.rib_out.get((neighbor, dest)) == current:
+            last = state.rib_out.get((neighbor, dest))
+            if last == current:
                 continue
             state.rib_out[(neighbor, dest)] = current
+            if adv.sig is PHI and (last is None or last[0] is PHI):
+                continue  # withdraw of a route the neighbor never heard
             self.sim.send(node, neighbor, adv, adv.wire_size())

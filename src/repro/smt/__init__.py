@@ -10,11 +10,21 @@ Public API:
 * :class:`IntVar`, :class:`Atom`, :class:`ConstraintSystem` — the constraint
   language (``Atom.lt/le/eq/ge_const`` constructors).
 * :class:`DifferenceSolver`, :func:`solve`, :class:`Result`,
-  :class:`Verdict` — the solver.
+  :class:`Verdict` — the one-shot solver;
+* :class:`IncrementalSolver`, :class:`SolverStats` — the persistent
+  constraint graph with assumption push/pop and warm-started propagation
+  (the campaign analyzer's tier-2 workhorse).
 * :func:`to_yices`, :func:`parse_yices` — the paper's concrete syntax.
 """
 
-from .solver import DifferenceSolver, Result, Verdict, solve
+from .solver import (
+    DifferenceSolver,
+    IncrementalSolver,
+    Result,
+    SolverStats,
+    Verdict,
+    solve,
+)
 from .terms import ZERO, Atom, ConstraintSystem, IntVar, Relation
 from .yices_syntax import YicesParseError, parse_yices, to_yices
 
@@ -22,7 +32,9 @@ __all__ = [
     "Atom",
     "ConstraintSystem",
     "DifferenceSolver",
+    "IncrementalSolver",
     "IntVar",
+    "SolverStats",
     "Relation",
     "Result",
     "Verdict",

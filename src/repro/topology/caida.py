@@ -88,7 +88,9 @@ def caida_like(as_count: int = 200, *, seed: int = 0,
             _add_relationship(network, provider, name, label_fn,
                               **link_kwargs)
         # Preferential attachment: providers appear once per adopted edge.
-        attachment_pool.extend(list(chosen))
+        # (sorted: set iteration order must not leak into the pool, or the
+        # topology would vary with PYTHONHASHSEED.)
+        attachment_pool.extend(sorted(chosen))
         attachment_pool.append(name)
 
     # Peer links between ASes of similar creation rank.
@@ -115,13 +117,16 @@ def _prune_stubs(network: Network, label_fn: LabelFn,
     changed = True
     while changed:
         changed = False
-        for node in list(keep):
+        # Deterministic order: the keep-at-least-3 guard makes the result
+        # order-sensitive, and node insertion order shapes the simulator's
+        # event schedule downstream.
+        for node in sorted(keep):
             degree = sum(1 for n in network.neighbors(node) if n in keep)
             if degree <= 1 and len(keep) > 3:
                 keep.discard(node)
                 changed = True
     pruned = Network(name=network.name + "-pruned")
-    for node in keep:
+    for node in sorted(keep):
         pruned.add_node(node, **network.node_attrs(node))
     for link in network.links():
         if link.a in keep and link.b in keep:
@@ -280,7 +285,7 @@ def extract_hierarchy(network: Network, root: str,
                 keep.add(neighbor)
                 frontier.append(neighbor)
     sub = Network(name=f"{network.name}-cone-{root}")
-    for node in keep:
+    for node in sorted(keep):
         sub.add_node(node, **network.node_attrs(node))
     for link in network.links():
         if link.a in keep and link.b in keep:

@@ -1,19 +1,40 @@
-"""Canonical algebra keys: equality exactly when the constraints agree."""
+"""Canonical algebra keys: equality exactly when the constraints agree
+(up to relabeling, since the isomorphism-invariant v3 keys)."""
+
+import random
 
 from repro.algebra import (
+    GADGET_ZOO,
     SPPAlgebra,
     SPPInstance,
     ShortestHopCount,
     ShortestPath,
     bad_gadget,
     disagree,
+    disagree_chain,
     gao_rexford_a,
     gao_rexford_b,
     gao_rexford_with_hopcount,
     replicate,
     safe_backup,
 )
-from repro.campaigns import canonical_key
+from repro.campaigns import canonical_key, perturb_rankings
+
+
+def relabel(instance: SPPInstance, rng: random.Random) -> SPPInstance:
+    """A uniformly random node renaming of ``instance``."""
+    nodes = sorted({n for e in instance.edges for n in e} |
+                   set(instance.permitted) | {instance.destination})
+    fresh = [f"x{i}" for i in range(len(nodes))]
+    rng.shuffle(fresh)
+    mapping = dict(zip(nodes, fresh))
+    permitted = {mapping[n]: [tuple(mapping[m] for m in path)
+                              for path in paths]
+                 for n, paths in instance.permitted.items()}
+    return SPPInstance.build(
+        "relabeled", mapping[instance.destination], permitted,
+        extra_edges=[tuple(sorted(mapping[m] for m in e))
+                     for e in instance.edges])
 
 
 class TestSPPKeys:
@@ -40,6 +61,78 @@ class TestSPPKeys:
             {node: list(reversed(paths))
              for node, paths in base.permitted.items()})
         assert canonical_key(base) != canonical_key(flipped)
+
+
+class TestIsomorphismInvariance:
+    def test_random_relabelings_share_the_key(self):
+        """Isomorphic instances → identical keys, across the whole zoo."""
+        rng = random.Random(5)
+        subjects = [build() for build in GADGET_ZOO.values()]
+        subjects += [replicate(disagree(), 3), replicate(bad_gadget(), 2),
+                     disagree_chain(6, 0.5), disagree_chain(8, 1.0)]
+        for kind in ("disagree", "figure3", "bad"):
+            subjects.append(
+                perturb_rankings(GADGET_ZOO[kind](), 0.9, rng))
+        for instance in subjects:
+            key = canonical_key(instance)
+            for _ in range(8):
+                assert canonical_key(relabel(instance, rng)) == key, \
+                    instance.name
+
+    def test_no_collisions_across_the_zoo(self):
+        """Non-isomorphic instances → distinct keys (cache soundness)."""
+        rng = random.Random(9)
+        subjects = [build() for build in GADGET_ZOO.values()]
+        subjects += [replicate(disagree(), 2), replicate(disagree(), 3),
+                     replicate(bad_gadget(), 2),
+                     disagree_chain(3, 0.0), disagree_chain(4, 0.5)]
+        seen = {}
+        for instance in subjects:
+            key = canonical_key(instance)
+            assert key not in seen, \
+                f"collision: {instance.name} vs {seen.get(key)}"
+            seen[key] = instance.name
+
+    def test_cross_family_isomorphs_unify(self):
+        """A fully conflicted chain IS k replicated DISAGREEs — the
+        canonical key sees through the different constructors."""
+        assert canonical_key(disagree_chain(2, 1.0)) == \
+            canonical_key(replicate(disagree(), 2))
+        assert canonical_key(disagree_chain(2, 1.0)) != \
+            canonical_key(disagree_chain(2, 0.0))
+
+    def test_symmetric_perturbations_collapse(self):
+        """disagree perturbed at node 1 ≅ perturbed at node 2."""
+        base = disagree()
+        flipped_one = SPPInstance.build(
+            "p1", base.destination,
+            {"1": list(reversed(base.permitted["1"])),
+             "2": base.permitted["2"]})
+        flipped_two = SPPInstance.build(
+            "p2", base.destination,
+            {"1": base.permitted["1"],
+             "2": list(reversed(base.permitted["2"]))})
+        assert canonical_key(flipped_one) == canonical_key(flipped_two)
+        assert canonical_key(flipped_one) != canonical_key(base)
+
+    def test_component_permutation_collapses(self):
+        """Copies of a gadget are interchangeable across the shared dest."""
+        rng = random.Random(2)
+        base = replicate(disagree(), 2)
+        # Perturb copy #0 in one instance, copy #1 in the other.
+        one = perturb_rankings(base, 0.0, rng)
+        one.permitted["1#0"] = list(reversed(one.permitted["1#0"]))
+        two = perturb_rankings(base, 0.0, rng)
+        two.permitted["1#1"] = list(reversed(two.permitted["1#1"]))
+        assert canonical_key(one) == canonical_key(two)
+
+    def test_keys_stay_reprable_and_parseable(self):
+        """The verdict store addresses by repr(); it must round-trip."""
+        import ast
+
+        for build in GADGET_ZOO.values():
+            key = canonical_key(build())
+            assert ast.literal_eval(repr(key)) == key
 
 
 class TestTableAndProductKeys:

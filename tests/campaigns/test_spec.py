@@ -55,6 +55,31 @@ class TestCoverage:
         assert max(s.max_events for s in quick) < \
             max(s.max_events for s in full)
 
+    def test_every_family_draws_batched_specs(self):
+        """The paper's batch-and-propagate mode rides every campaign:
+        each family yields both batched and per-change specs."""
+        specs = ScenarioGenerator(7).generate(len(FAMILIES) * 40)
+        by_family: dict[str, set[bool]] = {}
+        for spec in specs:
+            interval = spec.param("batch_interval")
+            by_family.setdefault(spec.family, set()).add(interval is not None)
+            if interval is not None:
+                assert interval > 0
+        for family in FAMILIES:
+            assert by_family[family] == {True, False}, \
+                f"{family} never mixes batched and unbatched draws"
+
+    def test_batch_interval_reaches_the_scenario(self):
+        from repro.campaigns import materialize
+
+        specs = ScenarioGenerator(7, families=("gadget",)).generate(40)
+        batched = [s for s in specs if s.param("batch_interval")]
+        unbatched = [s for s in specs if not s.param("batch_interval")]
+        assert batched and unbatched
+        assert materialize(batched[0]).batch_interval == \
+            batched[0].param("batch_interval")
+        assert materialize(unbatched[0]).batch_interval is None
+
 
 class TestValidation:
     def test_unknown_family_rejected(self):

@@ -1,4 +1,6 @@
-"""Persistent verdict cache: cross-process reuse of SMT solves."""
+"""Persistent verdict cache: cross-process reuse of analysis verdicts."""
+
+import time
 
 import pytest
 
@@ -14,6 +16,9 @@ from repro.campaigns import (
     verdict_cache_size,
 )
 from repro.campaigns.oracle import EvaluationOptions
+from repro.campaigns.verdict_store import NO_RETENTION, RetentionPolicy
+
+DAY = 86_400.0
 
 
 @pytest.fixture(autouse=True)
@@ -147,6 +152,7 @@ class TestHygiene:
 
     def test_pre_hits_schema_is_migrated(self, tmp_path):
         import sqlite3
+        import time
 
         path = str(tmp_path / "old.sqlite")
         conn = sqlite3.connect(path)
@@ -154,14 +160,104 @@ class TestHygiene:
             "CREATE TABLE verdicts (key TEXT PRIMARY KEY, "
             "safe INTEGER NOT NULL, method TEXT NOT NULL, "
             "created_at REAL NOT NULL)")
+        # A recent row: ancient zero-hit rows are (correctly) evicted by
+        # the automatic retention pass, which is covered separately.
         conn.execute(
-            "INSERT INTO verdicts VALUES ('legacy', 1, 'smt', 0.0)")
+            "INSERT INTO verdicts VALUES ('legacy', 1, 'smt', ?)",
+            (time.time(),))
         conn.commit()
         conn.close()
         store = VerdictStore(path)
         assert store.get("legacy") == (True, "smt")
         store.touch("legacy")
         assert store.stats()["hits"] == 1
+        store.close()
+
+    def test_hit_counts_decay_on_open(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        t0 = time.time()
+        store = VerdictStore(path, now=t0)
+        store.put("hot", True, "smt")
+        store.touch_many({"hot": 9})
+        store.close()
+        # Two half-lives later: 9 -> 2 (integer halving twice).
+        store = VerdictStore(
+            path, retention=RetentionPolicy(decay_half_life_days=7.0),
+            now=t0 + 15 * DAY)
+        assert store.stats()["hits"] == 2
+        assert store.last_retention.get("decay_halvings") == 2
+        store.close()
+
+    def test_age_bound_evicts_cold_rows_only(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        t0 = time.time()
+        store = VerdictStore(path, now=t0)
+        store.put("cold", True, "smt")
+        store.put("warm", False, "smt")
+        store.touch_many({"warm": 500})  # survives decay across the gap
+        store.close()
+        store = VerdictStore(
+            path, retention=RetentionPolicy(max_age_days=30.0),
+            now=t0 + 40 * DAY)
+        assert store.get("cold") is None        # aged out, zero hits
+        assert store.get("warm") is not None    # still hit-protected
+        assert store.last_retention.get("age_evicted") == 1
+        store.close()
+
+    def test_size_bound_evicts_coldest_first(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        t0 = time.time()
+        store = VerdictStore(path, now=t0)
+        for i in range(6):
+            store.put(f"k{i}", True, "smt")
+        store.touch_many({"k4": 3, "k5": 5})
+        store.close()
+        store = VerdictStore(
+            path, retention=RetentionPolicy(max_rows=2, max_age_days=0,
+                                            decay_half_life_days=0),
+            now=t0 + 1)
+        assert len(store) == 2
+        assert store.get("k4") is not None and store.get("k5") is not None
+        assert store.last_retention.get("size_evicted") == 4
+        store.close()
+
+    def test_no_retention_policy_never_mutates(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        t0 = time.time()
+        store = VerdictStore(path, now=t0)
+        store.put("ancient", True, "smt")
+        store.close()
+        store = VerdictStore(path, retention=NO_RETENTION,
+                             now=t0 + 1000 * DAY)
+        assert store.get("ancient") is not None
+        assert store.last_retention == {}
+        store.close()
+
+    def test_no_retention_skips_the_key_migration_too(self, tmp_path):
+        """A read-only open must not rewrite v2 rows either."""
+        import sqlite3
+
+        from repro.algebra import disagree
+
+        path = str(tmp_path / "v2.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE verdicts (key TEXT PRIMARY KEY, "
+            "safe INTEGER NOT NULL, method TEXT NOT NULL, "
+            "created_at REAL NOT NULL, hits INTEGER NOT NULL DEFAULT 0)")
+        old_key = _legacy_spp_key(disagree())
+        conn.execute("INSERT INTO verdicts VALUES (?, 0, 'smt', ?, 1)",
+                     (old_key, time.time()))
+        conn.commit()
+        conn.close()
+        store = VerdictStore(path, retention=NO_RETENTION)
+        assert store.get(old_key) == (False, "smt")  # untouched
+        assert store.last_retention == {}
+        store.close()
+        # A normal (mutating) open afterwards still migrates.
+        store = VerdictStore(path)
+        assert store.get(old_key) is None
+        assert store.last_retention.get("migrated") == 1
         store.close()
 
     def test_oracle_hits_touch_the_store(self, tmp_path):
@@ -188,3 +284,139 @@ class TestHygiene:
         assert stats["hits"] == 2
         assert stats["never_hit"] == 0
         store.close()
+
+
+def _legacy_spp_key(instance) -> str:
+    """The pre-v3 name-faithful spp rendering (what v2 stores contain)."""
+    rankings = tuple(
+        (node, tuple(instance.permitted[node]))
+        for node in sorted(instance.permitted))
+    edges = tuple(sorted((tuple(sorted(edge)) for edge in instance.edges),
+                         key=repr))
+    return repr(("spp", instance.destination, rankings, edges))
+
+
+class TestSchemaV3Migration:
+    def _v2_store(self, path, rows):
+        """Write a schema-v2 store (hits column, user_version 0)."""
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE verdicts (key TEXT PRIMARY KEY, "
+            "safe INTEGER NOT NULL, method TEXT NOT NULL, "
+            "created_at REAL NOT NULL, hits INTEGER NOT NULL DEFAULT 0)")
+        conn.executemany("INSERT INTO verdicts VALUES (?, ?, ?, ?, ?)", rows)
+        conn.commit()
+        conn.close()
+
+    def test_v2_spp_keys_are_rekeyed_and_merged(self, tmp_path):
+        """Two isomorphic v2 rows collapse into one v3 row (hits merge)."""
+        import random
+
+        from repro.algebra import disagree
+        from repro.campaigns import canonical_key
+        from tests.campaigns.test_canonical import relabel
+
+        instance = disagree()
+        twin = relabel(instance, random.Random(4))
+        now = time.time()
+        path = str(tmp_path / "v2.sqlite")
+        self._v2_store(path, [
+            (_legacy_spp_key(instance), 0, "smt", now, 3),
+            (_legacy_spp_key(twin), 0, "smt", now - 10, 2),
+        ])
+        store = VerdictStore(path)
+        assert store.stats()["schema_version"] == 3
+        assert store.last_retention.get("migrated") == 2
+        assert len(store) == 1
+        canonical = repr(canonical_key(instance))
+        assert store.get(canonical) == (False, "smt")
+        assert store.stats()["hits"] == 5  # merged across the twins
+        store.close()
+
+    def test_migrated_store_serves_the_oracle(self, tmp_path):
+        """A verdict solved under v2 is a cache hit after migration."""
+        from repro.algebra import good_gadget
+
+        now = time.time()
+        path = str(tmp_path / "v2.sqlite")
+        self._v2_store(path, [
+            (_legacy_spp_key(good_gadget()), 1, "smt", now, 0),
+        ])
+        configure_verdict_store(path)
+        result = evaluate(gadget_spec("good"))
+        assert result.cache_hit
+        assert result.method == "smt"  # the stored verdict, not a re-solve
+
+    def test_non_spp_v2_keys_are_kept_verbatim(self, tmp_path):
+        now = time.time()
+        path = str(tmp_path / "v2.sqlite")
+        self._v2_store(path, [
+            ("('table', ('c', 'p', 'r'))", 1, "smt", now, 4),
+            ("not-even-a-tuple", 0, "smt", now, 1),
+        ])
+        store = VerdictStore(path)
+        assert store.get("('table', ('c', 'p', 'r'))") == (True, "smt")
+        assert store.get("not-even-a-tuple") == (False, "smt")
+        assert store.stats()["schema_version"] == 3
+        store.close()
+
+    def test_migration_runs_once(self, tmp_path):
+        from repro.algebra import disagree
+
+        now = time.time()
+        path = str(tmp_path / "v2.sqlite")
+        self._v2_store(path, [
+            (_legacy_spp_key(disagree()), 0, "smt", now, 0),
+        ])
+        VerdictStore(path).close()
+        second = VerdictStore(path)
+        assert "migrated" not in second.last_retention
+        assert len(second) == 1
+        second.close()
+
+
+class TestIsomorphismHitRate:
+    def test_two_shard_campaign_hits_across_isomorphic_draws(self, tmp_path):
+        """The acceptance bar: canonical keys demonstrably raise the
+        verdict-store hit rate on a fixed-seed two-shard campaign.
+
+        Seed 7's 24-scenario gadget stream draws 17 distinct instances by
+        name but only 14 up to isomorphism, so the canonical store ends
+        smaller than a name-keyed one would and the extra evaluations
+        land as hits.
+        """
+        from repro.campaigns import build_gadget_instance, canonical_key
+
+        path = str(tmp_path / "v.sqlite")
+        seed, count = 7, 24
+        generator = ScenarioGenerator(seed, families=("gadget",),
+                                      profile="quick")
+        specs = generator.generate(count)
+        instances = [build_gadget_instance(s) for s in specs]
+        canonical_distinct = len({repr(canonical_key(i)) for i in instances})
+        legacy_distinct = len({_legacy_spp_key(i) for i in instances})
+        assert canonical_distinct < legacy_distinct  # isomorphs exist
+
+        for shard in (0, 1):
+            # Each shard simulates a separate machine: cold memo, shared
+            # store.
+            clear_verdict_cache()
+            configure_verdict_store(None)
+            runner = CampaignRunner(CampaignConfig(
+                jobs=1, verdict_cache_path=path))
+            report = runner.run_generated(
+                count, seed=seed, families=("gadget",), profile="quick",
+                shard_index=shard, shard_count=2)
+            assert report.scenario_count == count // 2
+        configure_verdict_store(None)
+
+        store = VerdictStore(path)
+        stats = store.stats()
+        store.close()
+        # One stored verdict per isomorphism class — fewer rows than a
+        # name-keyed store — and every repeat evaluation counted as a hit.
+        assert stats["verdicts"] == canonical_distinct
+        assert stats["hits"] == count - canonical_distinct
+        assert stats["hits"] > count - legacy_distinct  # the v3 win

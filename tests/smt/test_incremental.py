@@ -1,0 +1,155 @@
+"""Incremental solving: persistent graph, push/pop, warm-started checks."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.smt import Atom, DifferenceSolver, IncrementalSolver, IntVar
+
+VARIABLES = [IntVar(f"v{i}") for i in range(8)]
+
+
+@st.composite
+def atoms(draw):
+    lhs = draw(st.sampled_from(VARIABLES))
+    rhs = draw(st.sampled_from(VARIABLES))
+    kind = draw(st.sampled_from(["lt", "le", "eq"]))
+    return getattr(Atom, kind)(lhs, rhs)
+
+
+def chain(*names):
+    """a < b < c ... as atoms."""
+    vs = [IntVar(n) for n in names]
+    return [Atom.lt(lo, hi) for lo, hi in zip(vs, vs[1:])]
+
+
+class TestBasics:
+    def test_empty_system_is_sat(self):
+        assert IncrementalSolver().check().is_sat
+
+    def test_sat_model_satisfies_all_atoms(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b", "c"))
+        result = solver.check()
+        assert result.is_sat
+        for atom in chain("a", "b", "c"):
+            assert atom.evaluate(result.model)
+        assert all(value >= 1 for value in result.model.values())
+
+    def test_unsat_cycle_yields_minimal_core(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b", "c", "a"))
+        result = solver.check()
+        assert result.is_unsat
+        assert len(result.core) == 3
+        helper = DifferenceSolver()
+        assert not helper.check(result.core)
+        for i in range(len(result.core)):
+            assert helper.check(result.core[:i] + result.core[i + 1:])
+
+    def test_incremental_additions_flip_verdict(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b"))
+        assert solver.check().is_sat
+        solver.add(chain("b", "c"))
+        assert solver.check().is_sat
+        solver.add(chain("c", "a"))  # closes the strict cycle
+        assert solver.check().is_unsat
+
+
+class TestPushPop:
+    def test_pop_restores_satisfiability(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b"))
+        assert solver.check().is_sat
+        solver.push()
+        solver.add(chain("b", "a"))
+        assert solver.check().is_unsat
+        solver.pop()
+        assert solver.check().is_sat
+        assert len(solver) == 1
+
+    def test_sibling_suffixes_share_the_prefix(self):
+        """The analyzer's pattern: one prefix, many pushed suffixes."""
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b", "c", "d"))
+        assert solver.check().is_sat
+        verdicts = []
+        for suffix in (chain("d", "e"), chain("d", "a"), chain("c", "e")):
+            solver.push()
+            solver.add(suffix)
+            verdicts.append(solver.check().is_sat)
+            solver.pop()
+        assert verdicts == [True, False, True]
+        # Prefix state survives the unsat sibling intact.
+        assert solver.check().is_sat
+
+    def test_nested_levels(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b"))
+        solver.push()
+        solver.add(chain("b", "c"))
+        solver.push()
+        solver.add(chain("c", "a"))
+        assert solver.check().is_unsat
+        solver.pop()
+        assert solver.check().is_sat
+        solver.pop()
+        assert solver.level == 0
+        assert len(solver) == 1
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(IndexError):
+            IncrementalSolver().pop()
+
+
+class TestWarmStart:
+    def test_checks_after_the_first_are_incremental(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b", "c"))
+        solver.check()
+        baseline = solver.stats.relaxations
+        solver.push()
+        solver.add(chain("c", "d"))
+        solver.check()
+        solver.pop()
+        assert solver.stats.incremental_checks == 2
+        assert solver.stats.full_propagations == 0
+        # The second check starts from the fresh edge (the tightened chain
+        # below it re-relaxes, but nothing is rebuilt from scratch).
+        assert solver.stats.relaxations - baseline <= baseline
+
+    def test_dirty_level_rebuilds_on_recheck(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b", "a"))
+        assert solver.check().is_unsat
+        assert solver.check().is_unsat  # recheck without pop: full rebuild
+        assert solver.stats.full_propagations == 1
+
+    def test_stats_summary_renders(self):
+        solver = IncrementalSolver()
+        solver.add(chain("a", "b"))
+        solver.check()
+        text = solver.stats.summary()
+        assert "checks=1" in text and "warm-started=1" in text
+
+
+@given(st.lists(atoms(), min_size=0, max_size=20),
+       st.lists(atoms(), min_size=0, max_size=10))
+@settings(max_examples=120, deadline=None)
+def test_push_check_pop_agrees_with_one_shot(prefix, suffix):
+    """Incremental (prefix; push suffix) == one-shot solve, and popping
+    restores exactly the one-shot verdict of the prefix alone."""
+    solver = IncrementalSolver()
+    solver.add(prefix)
+    solver.check()
+    solver.push()
+    solver.add(suffix)
+    combined = solver.check()
+    assert combined.is_sat == \
+        DifferenceSolver().solve(prefix + suffix).is_sat
+    if combined.is_sat:
+        for atom in prefix + suffix:
+            assert atom.evaluate(combined.model)
+    solver.pop()
+    assert solver.check().is_sat == DifferenceSolver().solve(prefix).is_sat

@@ -30,6 +30,19 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze", "nonsense"])
 
+    def test_explain_reports_the_deciding_tier(self, capsys):
+        assert main(["analyze", "good", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "decided by: tier 1 (dispute-digraph)" in out
+        assert "pipeline stages:" in out
+        assert "tier 0 certificates" in out
+        assert "solver: checks=0" in out  # the fast path never solved
+
+    def test_explain_keeps_the_unsafe_exit_code(self, capsys):
+        assert main(["analyze", "figure3", "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "tier 1 dispute-digraph: decided" in out
+
 
 class TestRun:
     def test_convergent_gadget(self, capsys):
