@@ -20,8 +20,10 @@ differentially — so the cost of three-way cross-checking stays visible.
 """
 
 import json
+import multiprocessing
 import os
 import pathlib
+import tempfile
 from collections import Counter
 
 from repro.campaigns import (
@@ -33,6 +35,7 @@ from repro.campaigns import (
     clear_verdict_cache,
     evaluate,
 )
+from repro.campaigns.oracle import analysis_prefix_stats, reset_analyzer
 
 SEED = 7
 JOBS = 4
@@ -221,6 +224,129 @@ def test_analysis_tier_rates(benchmark, save_result, smoke):
         json.dumps(payload, indent=2) + "\n")
     benchmark.extra_info["tier1_rate"] = tier1_rate
     benchmark.extra_info["cache_hit_rate"] = spp_report.cache_hit_rate
+
+
+def test_tau_sweep_prefix_reuse(benchmark, save_result, smoke):
+    """The tier-2 prefix LRU must pay off on the tau-sweep family.
+
+    The sweep draws many ⊕-suffix variants over one shared preference
+    prefix, so campaign-level analysis should reuse warm prefix distances
+    for nearly every scenario; the mixed interdomain families draw a
+    handful of *repeated* algebras, which the canonical verdict cache
+    dedupes before the solver ever sees them — their prefix traffic stays
+    near zero.  The assertion is the ROADMAP "Tier-2 prefix mining" win:
+    the hit rate rises measurably on the family built for it.
+    """
+    count = 12 if smoke else 40
+
+    def prefix_rate(families):
+        clear_verdict_cache()
+        reset_analyzer()
+        specs = ScenarioGenerator(SEED, families=families,
+                                  profile="quick").generate(count)
+        report = CampaignRunner(CampaignConfig(jobs=1)).run(specs)
+        assert report.error_count == 0, report.summary()
+        stats = analysis_prefix_stats()
+        total = stats["hits"] + stats["misses"]
+        return (stats["hits"] / total if total else 0.0), stats
+
+    (sweep_rate, sweep_stats) = benchmark.pedantic(
+        lambda: prefix_rate(("tau-sweep",)), rounds=1, iterations=1)
+    mixed_rate, mixed_stats = prefix_rate(("caida", "hierarchy"))
+
+    save_result(
+        "tau_sweep_prefix_reuse",
+        f"scenarios: {count} per family set (fixed seed {SEED})\n"
+        f"tau-sweep: prefix hit rate {sweep_rate:.0%} "
+        f"({sweep_stats['hits']} hits / {sweep_stats['misses']} misses)\n"
+        f"caida+hierarchy: prefix hit rate {mixed_rate:.0%} "
+        f"({mixed_stats['hits']} hits / {mixed_stats['misses']} misses)")
+    benchmark.extra_info["sweep_prefix_rate"] = sweep_rate
+    benchmark.extra_info["mixed_prefix_rate"] = mixed_rate
+    # The acceptance bar: warm-prefix reuse carries the sweep family.
+    assert sweep_rate > 0.5, \
+        f"tau-sweep prefix LRU hit rate only {sweep_rate:.0%}"
+    assert sweep_rate > mixed_rate, \
+        "the sweep family must raise prefix reuse over the mixed rotation"
+
+
+def _fleet_bench_worker(directory: str, worker_id: str) -> None:
+    from repro.campaigns.oracle import configure_verdict_store
+    from repro.distributed import run_distributed_worker
+
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    run_distributed_worker(directory, worker_id=worker_id)
+
+
+def test_distributed_fleet_throughput(benchmark, save_result, smoke):
+    """Coordinator + 2 worker processes vs one in-process run.
+
+    Measures the control plane's overhead end to end: leases, heartbeats,
+    bus polls, per-unit report serialization, live merge.  Correctness is
+    asserted (merged report == single-process counters, zero lease churn
+    on a healthy fleet); the throughput ratio is reported but not gated —
+    on a 1-core CI box two processes cannot beat one.
+    """
+    count = 16 if smoke else 64
+    workers = 2
+
+    from repro.distributed import CampaignCoordinator, CampaignPlan
+
+    def fleet_run():
+        with tempfile.TemporaryDirectory() as scratch:
+            directory = os.path.join(scratch, "fleet")
+            CampaignCoordinator.init(directory, CampaignPlan(
+                scenarios=count, seed=SEED, families=("gadget",),
+                profile="quick", unit_size=4, chunk_size=4,
+                abort_on_disagreements=1)).close()
+            processes = [
+                multiprocessing.Process(target=_fleet_bench_worker,
+                                        args=(directory, f"w{i}"))
+                for i in range(workers)
+            ]
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join(timeout=600)
+                assert process.exitcode == 0
+            coordinator = CampaignCoordinator.attach(directory)
+            merged = coordinator.merged_report()
+            status = coordinator.status()
+            coordinator.close()
+            return merged, status
+
+    merged, status = benchmark.pedantic(fleet_run, rounds=1, iterations=1)
+
+    clear_verdict_cache()
+    specs = ScenarioGenerator(SEED, families=("gadget",),
+                              profile="quick").generate(count)
+    single = CampaignRunner(CampaignConfig(jobs=1,
+                                           keep_results=False)).run(specs)
+
+    assert merged.scenario_count == single.scenario_count == count
+    assert merged.counters() == single.counters()
+    assert merged.disagreement_count == 0
+    assert status.lease_churn == 0, "healthy fleet must not churn leases"
+
+    fleet_wall = max((row["wall_clock_s"] for row in status.workers),
+                     default=0.0)
+    fleet_sps = count / fleet_wall if fleet_wall else 0.0
+    lines = [
+        f"scenarios: {count} over {workers} worker processes "
+        f"(fixed seed {SEED})",
+        f"fleet:  {fleet_sps:>8.1f} scenarios/s ({fleet_wall:.2f}s, "
+        f"units {status.units_done}/{status.units_total})",
+        f"serial: {single.scenarios_per_second:>8.1f} scenarios/s "
+        f"({single.wall_clock_s:.2f}s)",
+    ]
+    for row in status.workers:
+        lines.append(f"  {row['worker']}: {row['scenarios_done']} scenarios "
+                     f"in {row['units_done']} unit(s)")
+    save_result("distributed_fleet_throughput", "\n".join(lines))
+    benchmark.extra_info["fleet_sps"] = fleet_sps
+    benchmark.extra_info["serial_sps"] = single.scenarios_per_second
+    benchmark.extra_info["lease_churn"] = status.lease_churn
 
 
 def test_per_family_throughput(benchmark, save_result, smoke):

@@ -27,7 +27,7 @@ from .base import (
     rank_sort,
 )
 from .extended import AlgebraTables, ExtendedAlgebra, TableAlgebra
-from .hlp import HLP_WEIGHTS, HLPCostAlgebra
+from .hlp import HLP_WEIGHTS, HLPCostAlgebra, HLPTauAlgebra, hide_cost
 from .gadgets import (
     GADGET_ZOO,
     bad_gadget,
@@ -59,7 +59,9 @@ __all__ = [
     "ClosedFormCertificate",
     "ExtendedAlgebra",
     "HLPCostAlgebra",
+    "HLPTauAlgebra",
     "HLP_WEIGHTS",
+    "hide_cost",
     "Label",
     "LexicalProduct",
     "MonoEntry",

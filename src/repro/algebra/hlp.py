@@ -137,3 +137,101 @@ class HLPCostAlgebra(RoutingAlgebra):
             dpath = tuple(domains[:1 + i % max(1, min(len(domains), 3))])
             samples.append((1 + i, dpath))
         return samples
+
+
+def hide_cost(cost: int, tau: int) -> int:
+    """HLP cost hiding: advertise costs rounded up to multiples of τ.
+
+    ``tau = 0`` (or 1) means exact costs.  Hiding never understates a
+    cost — ``hide_cost(c, tau) >= c`` — which is what keeps the hidden
+    algebra strictly monotonic: an extension still strictly worsens the
+    advertised cost.
+    """
+    if tau <= 1:
+        return cost
+    return ((cost + tau - 1) // tau) * tau
+
+
+class HLPTauAlgebra(RoutingAlgebra):
+    """Finite cost-hiding algebra — the τ-sweep campaign family.
+
+    Signatures are advertised cost levels ``1..max_cost``; ⊕ adds the
+    link weight and *hides* the sum (:func:`hide_cost`), and anything
+    beyond the cap is prohibited (φ), bounding Σ.  Lower advertised cost
+    is strictly preferred, so the preference relation — and with it the
+    tier-2 solver's *preference prefix* — depends only on ``max_cost``:
+    every ``(tau, weights)`` variant drawn by the ``tau-sweep`` family
+    shares one prefix while contributing a fresh monotonicity suffix,
+    which is exactly the workload the incremental solver's per-prefix
+    warm start (push/pop against warm distances) was built for.
+
+    Deliberately *not* closed-form: Σ is finite and the point of the
+    family is to reach the SMT tier, so the analyzer proves strict
+    monotonicity from the enumerated tables every time the suffix
+    changes.
+    """
+
+    name = "hlp-tau"
+
+    def __init__(self, tau: int = 0,
+                 weights: Sequence[int] = (1, 2, 3),
+                 max_cost: int = 14):
+        if tau < 0:
+            raise ValueError("tau must be >= 0")
+        bad = [w for w in weights if w <= 0]
+        if bad:
+            raise ValueError(f"link weights must be positive, got {bad}")
+        # Hiding rounds costs *up*, so the cap must admit the hidden
+        # rendering of every one-hop route — otherwise every origination
+        # is PHI and scenarios are vacuously empty.
+        if any(hide_cost(w, tau) > max_cost for w in weights):
+            raise ValueError(
+                f"max_cost={max_cost} cannot admit one-hop routes: "
+                f"hide_cost(w, tau={tau}) exceeds it for some weight")
+        self.tau = tau
+        self._weights = tuple(sorted(set(weights)))
+        self.max_cost = max_cost
+        self.name = f"hlp-tau({tau})"
+
+    # -- operational interface ------------------------------------------------
+
+    def preference(self, s1: Signature, s2: Signature) -> Pref:
+        if s1 is PHI and s2 is PHI:
+            return Pref.EQUAL
+        if s1 is PHI:
+            return Pref.WORSE
+        if s2 is PHI:
+            return Pref.BETTER
+        if s1 < s2:
+            return Pref.BETTER
+        if s1 > s2:
+            return Pref.WORSE
+        return Pref.EQUAL
+
+    def oplus(self, label: Label, sig: Signature) -> Signature:
+        if sig is PHI:
+            return PHI
+        hidden = hide_cost(sig + label, self.tau)
+        return hidden if hidden <= self.max_cost else PHI
+
+    def origin_signature(self, label: Label) -> Signature:
+        hidden = hide_cost(label, self.tau)
+        return hidden if hidden <= self.max_cost else PHI
+
+    def labels(self) -> Sequence[Label]:
+        return self._weights
+
+    # -- declarative interface ------------------------------------------------
+
+    def signatures(self) -> Sequence[Signature]:
+        """The full cost range, *independent of tau and the weights*.
+
+        Unreachable levels (e.g. non-multiples of τ) are enumerated
+        anyway: they cost a few extra prefix atoms but buy the sweep-wide
+        structural identity of the preference prefix that makes the
+        incremental solver's warm start hit.
+        """
+        return range(1, self.max_cost + 1)
+
+    def sample_signatures(self, count: int = 16) -> list[Signature]:
+        return list(self.signatures())[:count]

@@ -58,10 +58,18 @@ from .report import (
     PairOutcome,
     ScenarioResult,
     classify,
+    result_from_record,
+    result_record,
 )
 from .runner import CampaignConfig, CampaignRunner, run_campaign
-from .scenarios import Scenario, build_gadget_instance, materialize, perturb_rankings
-from .sink import AggregatingSink, JsonlResultSink, ResultSink, TeeSink
+from .scenarios import (
+    Scenario,
+    best_path_link_pool,
+    build_gadget_instance,
+    materialize,
+    perturb_rankings,
+)
+from .sink import AggregatingSink, BusSink, JsonlResultSink, ResultSink, TeeSink
 from .spec import (
     FAMILIES,
     GADGETS,
@@ -78,6 +86,7 @@ __all__ = [
     "AGREE",
     "ANALYSIS",
     "AggregatingSink",
+    "BusSink",
     "CLASSIFICATIONS",
     "CampaignConfig",
     "CampaignReport",
@@ -110,6 +119,7 @@ __all__ = [
     "TeeSink",
     "UNSAFE_DIVERGED",
     "VerdictStore",
+    "best_path_link_pool",
     "build_gadget_instance",
     "cached_verdict",
     "canonical_key",
@@ -121,6 +131,8 @@ __all__ = [
     "evaluate_chunk",
     "materialize",
     "perturb_rankings",
+    "result_from_record",
+    "result_record",
     "run_campaign",
     "verdict_cache_size",
 ]

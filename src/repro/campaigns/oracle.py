@@ -99,6 +99,28 @@ def clear_verdict_cache() -> None:
     _VERDICT_CACHE.clear()
 
 
+def reset_analyzer() -> None:
+    """Drop the process analyzer (benches isolating tier-2 statistics)."""
+    global _ANALYZER
+    _ANALYZER = None
+
+
+def analysis_prefix_stats() -> dict[str, int]:
+    """The process analyzer's tier-2 prefix-LRU counters.
+
+    ``hits`` / ``misses`` count warm-prefix reuse inside the incremental
+    SMT stage — the number the tau-sweep family exists to drive up.
+    """
+    if _ANALYZER is None:
+        return {"hits": 0, "misses": 0}
+    from ..analysis.pipeline import SmtStage
+    for stage in _ANALYZER.pipeline.stages:
+        if isinstance(stage, SmtStage):
+            return {"hits": stage.prefix_hits,
+                    "misses": stage.prefix_misses}
+    return {"hits": 0, "misses": 0}
+
+
 def verdict_cache_size() -> int:
     return len(_VERDICT_CACHE)
 
@@ -144,6 +166,15 @@ def cached_verdict(
     """``(safe, method, cache_hit)`` for the subject's constraint system."""
     key = repr(canonical_key(subject))
     hit = key in _VERDICT_CACHE
+    if not hit and _STORE is not None:
+        # Read-through: the attach-time bulk load only saw rows that
+        # existed then; in a shared write-through fleet a *sibling worker*
+        # may have solved this system since.  One indexed lookup per memo
+        # miss buys every worker the whole fleet's solves.
+        stored = _STORE.get(key)
+        if stored is not None:
+            _VERDICT_CACHE[key] = stored
+            hit = True
     if not hit:
         report = _analyzer().analyze(subject)
         _VERDICT_CACHE[key] = (report.safe, report.method)

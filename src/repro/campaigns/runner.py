@@ -242,8 +242,24 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
                  keep_results: bool = True,
                  verdict_cache_path: str | None = None,
                  shard_index: int = 0, shard_count: int = 1,
-                 sink: ResultSink | None = None) -> CampaignReport:
-    """One-call campaign: generate, fan out, aggregate (and stream)."""
+                 sink: ResultSink | None = None,
+                 coordinator: str | None = None,
+                 worker_id: str | None = None) -> CampaignReport:
+    """One-call campaign: generate, fan out, aggregate (and stream).
+
+    With ``coordinator`` the call becomes one fleet *worker* instead: the
+    campaign parameters (count, seed, families, backends, budgets) come
+    from the coordinator directory's plan — every other argument except
+    ``sink`` and ``worker_id`` is ignored — and specs are consumed
+    lease-by-lease rather than by static shard striding, so crashed
+    workers' ranges are reclaimed and a re-run resumes from un-leased
+    units.  The returned report is the fleet's live merge, not just this
+    worker's slice.
+    """
+    if coordinator is not None:
+        from ..distributed.worker import run_distributed_worker
+        return run_distributed_worker(coordinator, worker_id=worker_id,
+                                      sink=sink)
     runner = CampaignRunner(CampaignConfig(
         jobs=jobs, chunk_size=chunk_size,
         wall_clock_budget_s=wall_clock_budget_s,

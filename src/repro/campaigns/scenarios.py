@@ -35,7 +35,7 @@ from typing import Hashable
 
 from ..algebra.base import RoutingAlgebra
 from ..algebra.gadgets import GADGET_ZOO, disagree_chain, replicate
-from ..algebra.hlp import HLPCostAlgebra
+from ..algebra.hlp import HLPCostAlgebra, HLPTauAlgebra
 from ..algebra.library import (
     ShortestHopCount,
     ShortestPath,
@@ -155,7 +155,7 @@ def _materialize_gadget(spec: ScenarioSpec) -> Scenario:
         destinations=[instance.destination],
         analysis_subject=instance,
     )
-    scenario.events = _resolve_events(spec, network)
+    scenario.events = _resolve_events(spec, network, scenario.destinations)
     return scenario
 
 
@@ -252,7 +252,7 @@ def _topology_scenario(spec: ScenarioSpec, network: Network,
             network, spec.param("destinations", 1), rng),
         analysis_subject=algebra,
     )
-    scenario.events = _resolve_events(spec, network)
+    scenario.events = _resolve_events(spec, network, scenario.destinations)
     return scenario
 
 
@@ -336,6 +336,46 @@ def _resolve_hlp_events(spec: ScenarioSpec, network: Network,
     return resolved
 
 
+# -- tau-sweep family --------------------------------------------------------
+
+
+def _materialize_tau_sweep(spec: ScenarioSpec) -> Scenario:
+    """HLP cost-hiding sweep: suffix variants over one preference prefix.
+
+    An intradomain topology whose links carry positive weights from the
+    spec's drawn vocabulary, routed under the finite
+    :class:`~repro.algebra.hlp.HLPTauAlgebra` — advertised costs are
+    rounded up to multiples of ``tau`` (HLP's cost hiding, paper Sec.
+    VI-D) and capped at the family-wide ``max_cost``.  Every ``(tau,
+    weights)`` draw changes only the ⊕ table, so the analyzer's tier-2
+    incremental solver re-uses the warm preference-prefix distances
+    across the whole family (ROADMAP "Tier-2 prefix mining").
+    """
+    rng = random.Random(spec.seed)
+    network = rocketfuel_like(
+        spec.param("routers", 8), spec.param("links", 16),
+        seed=spec.seed, jitter_s=0.002)
+    weights = spec.param("weights", (1, 2))
+    for link in network.links():
+        label: Hashable = rng.choice(weights)
+        link.labels[(link.a, link.b)] = label
+        link.labels[(link.b, link.a)] = label
+    algebra = HLPTauAlgebra(
+        tau=spec.param("tau", 0),
+        weights=weights,
+        max_cost=spec.param("max_cost", 14))
+    scenario = Scenario(
+        spec=spec,
+        network=network,
+        algebra=algebra,
+        destinations=_pick_destinations(
+            network, spec.param("destinations", 1), rng),
+        analysis_subject=algebra,
+    )
+    scenario.events = _resolve_events(spec, network, scenario.destinations)
+    return scenario
+
+
 # -- multipath family --------------------------------------------------------
 
 
@@ -377,21 +417,79 @@ def _materialize_ibgp(spec: ScenarioSpec) -> Scenario:
 # -- event resolution --------------------------------------------------------
 
 
-def _resolve_events(spec: ScenarioSpec, network: Network) -> list[ResolvedEvent]:
-    """Bind link indices to concrete links (sorted order, modulo count)."""
+def best_path_link_pool(network: Network,
+                        destinations: list[str]) -> list:
+    """Links on hop-count shortest paths toward any destination.
+
+    The cheap pre-run probe behind adaptive event schedules: a BFS from
+    each destination marks every link ``(a, b)`` whose endpoints differ by
+    exactly one hop level — precisely the links some node's shortest path
+    to that destination crosses, and therefore the links whose failure
+    actually perturbs selected best paths.  Deterministic (sorted
+    adjacency, sorted output) so specs stay reproducers.
+    """
+    links = sorted(network.links(), key=lambda l: tuple(sorted((l.a, l.b))))
+    adjacency: dict[str, list[str]] = {}
+    for link in links:
+        adjacency.setdefault(link.a, []).append(link.b)
+        adjacency.setdefault(link.b, []).append(link.a)
+    for neighbors in adjacency.values():
+        neighbors.sort()
+    pool = []
+    on_tree: set[frozenset] = set()
+    for dest in destinations:
+        if dest not in adjacency:
+            continue
+        dist = {dest: 0}
+        frontier = [dest]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[node] + 1
+                        nxt.append(neighbor)
+            frontier = nxt
+        for link in links:
+            da, db = dist.get(link.a), dist.get(link.b)
+            if da is None or db is None or abs(da - db) != 1:
+                continue
+            if link.ends not in on_tree:
+                on_tree.add(link.ends)
+                pool.append(link)
+    return pool
+
+
+def _resolve_events(spec: ScenarioSpec, network: Network,
+                    destinations: list[str] | None = None
+                    ) -> list[ResolvedEvent]:
+    """Bind link indices to concrete links (sorted order, modulo count).
+
+    With the ``adaptive_events`` spec param, ``fail`` events draw from the
+    best-path link pool of :func:`best_path_link_pool` instead of the full
+    sorted link list — the probability that a drawn failure actually hits
+    a selected best path rises from ``|tree|/|links|`` to ~1 — while
+    ``perturb`` events and non-adaptive specs keep the uniform binding.
+    """
     links = sorted(network.links(), key=lambda l: tuple(sorted((l.a, l.b))))
     if not links:
         return []
+    fail_pool = links
+    if spec.param("adaptive_events") and destinations:
+        adaptive = best_path_link_pool(network, destinations)
+        if adaptive:
+            fail_pool = adaptive
     resolved = []
     failed: set[frozenset] = set()
     for event in spec.events:
-        link = links[event.link_index % len(links)]
         if event.kind == "fail":
+            link = fail_pool[event.link_index % len(fail_pool)]
             if link.ends in failed:
                 continue  # one failure per link is enough
             failed.add(link.ends)
-        label: Hashable = None
-        if event.kind == "perturb":
+            label: Hashable = None
+        else:
+            link = links[event.link_index % len(links)]
             if spec.algebra != "shortest-path":
                 continue  # metric perturbation only has meaning on weights
             label = event.weight
@@ -409,4 +507,5 @@ _BUILDERS = {
     "ibgp": _materialize_ibgp,
     "hlp": _materialize_hlp,
     "multipath": _materialize_multipath,
+    "tau-sweep": _materialize_tau_sweep,
 }

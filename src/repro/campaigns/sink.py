@@ -26,7 +26,12 @@ from __future__ import annotations
 import json
 from typing import IO, Iterable, Protocol
 
-from .report import ERROR, CampaignReport, ScenarioResult
+from .report import (  # noqa: F401 - result_record re-exported (moved)
+    ERROR,
+    CampaignReport,
+    ScenarioResult,
+    result_record,
+)
 
 
 class ResultSink(Protocol):
@@ -107,32 +112,48 @@ class AggregatingSink:
         )
 
 
-def result_record(result: ScenarioResult) -> dict:
-    """One scenario's JSON-safe record (route tables summarized)."""
-    record = {
-        "scenario_id": result.scenario_id,
-        "family": result.family,
-        "algebra": result.spec.algebra,
-        "classification": result.classification,
-        "safe": result.safe,
-        "converged": result.converged,
-        "stop_reason": result.stop_reason,
-        "method": result.method,
-        "cache_hit": result.cache_hit,
-        "messages": result.messages,
-        "sim_time_s": result.sim_time_s,
-        "elapsed_s": round(result.elapsed_s, 6),
-        "backends": {o.backend: o.to_dict() for o in result.outcomes},
-        "pairwise": {p.pair: p.status for p in result.pairwise},
-        "spec": result.spec.to_dict(),
-    }
-    if result.error:
-        record["error"] = result.error
-    divergences = [{"pair": p.pair, "status": p.status, "detail": p.detail}
-                   for p in result.divergences]
-    if divergences:
-        record["divergences"] = divergences
-    return record
+class BusSink:
+    """Publish findings to a fleet's shared disagreement bus.
+
+    The distributed worker tees every result through one of these:
+    disagreements (and errored scenarios, which the differential check
+    silently never ran on) reach the bus — full reproducer record in the
+    JSONL payload, small indexed row for polling — the moment the oracle
+    classifies them, so the rest of the fleet can honor
+    ``abort_on_disagreements`` within one chunk latency instead of after
+    the campaign.  Ordinary agreeing results never touch the bus.
+
+    ``bus`` is duck-typed (anything with ``publish(kind, worker, ...)``),
+    keeping this module import-free of :mod:`repro.distributed`.
+    """
+
+    #: Bus event kinds (mirrors :mod:`repro.distributed.bus`).
+    DISAGREEMENT = "disagreement"
+    ERROR_KIND = "error"
+
+    def __init__(self, bus, worker: str):
+        self.bus = bus
+        self.worker = worker
+        self.published = 0
+
+    def accept(self, result: ScenarioResult) -> None:
+        if result.is_disagreement:
+            kind = self.DISAGREEMENT
+        elif result.classification == ERROR:
+            kind = self.ERROR_KIND
+        else:
+            return
+        detail = result.classification
+        for pair in result.divergences:
+            detail += f" {pair.pair}={pair.status}"
+        self.bus.publish(kind, self.worker,
+                         scenario_id=result.scenario_id,
+                         detail=detail,
+                         payload=result_record(result))
+        self.published += 1
+
+    def close(self) -> None:
+        pass
 
 
 class JsonlResultSink:

@@ -35,7 +35,7 @@ from typing import Any, Iterator, Sequence
 
 #: Topology families a spec can name.
 FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp", "hlp",
-            "multipath")
+            "multipath", "tau-sweep")
 
 #: Topology shapes the multipath (top-k) family rides on.
 MULTIPATH_SHAPES = ("caida", "hierarchy", "rocketfuel")
@@ -122,6 +122,38 @@ class ScenarioSpec:
                 + (f" {extras}" if extras else "")
                 + (f" events={len(self.events)}" if self.events else ""))
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (reproducer replay).
+
+        JSON turns tuples into lists, so param values are re-tuplified —
+        the round-tripped spec materializes the identical scenario and
+        renders the identical ``to_dict``.
+        """
+        params = tuple((key, _tuplify(value))
+                       for key, value in (data.get("params") or {}).items())
+        events = tuple(
+            LinkEventSpec(time=e["time"], kind=e["kind"],
+                          link_index=e["link_index"], weight=e.get("weight"))
+            for e in data.get("events") or ())
+        return cls(
+            scenario_id=data["scenario_id"],
+            family=data["family"],
+            algebra=data["algebra"],
+            seed=data["seed"],
+            until=data["until"],
+            max_events=data["max_events"],
+            params=params,
+            events=events,
+        )
+
+
+def _tuplify(value: Any) -> Any:
+    """Undo JSON's tuple → list coercion, recursively."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
 
 class ScenarioGenerator:
     """Seeded randomized scenario source.
@@ -171,11 +203,25 @@ class ScenarioGenerator:
         for i in range(shard_index, count, shard_count):
             yield self.make(i)
 
+    def iter_range(self, start: int, stop: int) -> Iterator[ScenarioSpec]:
+        """Lazily yield the contiguous slice ``[start, stop)`` of the stream.
+
+        This is the *lease-driven* consumption mode: a distributed worker
+        regenerates exactly the scenarios of its leased work unit, so any
+        partition of ``[0, count)`` into ranges — in any order, by any
+        number of workers, re-issued after crashes — evaluates precisely
+        the scenarios one unsharded run would.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid spec range [{start}, {stop})")
+        for i in range(start, stop):
+            yield self.make(i)
+
     def make(self, index: int) -> ScenarioSpec:
         """The ``index``-th scenario of this generator's stream."""
         rng = random.Random(self.seed * 1_000_003 + index)
         family = self.families[index % len(self.families)]
-        builder = getattr(self, f"_make_{family}")
+        builder = getattr(self, "_make_" + family.replace("-", "_"))
         return builder(index, rng)
 
     # -- per-family spec builders -------------------------------------------
@@ -193,6 +239,7 @@ class ScenarioGenerator:
             params.append(("perturb", round(rng.uniform(0.2, 0.9), 2)))
         events = self._maybe_failures(rng, count=1)
         params.extend(self._batch_params(rng))
+        params.extend(self._adaptive_params(rng, "gadget"))
         return ScenarioSpec(
             scenario_id=index, family="gadget", algebra="spp",
             seed=rng.randrange(2**31), params=tuple(params),
@@ -205,7 +252,7 @@ class ScenarioGenerator:
             ("as_count", rng.randint(8, 14 if self.quick else 28)),
             ("peer_fraction", round(rng.uniform(0.05, 0.3), 2)),
             ("destinations", rng.randint(1, 2)),
-        ) + self._batch_params(rng)
+        ) + self._batch_params(rng) + self._adaptive_params(rng, "caida")
         return ScenarioSpec(
             scenario_id=index, family="caida", algebra=algebra,
             seed=rng.randrange(2**31), params=params,
@@ -219,7 +266,7 @@ class ScenarioGenerator:
             ("branching", rng.randint(2, 3)),
             ("max_nodes", 16 if self.quick else 30),
             ("destinations", rng.randint(1, 2)),
-        ) + self._batch_params(rng)
+        ) + self._batch_params(rng) + self._adaptive_params(rng, "hierarchy")
         return ScenarioSpec(
             scenario_id=index, family="hierarchy", algebra=algebra,
             seed=rng.randrange(2**31), params=params,
@@ -238,7 +285,7 @@ class ScenarioGenerator:
             ("links", 2 * routers + rng.randint(0, 6)),
             ("weights", weights),
             ("destinations", rng.randint(1, 2)),
-        ) + self._batch_params(rng)
+        ) + self._batch_params(rng) + self._adaptive_params(rng, "rocketfuel")
         events = list(self._maybe_failures(rng, count=rng.randint(0, 1)))
         if rng.random() < 0.5:
             # Metric perturbation: any weight from the algebra's own
@@ -298,6 +345,43 @@ class ScenarioGenerator:
                                 ("top_k", rng.randint(2, 3)))
         return replace(base, family="multipath", params=params)
 
+    #: Shared preference prefix of every tau-sweep variant: the cost cap
+    #: bounds the finite signature set, so all variants encode the *same*
+    #: preference atoms (the tier-2 incremental solver's prefix) while tau
+    #: and the weight vocabulary vary the monotonicity suffix.
+    TAU_SWEEP_MAX_COST = 14
+    #: Cost-hiding thresholds the sweep draws from (0 = exact costs).
+    TAU_SWEEP_TAUS = (0, 1, 2, 3, 4)
+
+    def _make_tau_sweep(self, index: int, rng: random.Random) -> ScenarioSpec:
+        """HLP cost-hiding sweep (ROADMAP "Tier-2 prefix mining").
+
+        Every spec draws a fresh ``(tau, weights)`` suffix variant of the
+        :class:`~repro.algebra.hlp.HLPTauAlgebra` over the same signature
+        set, so campaign-level analysis of the family exercises the
+        incremental solver's per-prefix warm start: the first variant pays
+        for the preference prefix, every later one pushes only its ⊕
+        suffix against warm distances.
+        """
+        routers = rng.randint(7, 9 if self.quick else 12)
+        weights = tuple(sorted(rng.sample(range(1, 7), rng.randint(2, 4))))
+        params = (
+            ("routers", routers),
+            # Clamp to the complete graph: small router draws could
+            # otherwise request more links than the topology can hold.
+            ("links", min(2 * routers + rng.randint(0, 4),
+                          routers * (routers - 1) // 2)),
+            ("weights", weights),
+            ("tau", rng.choice(self.TAU_SWEEP_TAUS)),
+            ("max_cost", self.TAU_SWEEP_MAX_COST),
+            ("destinations", 1),
+        ) + self._batch_params(rng) + self._adaptive_params(rng, "tau-sweep")
+        return ScenarioSpec(
+            scenario_id=index, family="tau-sweep", algebra="hlp-tau",
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=self._maybe_failures(rng, count=rng.randint(0, 1)))
+
     def _make_ibgp(self, index: int, rng: random.Random) -> ScenarioSpec:
         routers = rng.randint(14, 16 if self.quick else 24)
         params = (
@@ -318,6 +402,35 @@ class ScenarioGenerator:
 
     #: Probability that a spec runs in periodic-advertisement mode.
     BATCH_PROBABILITY = 0.25
+
+    #: Per-family probability that drawn link failures are biased toward
+    #: links on selected best paths (the interesting failures) instead of
+    #: uniform — kept < 1 so uniform draws still occur and failures off
+    #: the forwarding tree stay under test.
+    ADAPTIVE_EVENT_PROBABILITY = {
+        "gadget": 0.35,
+        "caida": 0.5,
+        "hierarchy": 0.5,
+        "rocketfuel": 0.5,
+        "tau-sweep": 0.5,
+    }
+
+    def _adaptive_params(self, rng: random.Random,
+                         family: str) -> tuple[tuple[str, Any], ...]:
+        """Maybe mark this spec's failures as best-path-biased.
+
+        Resolution happens at materialization time
+        (:func:`~repro.campaigns.scenarios.best_path_link_pool`): a cheap
+        hop-count shortest-path probe from the scenario's destinations
+        selects the links actually carrying best paths, and ``fail``
+        events index into that pool instead of the full link list.  The
+        ``multipath`` family inherits the draw from the shape builder it
+        re-runs.
+        """
+        probability = self.ADAPTIVE_EVENT_PROBABILITY.get(family, 0.0)
+        if rng.random() < probability:
+            return (("adaptive_events", True),)
+        return ()
 
     def _batch_params(self, rng: random.Random, *,
                       low: float = 0.2,

@@ -111,6 +111,10 @@ class VerdictStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
         except sqlite3.OperationalError:
             pass  # e.g. unsupported filesystem; rollback journal still works
+        # Belt and braces with the connect timeout: make sqlite itself
+        # retry on a sibling writer's lock instead of raising
+        # SQLITE_BUSY into a multi-writer campaign fleet.
+        self._conn.execute("PRAGMA busy_timeout=30000")
         self._conn.execute(_SCHEMA)
         self._conn.execute(_META_SCHEMA)
         self._ensure_columns()
@@ -255,11 +259,11 @@ class VerdictStore:
 
     def put(self, key: str, safe: bool, method: str) -> None:
         """Record one verdict; racing duplicates are ignored, not errors."""
-        self._conn.execute(
-            "INSERT OR IGNORE INTO verdicts (key, safe, method, created_at) "
-            "VALUES (?, ?, ?, ?)",
-            (key, int(safe), method, time.time()))
-        self._conn.commit()
+        self._retry_locked(
+            lambda: self._conn.execute(
+                "INSERT OR IGNORE INTO verdicts "
+                "(key, safe, method, created_at) VALUES (?, ?, ?, ?)",
+                (key, int(safe), method, time.time())))
 
     def touch(self, key: str) -> None:
         """Count one memo hit against the stored verdict (hygiene data)."""
@@ -274,10 +278,39 @@ class VerdictStore:
         """
         if not counts:
             return
-        self._conn.executemany(
-            "UPDATE verdicts SET hits = hits + ? WHERE key = ?",
-            [(count, key) for key, count in counts.items()])
-        self._conn.commit()
+        self._retry_locked(
+            lambda: self._conn.executemany(
+                "UPDATE verdicts SET hits = hits + ? WHERE key = ?",
+                [(count, key) for key, count in counts.items()]))
+
+    def _retry_locked(self, write, attempts: int = 5) -> None:
+        """Run one write+commit, retrying transient lock errors.
+
+        ``busy_timeout`` already makes sqlite wait out a sibling's
+        transaction, but a writer can still surface ``database is locked``
+        when the wait expires under a pathologically slow fleet member
+        (or a network filesystem hiccup).  Campaign verdict writes are
+        idempotent (``INSERT OR IGNORE`` / additive hit counts), so a
+        short bounded retry is strictly better than killing the worker.
+        """
+        for attempt in range(attempts):
+            try:
+                write()
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as error:
+                try:
+                    self._conn.rollback()
+                except sqlite3.OperationalError:
+                    pass
+                # Only contention is transient; a readonly database or a
+                # full disk will not heal in five sleeps — surface it.
+                message = str(error).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
 
     # -- hygiene ---------------------------------------------------------------
 

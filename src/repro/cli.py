@@ -19,6 +19,15 @@ Python:
   ``--shard-index`` / ``--shard-count`` stride the deterministic spec
   stream across machines, ``--verdict-cache`` persists SMT verdicts
   across invocations);
+* ``campaign-coordinator {init,status,watch} <dir>`` — drive a
+  *distributed* campaign: ``init`` partitions a deterministic spec stream
+  into leased work units under a shared directory, ``status``/``watch``
+  observe the fleet (per-worker progress, lease churn, disagreements on
+  the shared bus) and render the live-merged report;
+* ``campaign --coordinator <dir>`` — join that fleet as one worker:
+  leases replace static shard striding, disagreements are published to
+  the shared bus the moment they are found, and every worker honors
+  fleet-wide early abort within one chunk latency;
 * ``verdicts <path> [--stats|--compact]`` — inspect a persistent verdict
   cache's hit statistics, or evict the rows no campaign ever re-used.
 
@@ -151,20 +160,25 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_families(tokens) -> list[str] | None:
+    """Both spellings: ``--families hlp multipath`` and ``hlp,multipath``."""
+    if not tokens:
+        return None
+    return [name for token in tokens
+            for name in token.split(",") if name]
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .campaigns import JsonlResultSink, run_campaign
+    if args.coordinator:
+        return _campaign_worker(args)
     if args.scenarios < 1:
         # A zero-scenario campaign would exit 0 without testing anything —
         # refuse rather than hand CI a vacuously green gate.
         print("campaign rejected: --scenarios must be >= 1",
               file=sys.stderr)
         return 2
-    # Families accept both spellings: --families hlp multipath and
-    # --families hlp,multipath (CI one-liners favor the comma form).
-    families = None
-    if args.families:
-        families = [name for token in args.families
-                    for name in token.split(",") if name]
+    families = _parse_families(args.families)
     sink = None
     if args.stream_out:
         try:
@@ -210,6 +224,153 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _campaign_worker(args: argparse.Namespace) -> int:
+    """``campaign --coordinator PATH``: join a fleet as one worker.
+
+    Every campaign parameter comes from the coordinator's plan; the only
+    worker-local knobs are ``--worker-id`` and ``--stream-out``.  The
+    printed report is the fleet's live merge at this worker's exit, and
+    the exit code gates on *fleet-wide* findings, so any worker's exit
+    status is a valid campaign verdict once the fleet drains.
+    """
+    from .campaigns import JsonlResultSink, run_campaign
+    sink = None
+    if args.stream_out:
+        try:
+            sink = JsonlResultSink(args.stream_out)
+        except OSError as error:
+            print(f"campaign rejected: cannot open --stream-out: {error}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_campaign(1, coordinator=args.coordinator,
+                              worker_id=args.worker_id, sink=sink)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"campaign rejected: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if sink is not None:
+            sink.close()
+    print(report.summary())
+    if report.disagreement_count or report.error_count:
+        return 1
+    if report.scenario_count == 0:
+        print("campaign rejected: zero scenarios were evaluated",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .distributed import CampaignCoordinator, CampaignPlan
+
+    if args.action == "init":
+        try:
+            planted = [int(part)
+                       for token in args.plant_disagreement or []
+                       for part in str(token).split(",") if part]
+            plan = CampaignPlan(
+                scenarios=args.scenarios,
+                seed=args.seed,
+                families=(tuple(_parse_families(args.families))
+                          if args.families else None),
+                profile=args.profile,
+                backends=tuple(args.backends.split(",")),
+                unit_size=args.unit_size,
+                chunk_size=args.chunk_size,
+                lease_ttl_s=args.lease_ttl_s,
+                abort_on_disagreements=(
+                    args.abort_on_disagreements
+                    if args.abort_on_disagreements >= 1 else None),
+                wall_clock_budget_s=args.budget_s,
+                planted=tuple(planted),
+                shared_verdicts=not args.no_shared_verdicts,
+            )
+            # Fail bad families/profiles/backends at init time, not in
+            # every worker after it leased a unit.
+            from .campaigns import ScenarioGenerator
+            from .exec import resolve_backends
+            ScenarioGenerator(plan.seed, families=plan.families,
+                              profile=plan.profile)
+            resolve_backends(plan.backends)
+            coordinator = CampaignCoordinator.init(args.path, plan)
+        except ValueError as error:
+            print(f"coordinator rejected: {error}", file=sys.stderr)
+            return 2
+        try:
+            status = coordinator.status()
+            print(f"initialized campaign at {args.path}: "
+                  f"{plan.scenarios} scenarios in {status.units_total} "
+                  f"work units of <= {plan.unit_size}")
+            print(f"  seed={plan.seed} profile={plan.profile} "
+                  f"backends={','.join(plan.backends)}"
+                  + (f" families={','.join(plan.families)}"
+                     if plan.families else ""))
+            if plan.planted:
+                print(f"  planted disagreement drill at scenario(s) "
+                      f"{sorted(plan.planted)}")
+            print(f"attach workers with: repro campaign --coordinator "
+                  f"{args.path}")
+        finally:
+            coordinator.close()
+        return 0
+
+    try:
+        coordinator = CampaignCoordinator.attach(args.path)
+    except FileNotFoundError as error:
+        print(f"coordinator rejected: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "status":
+            status = coordinator.status()
+            if args.json:
+                payload = status.to_dict()
+                payload["report"] = coordinator.merged_report().to_dict()
+                print(_json.dumps(payload, indent=2, default=repr))
+            else:
+                print(status.describe())
+            return 0
+        # watch: poll until the fleet drains or aborts, then gate like
+        # `repro campaign` — 0 only when the merged report is clean.
+        while True:
+            status = coordinator.status()
+            print(f"  {status.status}: "
+                  f"{status.scenarios_done}/{status.scenarios_total} "
+                  f"scenarios, units {status.units_done}/"
+                  f"{status.units_total}, "
+                  f"{status.disagreements} disagreement(s)",
+                  flush=True)
+            if status.finished:
+                break
+            # Only workers advance campaign status, so a watch must not
+            # hang on a dead fleet: every registered worker gone (no
+            # heartbeat within 2x the lease TTL), or the fleet budget
+            # spent with nobody alive to notice it, ends the watch.
+            alive = any(row["alive"] for row in status.workers)
+            if not alive and (status.workers
+                              or coordinator.exceeded_budget()):
+                print("watch stopped: no live workers and the campaign "
+                      "is not finished (restart workers with "
+                      f"`repro campaign --coordinator {args.path}` "
+                      "to resume)", file=sys.stderr)
+                return 1
+            _time.sleep(args.interval)
+        report = coordinator.merged_report()
+        print(report.summary())
+        if report.disagreement_count or report.error_count:
+            return 1
+        if report.scenario_count == 0:
+            print("campaign rejected: zero scenarios were evaluated",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        coordinator.close()
 
 
 def cmd_verdicts(args: argparse.Namespace) -> int:
@@ -329,7 +490,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="this shard's index into the spec stream")
     p.add_argument("--shard-count", type=int, default=1,
                    help="total shards striding the spec stream")
+    p.add_argument("--coordinator", default=None, metavar="DIR",
+                   help="join the distributed campaign at DIR as one fleet "
+                        "worker (see `campaign-coordinator init`); the "
+                        "campaign parameters come from the coordinator's "
+                        "plan, so every option above except --stream-out "
+                        "is ignored")
+    p.add_argument("--worker-id", default=None, metavar="NAME",
+                   help="fleet worker name (default: host-pid)")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "campaign-coordinator",
+        help="initialize or observe a distributed campaign directory")
+    p.add_argument("action", choices=("init", "status", "watch"))
+    p.add_argument("path", help="campaign directory (shared by the fleet)")
+    p.add_argument("--scenarios", type=int, default=200,
+                   help="[init] spec stream length (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="[init] campaign seed")
+    p.add_argument("--families", nargs="+", default=None, metavar="FAMILY",
+                   help="[init] restrict to these scenario families")
+    p.add_argument("--profile", default="default",
+                   help="[init] workload profile: default or quick")
+    p.add_argument("--backends", default="gpv", metavar="NAME[,NAME...]",
+                   help="[init] execution backends per scenario")
+    p.add_argument("--unit-size", type=int, default=25,
+                   help="[init] scenarios per leased work unit")
+    p.add_argument("--chunk-size", type=int, default=8,
+                   help="[init] scenarios per worker chunk (heartbeat and "
+                        "bus-poll granularity)")
+    p.add_argument("--lease-ttl-s", type=float, default=60.0,
+                   help="[init] lease seconds before a silent worker's "
+                        "unit is re-issued")
+    p.add_argument("--abort-on-disagreements", type=int, default=1,
+                   help="[init] fleet-wide early-abort threshold "
+                        "(default 1; 0 or negative disables)")
+    p.add_argument("--budget-s", type=float, default=None,
+                   help="[init] fleet wall-clock budget in seconds")
+    p.add_argument("--plant-disagreement", nargs="+", default=None,
+                   metavar="ID",
+                   help="[init] rewrite these scenario ids into synthetic "
+                        "disagreements — the fleet abort drill")
+    p.add_argument("--no-shared-verdicts", action="store_true",
+                   help="[init] per-worker verdict memos instead of the "
+                        "shared write-through store")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="[watch] seconds between progress polls")
+    p.add_argument("--json", action="store_true",
+                   help="[status] machine-readable snapshot incl. the "
+                        "live-merged report")
+    p.set_defaults(fn=cmd_campaign_coordinator)
 
     p = sub.add_parser(
         "verdicts",
@@ -348,7 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # e.g. `repro campaign-coordinator status DIR | head`: the reader
+        # closed early.  Detach stdout so interpreter shutdown doesn't
+        # print a second traceback — but exit non-zero (the conventional
+        # 128+SIGPIPE): the command's verdict gating never ran, and a
+        # truncated pipe must not read as a clean campaign to CI.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,61 @@
+"""Distributed campaign control plane: one fleet from N shard processes.
+
+Sharded campaigns used to be fire-and-forget: ``--shard-index/--shard-count``
+strode a static stream and reports merged only after every shard finished.
+This package turns independent worker processes into a *coordinated fleet*
+over nothing but a shared directory (sqlite-WAL ledgers + an append-only
+JSONL bus — no services, no new dependencies):
+
+* :mod:`repro.distributed.coordinator` —
+  :class:`~repro.distributed.coordinator.CampaignCoordinator`: the
+  campaign plan plus leased work units with heartbeat expiry and
+  re-issue, so a crashed or stalled worker's range is reclaimed instead
+  of gating completion, and a re-run resumes from un-leased units;
+* :mod:`repro.distributed.bus` —
+  :class:`~repro.distributed.bus.DisagreementBus`: every oracle
+  disagreement is published the moment it is found; workers poll between
+  chunks, so fleet-wide early abort lands within one chunk latency;
+* :mod:`repro.distributed.worker` —
+  :class:`~repro.distributed.worker.DistributedWorker`: the lease →
+  evaluate → publish → heartbeat loop behind
+  ``repro campaign --coordinator PATH``.
+
+See ``src/repro/campaigns/README.md`` for the architecture and failure
+model.
+"""
+
+from .bus import ABORT, DISAGREEMENT, NOTE, BusEvent, DisagreementBus
+from .coordinator import (
+    ABORTED,
+    DONE,
+    FINISHED,
+    LEASED,
+    PENDING,
+    RUNNING,
+    CampaignCoordinator,
+    CampaignPlan,
+    FleetStatus,
+    WorkUnit,
+)
+from .worker import DistributedWorker, default_worker_id, run_distributed_worker
+
+__all__ = [
+    "ABORT",
+    "ABORTED",
+    "BusEvent",
+    "CampaignCoordinator",
+    "CampaignPlan",
+    "DISAGREEMENT",
+    "DONE",
+    "DisagreementBus",
+    "DistributedWorker",
+    "FINISHED",
+    "FleetStatus",
+    "LEASED",
+    "NOTE",
+    "PENDING",
+    "RUNNING",
+    "WorkUnit",
+    "default_worker_id",
+    "run_distributed_worker",
+]

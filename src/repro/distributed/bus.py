@@ -1,0 +1,211 @@
+"""The shared disagreement bus: fleet-wide findings, within one chunk latency.
+
+Sharded campaigns used to merge their reports only after every shard
+finished, so a disagreement found by shard 0 in its first second could not
+stop shards 1..N from burning the rest of their budget.  The
+:class:`DisagreementBus` closes that gap with two files in the coordinator
+directory, shared by every worker through the filesystem:
+
+* ``bus.jsonl`` — the append-only payload log.  Every published event is
+  one JSON line carrying the full record (for disagreements: the
+  reproducer spec), written with a single ``os.write`` on an ``O_APPEND``
+  descriptor so concurrent workers interleave *lines*, never bytes within
+  a line.  An interrupted campaign therefore still leaves a complete,
+  parseable record of everything the fleet found;
+* ``bus.sqlite`` — the index: one small row per event (id, time, worker,
+  kind, scenario), WAL-journaled with a busy timeout so N workers can
+  poll between chunks for pennies.  The monotonically increasing
+  ``event_id`` is each worker's poll cursor.
+
+The protocol is deliberately one-way: publishers append, pollers read.
+Nothing is ever mutated or deleted, so there is no lock ordering to get
+wrong and a crashed publisher can at worst lose its own unpublished event
+(its work unit's lease expires and the scenario is re-evaluated anyway).
+
+Event kinds:
+
+``disagreement``
+    An oracle disagreement (or scenario error) the moment a worker's sink
+    accepted it.  Workers poll the count between chunks, so a fleet-wide
+    ``abort_on_disagreements`` limit takes effect within one chunk
+    latency on every worker, not just the finder.
+``abort``
+    A worker decided the fleet must stop (limit reached, budget
+    exhausted); carries the reason.
+``note``
+    Free-form breadcrumbs (used by tests and drills).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+
+#: Event kinds with protocol meaning (anything else is a note).
+DISAGREEMENT = "disagreement"
+ABORT = "abort"
+NOTE = "note"
+
+_BUS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS bus_events (
+    event_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    time        REAL NOT NULL,
+    worker      TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    scenario_id INTEGER,
+    detail      TEXT NOT NULL DEFAULT ''
+)
+"""
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One indexed bus event (the payload lives in ``bus.jsonl``)."""
+
+    event_id: int
+    time: float
+    worker: str
+    kind: str
+    scenario_id: int | None = None
+    detail: str = ""
+
+
+class DisagreementBus:
+    """Append-only JSONL + sqlite index shared by every fleet worker."""
+
+    JSONL_NAME = "bus.jsonl"
+    INDEX_NAME = "bus.sqlite"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.jsonl_path = os.path.join(directory, self.JSONL_NAME)
+        self.index_path = os.path.join(directory, self.INDEX_NAME)
+        self._conn = sqlite3.connect(self.index_path, timeout=30.0)
+        try:  # WAL keeps pollers off the publishers' locks.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:
+            pass  # unsupported filesystem; the rollback journal still works
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.execute(_BUS_SCHEMA)
+        self._conn.commit()
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish(self, kind: str, worker: str, *,
+                scenario_id: int | None = None,
+                detail: str = "",
+                payload: dict | None = None,
+                now: float | None = None) -> BusEvent:
+        """Durably record one event: payload line first, index row second.
+
+        The order matters: the index row is the signal other workers poll
+        for, so the payload must already be on disk when it appears.  The
+        line is encoded once and written with a single ``os.write`` on an
+        ``O_APPEND`` descriptor — concurrent publishers interleave whole
+        lines.
+        """
+        stamp = time.time() if now is None else now
+        record = {
+            "time": stamp,
+            "worker": worker,
+            "kind": kind,
+            "scenario_id": scenario_id,
+            "detail": detail,
+        }
+        if payload is not None:
+            record["payload"] = payload
+        line = (json.dumps(record, default=repr) + "\n").encode("utf-8")
+        fd = os.open(self.jsonl_path,
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        cursor = self._conn.execute(
+            "INSERT INTO bus_events (time, worker, kind, scenario_id, detail) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (stamp, worker, kind, scenario_id, detail))
+        self._conn.commit()
+        return BusEvent(cursor.lastrowid, stamp, worker, kind,
+                        scenario_id, detail)
+
+    # -- polling --------------------------------------------------------------
+
+    def events_after(self, event_id: int) -> list[BusEvent]:
+        """Every indexed event newer than the caller's cursor, in order."""
+        rows = self._conn.execute(
+            "SELECT event_id, time, worker, kind, scenario_id, detail "
+            "FROM bus_events WHERE event_id > ? ORDER BY event_id",
+            (event_id,)).fetchall()
+        return [BusEvent(*row) for row in rows]
+
+    def count(self, kind: str | None = None) -> int:
+        """Total indexed events, optionally of one kind."""
+        if kind is None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM bus_events").fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM bus_events WHERE kind = ?",
+                (kind,)).fetchone()
+        return row[0]
+
+    def disagreement_count(self) -> int:
+        """Distinct disagreeing *scenarios* — the fleet abort metric.
+
+        Distinct, not raw rows: a reclaimed lease re-evaluates its unit
+        deterministically, so the replacement worker re-publishes the
+        same finding under the same scenario id.  Counting rows would let
+        one disagreement trip a higher ``abort_on_disagreements`` limit
+        (and inflate the merged report) after a lease churn.
+        """
+        row = self._conn.execute(
+            "SELECT COUNT(DISTINCT COALESCE(scenario_id, -1 - event_id)) "
+            "FROM bus_events WHERE kind = ?", (DISAGREEMENT,)).fetchone()
+        return row[0]
+
+    def last_event_id(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(event_id), 0) FROM bus_events").fetchone()
+        return row[0]
+
+    def abort_reason(self) -> str | None:
+        """The first published fleet-abort reason, if any."""
+        row = self._conn.execute(
+            "SELECT detail FROM bus_events WHERE kind = ? "
+            "ORDER BY event_id LIMIT 1", (ABORT,)).fetchone()
+        return None if row is None else (row[0] or "fleet abort")
+
+    # -- payload log ----------------------------------------------------------
+
+    def read_payloads(self, kind: str | None = None) -> list[dict]:
+        """Parse every JSONL payload record (optionally filtered by kind).
+
+        Concurrent appends interleave whole lines, so this must parse
+        cleanly even while the fleet is still publishing; a final partial
+        line (a publisher killed mid-``write``, which a single
+        ``os.write`` makes all but impossible on a local filesystem) is
+        skipped rather than fatal.
+        """
+        if not os.path.exists(self.jsonl_path):
+            return []
+        records = []
+        with open(self.jsonl_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line; never mid-file
+                if kind is None or record.get("kind") == kind:
+                    records.append(record)
+        return records
+
+    def close(self) -> None:
+        self._conn.close()

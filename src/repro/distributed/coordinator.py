@@ -1,0 +1,607 @@
+"""Campaign coordinator: leased work units over a shared sqlite ledger.
+
+A distributed campaign is a *directory* initialized once with a
+:class:`CampaignPlan` and then attached by any number of worker
+processes.  The design relies on sqlite WAL locking and atomic
+``O_APPEND`` line writes, which hold on a local filesystem shared by
+processes of **one host**; network filesystems (NFS and friends) break
+both guarantees — fanning out across hosts needs the object-store bus
+backend on the ROADMAP, not a network mount.
+
+.. code-block:: text
+
+    campaign-dir/
+      coordinator.sqlite   the ledger: plan, work units, workers
+      bus.jsonl            append-only disagreement payloads
+      bus.sqlite           bus index (poll cursors)
+      verdicts.sqlite      shared write-through verdict cache (optional)
+
+The deterministic spec stream ``ScenarioGenerator(seed).make(i)`` for
+``i in [0, scenarios)`` is partitioned up front into contiguous
+:class:`WorkUnit` ranges.  Workers *lease* units instead of striding the
+stream statically:
+
+* :meth:`acquire` hands out the lowest pending unit — or the lowest unit
+  whose lease has **expired** (its worker crashed or stalled), so a dead
+  worker's range is reclaimed instead of gating completion;
+* :meth:`heartbeat` extends the lease between chunks; a ``False`` return
+  tells a straggler its lease was reclaimed and its unit now belongs to
+  someone else — it abandons the unit rather than racing the new owner;
+* :meth:`complete` records the unit's partial
+  :class:`~repro.campaigns.report.CampaignReport` state.  Completion is
+  first-wins: a reclaimed unit finished by both the straggler and the new
+  owner counts **once** (evaluation is deterministic, so both computed
+  identical results — the duplicate is simply discarded), which is what
+  makes the fleet's merged report equal a single-process run even through
+  crashes and re-issues.
+
+All ledger mutations are single ``BEGIN IMMEDIATE`` transactions with a
+busy timeout, so any number of workers on one filesystem coordinate
+safely; nothing in the protocol needs a network service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field, replace
+
+from .bus import ABORT, DISAGREEMENT, DisagreementBus
+
+COORDINATOR_DB = "coordinator.sqlite"
+SHARED_VERDICTS = "verdicts.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS plan (
+    id     INTEGER PRIMARY KEY CHECK (id = 1),
+    body   TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    status TEXT NOT NULL DEFAULT 'running',
+    status_detail TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS units (
+    unit_id   INTEGER PRIMARY KEY,
+    start     INTEGER NOT NULL,
+    stop      INTEGER NOT NULL,
+    state     TEXT NOT NULL DEFAULT 'pending',
+    worker    TEXT,
+    lease_expires_at REAL,
+    attempts  INTEGER NOT NULL DEFAULT 0,
+    reclaims  INTEGER NOT NULL DEFAULT 0,
+    report    TEXT,
+    completed_at REAL,
+    completed_by TEXT
+);
+CREATE TABLE IF NOT EXISTS workers (
+    worker        TEXT PRIMARY KEY,
+    registered_at REAL NOT NULL,
+    last_seen     REAL NOT NULL,
+    scenarios_done INTEGER NOT NULL DEFAULT 0,
+    units_done    INTEGER NOT NULL DEFAULT 0,
+    wall_clock_s  REAL NOT NULL DEFAULT 0.0,
+    bus_latency_s REAL,
+    aborted       TEXT
+);
+"""
+
+#: Unit states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+#: Campaign states.
+RUNNING = "running"
+ABORTED = "aborted"
+FINISHED = "done"
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything a worker needs to regenerate and evaluate its leases.
+
+    The plan lives in the coordinator, not on worker command lines:
+    ``repro campaign --coordinator PATH`` needs only the path, so every
+    worker — including one started days later to resume a crashed
+    campaign — evaluates exactly the same deterministic spec stream.
+    """
+
+    scenarios: int
+    seed: int = 0
+    families: tuple[str, ...] | None = None
+    profile: str = "default"
+    backends: tuple[str, ...] = ("gpv",)
+    #: Scenario indices per leased work unit.
+    unit_size: int = 25
+    #: Scenarios per in-worker chunk (heartbeat / bus-poll granularity).
+    chunk_size: int = 8
+    #: Seconds a silent worker keeps its lease before re-issue.
+    lease_ttl_s: float = 60.0
+    abort_on_disagreements: int | None = 1
+    wall_clock_budget_s: float | None = None
+    #: Scenario ids rewritten into synthetic disagreements — the fleet
+    #: drill that proves the abort path end to end before a real campaign
+    #: depends on it (and what the CI smoke job plants).
+    planted: tuple[int, ...] = ()
+    #: Feed one shared write-through verdict store instead of per-worker
+    #: memos (``verdicts.sqlite`` in the campaign directory).
+    shared_verdicts: bool = True
+    max_retained: int = 200
+    created_at: float = 0.0
+
+    def __post_init__(self):
+        if self.scenarios < 1:
+            raise ValueError("scenarios must be >= 1")
+        if self.unit_size < 1:
+            raise ValueError("unit_size must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be > 0")
+        bad_plants = [i for i in self.planted
+                      if not 0 <= i < self.scenarios]
+        if bad_plants:
+            # A drill that plants outside the stream never fires and
+            # reads as a vacuous "abort path works" pass.
+            raise ValueError(
+                f"planted scenario ids {bad_plants} outside the stream "
+                f"[0, {self.scenarios})")
+        if self.abort_on_disagreements is not None \
+                and self.abort_on_disagreements < 1:
+            # Unlike the in-process runner (which evaluates a scenario
+            # before its first limit check), fleet workers check *before*
+            # acquiring — a limit of 0 would abort every worker at start
+            # and evaluate nothing.  Use None to disable the limit.
+            raise ValueError(
+                "abort_on_disagreements must be >= 1, or None to disable")
+
+    def to_json(self) -> str:
+        body = {
+            "scenarios": self.scenarios,
+            "seed": self.seed,
+            "families": list(self.families) if self.families else None,
+            "profile": self.profile,
+            "backends": list(self.backends),
+            "unit_size": self.unit_size,
+            "chunk_size": self.chunk_size,
+            "lease_ttl_s": self.lease_ttl_s,
+            "abort_on_disagreements": self.abort_on_disagreements,
+            "wall_clock_budget_s": self.wall_clock_budget_s,
+            "planted": list(self.planted),
+            "shared_verdicts": self.shared_verdicts,
+            "max_retained": self.max_retained,
+            "created_at": self.created_at,
+        }
+        return json.dumps(body)
+
+    @classmethod
+    def from_json(cls, body: str) -> "CampaignPlan":
+        data = json.loads(body)
+        data["families"] = (tuple(data["families"])
+                            if data.get("families") else None)
+        data["backends"] = tuple(data["backends"])
+        data["planted"] = tuple(data.get("planted") or ())
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One leased contiguous range ``[start, stop)`` of the spec stream."""
+
+    unit_id: int
+    start: int
+    stop: int
+    lease_expires_at: float
+    #: True when this lease was reclaimed from a crashed/stalled worker.
+    reclaimed: bool = False
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class FleetStatus:
+    """One snapshot of the whole fleet, derived from the ledger + bus."""
+
+    status: str
+    status_detail: str
+    scenarios_total: int
+    scenarios_done: int
+    units_total: int
+    units_done: int
+    units_leased: int
+    units_pending: int
+    lease_churn: int
+    disagreements: int
+    bus_events: int
+    workers: list[dict] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (ABORTED, FINISHED)
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign: {self.status}"
+            + (f" ({self.status_detail})" if self.status_detail else ""),
+            f"  scenarios: {self.scenarios_done}/{self.scenarios_total} "
+            f"evaluated",
+            f"  units:     {self.units_done}/{self.units_total} done, "
+            f"{self.units_leased} leased, {self.units_pending} pending"
+            + (f", {self.lease_churn} lease reclaim(s)"
+               if self.lease_churn else ""),
+            f"  bus:       {self.disagreements} disagreement(s), "
+            f"{self.bus_events} event(s)",
+        ]
+        for row in self.workers:
+            state = "live" if row["alive"] else "gone"
+            note = f" aborted: {row['aborted']}" if row.get("aborted") else ""
+            lines.append(
+                f"  worker {row['worker']}: {row['scenarios_done']} "
+                f"scenarios, {row['units_done']} units "
+                f"[{state}]{note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "status_detail": self.status_detail,
+            "scenarios_total": self.scenarios_total,
+            "scenarios_done": self.scenarios_done,
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "units_leased": self.units_leased,
+            "units_pending": self.units_pending,
+            "lease_churn": self.lease_churn,
+            "disagreements": self.disagreements,
+            "bus_events": self.bus_events,
+            "workers": self.workers,
+        }
+
+
+class CampaignCoordinator:
+    """The shared ledger one fleet coordinates through."""
+
+    def __init__(self, directory: str, *, _create: bool = False):
+        self.directory = directory
+        db_path = os.path.join(directory, COORDINATOR_DB)
+        if not _create and not os.path.exists(db_path):
+            raise FileNotFoundError(
+                f"{directory!r} is not an initialized campaign directory "
+                f"(run `repro campaign-coordinator init` first)")
+        self._conn = sqlite3.connect(db_path, timeout=30.0)
+        self._conn.isolation_level = None  # explicit BEGIN IMMEDIATE below
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:
+            pass
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.executescript(_SCHEMA)
+        self._plan: CampaignPlan | None = None
+        self._bus: DisagreementBus | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def init(cls, directory: str,
+             plan: CampaignPlan) -> "CampaignCoordinator":
+        """Create the campaign directory and partition the spec stream."""
+        os.makedirs(directory, exist_ok=True)
+        coordinator = cls(directory, _create=True)
+        if plan.created_at == 0.0:
+            plan = replace(plan, created_at=time.time())
+        already = ValueError(
+            f"{directory!r} already holds an initialized campaign; "
+            f"attach workers with `repro campaign --coordinator` or "
+            f"choose a fresh directory")
+        try:
+            # Existence check and insert under ONE write lock: two racing
+            # inits must serialize, with the loser seeing the winner's
+            # row (not an IntegrityError from a stale autocommit read).
+            with coordinator._write():
+                if coordinator._conn.execute(
+                        "SELECT COUNT(*) FROM plan").fetchone()[0]:
+                    raise already
+                coordinator._conn.execute(
+                    "INSERT INTO plan (id, body, created_at) "
+                    "VALUES (1, ?, ?)",
+                    (plan.to_json(), plan.created_at))
+                units = [(i, start,
+                          min(start + plan.unit_size, plan.scenarios))
+                         for i, start in enumerate(
+                             range(0, plan.scenarios, plan.unit_size))]
+                coordinator._conn.executemany(
+                    "INSERT INTO units (unit_id, start, stop) "
+                    "VALUES (?, ?, ?)", units)
+        except sqlite3.IntegrityError:
+            coordinator.close()
+            raise already from None
+        except Exception:
+            coordinator.close()
+            raise
+        coordinator._plan = plan
+        return coordinator
+
+    @classmethod
+    def attach(cls, directory: str) -> "CampaignCoordinator":
+        """Open an existing campaign directory (workers, status, resume)."""
+        return cls(directory)
+
+    def close(self) -> None:
+        if self._bus is not None:
+            self._bus.close()
+            self._bus = None
+        self._conn.close()
+
+    # -- accessors ------------------------------------------------------------
+
+    def plan(self) -> CampaignPlan:
+        if self._plan is None:
+            row = self._conn.execute(
+                "SELECT body FROM plan WHERE id = 1").fetchone()
+            if row is None:
+                raise ValueError(
+                    f"{self.directory!r} has no campaign plan (corrupt or "
+                    f"half-initialized directory)")
+            self._plan = CampaignPlan.from_json(row[0])
+        return self._plan
+
+    @property
+    def bus(self) -> DisagreementBus:
+        if self._bus is None:
+            self._bus = DisagreementBus(self.directory)
+        return self._bus
+
+    @property
+    def verdict_cache_path(self) -> str | None:
+        if not self.plan().shared_verdicts:
+            return None
+        return os.path.join(self.directory, SHARED_VERDICTS)
+
+    # -- lease protocol -------------------------------------------------------
+
+    def acquire(self, worker: str,
+                now: float | None = None) -> WorkUnit | None:
+        """Lease the lowest pending-or-expired unit, or None when all are
+        done or validly held by live workers."""
+        now = time.time() if now is None else now
+        ttl = self.plan().lease_ttl_s
+        with self._write():
+            row = self._conn.execute(
+                "SELECT unit_id, start, stop, state FROM units "
+                "WHERE state = ? OR (state = ? AND lease_expires_at < ?) "
+                "ORDER BY unit_id LIMIT 1",
+                (PENDING, LEASED, now)).fetchone()
+            if row is None:
+                return None
+            unit_id, start, stop, state = row
+            reclaimed = state == LEASED
+            self._conn.execute(
+                "UPDATE units SET state = ?, worker = ?, "
+                "lease_expires_at = ?, attempts = attempts + 1, "
+                "reclaims = reclaims + ? WHERE unit_id = ?",
+                (LEASED, worker, now + ttl, int(reclaimed), unit_id))
+            self._touch_worker(worker, now)
+        return WorkUnit(unit_id, start, stop, now + ttl, reclaimed)
+
+    def heartbeat(self, worker: str, unit_id: int, *,
+                  scenarios: int = 0,
+                  now: float | None = None) -> bool:
+        """Extend the lease and credit ``scenarios`` evaluated since the
+        last beat; False means the lease was reclaimed — abandon the unit
+        (the new owner re-derives the same results)."""
+        now = time.time() if now is None else now
+        ttl = self.plan().lease_ttl_s
+        with self._write():
+            self._touch_worker(worker, now)
+            if scenarios:
+                self._conn.execute(
+                    "UPDATE workers SET scenarios_done = scenarios_done + ? "
+                    "WHERE worker = ?", (scenarios, worker))
+            updated = self._conn.execute(
+                "UPDATE units SET lease_expires_at = ? "
+                "WHERE unit_id = ? AND state = ? AND worker = ?",
+                (now + ttl, unit_id, LEASED, worker)).rowcount
+        return bool(updated)
+
+    def complete(self, worker: str, unit_id: int, report_state: dict,
+                 now: float | None = None) -> bool:
+        """Record a finished unit (first completion wins; duplicates from
+        reclaimed leases are discarded so no scenario counts twice)."""
+        now = time.time() if now is None else now
+        with self._write():
+            state = self._conn.execute(
+                "SELECT state FROM units WHERE unit_id = ?",
+                (unit_id,)).fetchone()
+            if state is None:
+                raise ValueError(f"unknown unit {unit_id}")
+            if state[0] == DONE:
+                return False
+            self._conn.execute(
+                "UPDATE units SET state = ?, report = ?, completed_at = ?, "
+                "completed_by = ?, worker = NULL, lease_expires_at = NULL "
+                "WHERE unit_id = ?",
+                (DONE, json.dumps(report_state, default=repr), now, worker,
+                 unit_id))
+            self._touch_worker(worker, now)
+            # Scenario credit accrues via heartbeats (so abandoned leases
+            # still show the work they burned); completion adds the unit.
+            self._conn.execute(
+                "UPDATE workers SET units_done = units_done + 1 "
+                "WHERE worker = ?", (worker,))
+            remaining = self._conn.execute(
+                "SELECT COUNT(*) FROM units WHERE state != ?",
+                (DONE,)).fetchone()[0]
+            if remaining == 0:
+                self._conn.execute(
+                    "UPDATE plan SET status = ? "
+                    "WHERE id = 1 AND status = ?",
+                    (FINISHED, RUNNING))
+        return True
+
+    # -- fleet state ----------------------------------------------------------
+
+    def abort(self, reason: str, worker: str = "?") -> None:
+        """Mark the campaign aborted (idempotent; first reason sticks) and
+        announce it on the bus so every worker stops within one chunk."""
+        with self._write():
+            changed = self._conn.execute(
+                "UPDATE plan SET status = ?, status_detail = ? "
+                "WHERE id = 1 AND status = ?",
+                (ABORTED, reason, RUNNING)).rowcount
+        if changed:
+            self.bus.publish(ABORT, worker, detail=reason)
+
+    def campaign_state(self) -> tuple[str, str]:
+        row = self._conn.execute(
+            "SELECT status, status_detail FROM plan WHERE id = 1").fetchone()
+        return (row[0], row[1]) if row else (RUNNING, "")
+
+    def exceeded_budget(self, now: float | None = None) -> bool:
+        plan = self.plan()
+        if plan.wall_clock_budget_s is None:
+            return False
+        now = time.time() if now is None else now
+        return now - plan.created_at >= plan.wall_clock_budget_s
+
+    def record_worker_exit(self, worker: str, *, wall_clock_s: float,
+                           bus_latency_s: float | None,
+                           aborted: str | None) -> None:
+        with self._write():
+            self._touch_worker(worker, time.time())
+            self._conn.execute(
+                "UPDATE workers SET wall_clock_s = ?, bus_latency_s = ?, "
+                "aborted = ? WHERE worker = ?",
+                (wall_clock_s, bus_latency_s, aborted, worker))
+
+    def status(self, now: float | None = None) -> FleetStatus:
+        now = time.time() if now is None else now
+        plan = self.plan()
+        state, detail = self.campaign_state()
+        counts = dict(self._conn.execute(
+            "SELECT state, COUNT(*) FROM units GROUP BY state"))
+        done_scenarios = self._conn.execute(
+            "SELECT COALESCE(SUM(stop - start), 0) FROM units "
+            "WHERE state = ?", (DONE,)).fetchone()[0]
+        churn = self._conn.execute(
+            "SELECT COALESCE(SUM(reclaims), 0) FROM units").fetchone()[0]
+        workers = []
+        for row in self._conn.execute(
+                "SELECT worker, last_seen, scenarios_done, units_done, "
+                "wall_clock_s, bus_latency_s, aborted FROM workers "
+                "ORDER BY worker"):
+            workers.append({
+                "worker": row[0],
+                "last_seen": row[1],
+                "alive": now - row[1] <= 2 * plan.lease_ttl_s,
+                "scenarios_done": row[2],
+                "units_done": row[3],
+                "wall_clock_s": row[4],
+                "bus_latency_s": row[5],
+                "aborted": row[6],
+            })
+        return FleetStatus(
+            status=state,
+            status_detail=detail,
+            scenarios_total=plan.scenarios,
+            scenarios_done=done_scenarios,
+            units_total=sum(counts.values()),
+            units_done=counts.get(DONE, 0),
+            units_leased=counts.get(LEASED, 0),
+            units_pending=counts.get(PENDING, 0),
+            lease_churn=churn,
+            disagreements=self.bus.disagreement_count(),
+            bus_events=self.bus.count(),
+            workers=workers,
+        )
+
+    def merged_report(self):
+        """Live merge of every completed unit's partial report.
+
+        Valid at any point of the campaign — mid-flight it covers the
+        units done so far (the ``repro campaign-coordinator watch`` view);
+        after the last completion it is the fleet's canonical result,
+        equal to a single-process run of the same plan because units
+        partition the deterministic stream and completion is first-wins.
+        """
+        from ..campaigns.report import CampaignReport
+
+        states = [json.loads(row[0]) for row in self._conn.execute(
+            "SELECT report FROM units WHERE state = ? ORDER BY unit_id",
+            (DONE,)) if row[0]]
+        merged = CampaignReport.merge(
+            [CampaignReport.from_state(state) for state in states])
+        state, detail = self.campaign_state()
+        if state == ABORTED and not merged.aborted:
+            merged.aborted = detail or "fleet aborted"
+        status = self.status()
+        merged.jobs = max(len(status.workers), 1)
+        # merge() took the max over *unit* durations, which is not fleet
+        # latency; the longest worker lifetime is (0.0 for each worker
+        # still running — then the slowest finished unit is the best
+        # available floor, kept from merge()).
+        merged.wall_clock_s = max(
+            [merged.wall_clock_s]
+            + [row["wall_clock_s"] for row in status.workers])
+        merged.fleet = {
+            "workers": {
+                row["worker"]: {
+                    "scenarios": row["scenarios_done"],
+                    "units": row["units_done"],
+                    "wall_clock_s": row["wall_clock_s"],
+                    "scenarios_per_second": (
+                        row["scenarios_done"] / row["wall_clock_s"]
+                        if row["wall_clock_s"] else 0.0),
+                    "bus_latency_s": row["bus_latency_s"],
+                    "aborted": row["aborted"],
+                }
+                for row in status.workers
+            },
+            "lease_churn": status.lease_churn,
+            "units": {
+                "total": status.units_total,
+                "done": status.units_done,
+                "leased": status.units_leased,
+                "pending": status.units_pending,
+            },
+            "bus": {
+                "disagreements": status.disagreements,
+                "events": status.bus_events,
+            },
+        }
+        return merged
+
+    def all_units_done(self) -> bool:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM units WHERE state != ?",
+            (DONE,)).fetchone()[0] == 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _touch_worker(self, worker: str, now: float) -> None:
+        self._conn.execute(
+            "INSERT INTO workers (worker, registered_at, last_seen) "
+            "VALUES (?, ?, ?) "
+            "ON CONFLICT(worker) DO UPDATE SET last_seen = excluded.last_seen",
+            (worker, now, now))
+
+    def _write(self):
+        """``BEGIN IMMEDIATE`` context: one atomic ledger mutation."""
+        return _WriteTransaction(self._conn)
+
+
+class _WriteTransaction:
+    def __init__(self, conn: sqlite3.Connection):
+        self.conn = conn
+
+    def __enter__(self):
+        self.conn.execute("BEGIN IMMEDIATE")
+        return self.conn
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.conn.execute("COMMIT")
+        else:
+            self.conn.execute("ROLLBACK")
+        return False

@@ -1,0 +1,220 @@
+"""The lease-driven campaign worker: one fleet member's whole lifecycle.
+
+``repro campaign --coordinator PATH`` runs one of these.  The worker
+carries **no campaign parameters of its own** — everything (seed, stream
+length, families, backends, budgets) comes from the coordinator's
+:class:`~repro.distributed.coordinator.CampaignPlan`, so any number of
+workers started at any time (including after a crash, to resume) evaluate
+the same deterministic stream.
+
+The loop, per leased :class:`~repro.distributed.coordinator.WorkUnit`:
+
+1. regenerate the unit's specs from the plan seed (``generator.make(i)``
+   for ``i in [start, stop)`` — lease-driven consumption of the stream,
+   replacing the old static ``--shard-index`` striding);
+2. evaluate them chunk by chunk through the differential oracle, feeding
+   a per-unit :class:`~repro.campaigns.sink.AggregatingSink`, the
+   fleet-shared :class:`~repro.campaigns.sink.BusSink` (disagreements hit
+   the bus the moment they are found), and any extra sink (``--stream-out``);
+3. between chunks: heartbeat the lease (a ``False`` return means the
+   lease was reclaimed — abandon the unit, its new owner recomputes the
+   identical results) and poll the bus — a fleet-wide disagreement limit
+   or budget exhaustion stops *every* worker within one chunk latency;
+4. on unit completion, hand the partial report state to the coordinator
+   (first completion wins).
+
+The planted-disagreement drill: scenario ids listed in ``plan.planted``
+have their results rewritten into synthetic ``safe-diverged``
+disagreements after evaluation.  A fleet about to spend a week on a
+million-scenario campaign can first prove, end to end, that a finding by
+one worker actually stops all the others — the same way one tests a fire
+alarm.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import replace
+
+from ..campaigns.oracle import (
+    EvaluationOptions,
+    configure_verdict_store,
+    evaluate,
+    flush_store_hits,
+)
+from ..campaigns.report import SAFE_DIVERGED, CampaignReport, ScenarioResult
+from ..campaigns.sink import AggregatingSink, BusSink, ResultSink
+from ..campaigns.spec import ScenarioGenerator
+from ..exec import resolve_backends
+from .bus import ABORT, DISAGREEMENT
+from .coordinator import ABORTED, CampaignCoordinator, WorkUnit
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class DistributedWorker:
+    """One fleet member: lease, evaluate, publish, repeat."""
+
+    def __init__(self, coordinator: CampaignCoordinator | str, *,
+                 worker_id: str | None = None,
+                 sink: ResultSink | None = None,
+                 max_units: int | None = None,
+                 idle_wait_s: float | None = None):
+        if isinstance(coordinator, str):
+            coordinator = CampaignCoordinator.attach(coordinator)
+        self.coordinator = coordinator
+        self.plan = coordinator.plan()
+        self.worker_id = worker_id or default_worker_id()
+        self.extra_sink = sink
+        #: Stop after this many units (tests simulate partial workers).
+        self.max_units = max_units
+        #: Wait between acquire attempts while other workers hold leases.
+        self.idle_wait_s = (min(self.plan.lease_ttl_s / 4, 0.2)
+                            if idle_wait_s is None else idle_wait_s)
+        self.backends = resolve_backends(self.plan.backends)
+        self.aborted: str | None = None
+        self.scenarios_done = 0
+        self.units_done = 0
+        self._bus_cursor = 0
+        self._latency_samples: list[float] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        """Work until the stream is exhausted or the fleet stops; return
+        the fleet's live-merged report (this worker's view of the whole
+        campaign, not just its own slice)."""
+        started = time.perf_counter()
+        coordinator = self.coordinator
+        options = EvaluationOptions(
+            backends=self.backends,
+            verdict_store_path=coordinator.verdict_cache_path)
+        configure_verdict_store(options.verdict_store_path)
+        bus_sink = BusSink(coordinator.bus, self.worker_id)
+        # Latency samples must measure *notification* latency, so the
+        # cursor starts at join time; abort decisions use the bus-wide
+        # disagreement count and still see pre-join findings.
+        self._bus_cursor = coordinator.bus.last_event_id()
+        try:
+            while True:
+                self.aborted = self._fleet_stop()
+                if self.aborted:
+                    break
+                if self.max_units is not None \
+                        and self.units_done >= self.max_units:
+                    break
+                unit = coordinator.acquire(self.worker_id)
+                if unit is None:
+                    if coordinator.all_units_done():
+                        break
+                    time.sleep(self.idle_wait_s)  # stragglers hold leases
+                    continue
+                self._run_unit(unit, options, bus_sink)
+        finally:
+            flush_store_hits()
+            latency = (sum(self._latency_samples)
+                       / len(self._latency_samples)
+                       if self._latency_samples else None)
+            coordinator.record_worker_exit(
+                self.worker_id,
+                wall_clock_s=time.perf_counter() - started,
+                bus_latency_s=latency,
+                aborted=self.aborted)
+        return coordinator.merged_report()
+
+    # -- one unit -------------------------------------------------------------
+
+    def _run_unit(self, unit: WorkUnit, options: EvaluationOptions,
+                  bus_sink: BusSink) -> None:
+        plan = self.plan
+        generator = ScenarioGenerator(plan.seed, families=plan.families,
+                                      profile=plan.profile)
+        unit_started = time.perf_counter()
+        aggregator = AggregatingSink(keep_results=False,
+                                     max_retained=plan.max_retained,
+                                     backends=self.backends)
+        for chunk_start in range(unit.start, unit.stop, plan.chunk_size):
+            chunk_stop = min(chunk_start + plan.chunk_size, unit.stop)
+            for spec in generator.iter_range(chunk_start, chunk_stop):
+                result = self._plant(evaluate(spec, options))
+                aggregator.accept(result)
+                bus_sink.accept(result)
+                if self.extra_sink is not None:
+                    self.extra_sink.accept(result)
+                self.scenarios_done += 1
+            if not self.coordinator.heartbeat(
+                    self.worker_id, unit.unit_id,
+                    scenarios=chunk_stop - chunk_start):
+                return  # lease reclaimed: the new owner re-derives the unit
+            self.aborted = self._fleet_stop()
+            if self.aborted:
+                return  # abandoned unit; the campaign is over anyway
+        report = aggregator.report(
+            wall_clock_s=time.perf_counter() - unit_started,
+            jobs=1, chunk_size=plan.chunk_size, aborted=None)
+        if self.coordinator.complete(self.worker_id, unit.unit_id,
+                                     report.to_state()):
+            self.units_done += 1
+
+    def _plant(self, result: ScenarioResult) -> ScenarioResult:
+        """The fleet drill: rewrite a planted scenario into a synthetic
+        disagreement so the abort path can be proven end to end."""
+        if result.scenario_id not in self.plan.planted:
+            return result
+        return replace(
+            result, classification=SAFE_DIVERGED, safe=True, converged=False,
+            stop_reason="planted-disagreement",
+            error="synthetic disagreement planted by the campaign plan "
+                  "(fleet abort drill)")
+
+    # -- fleet stop conditions ------------------------------------------------
+
+    def _fleet_stop(self) -> str | None:
+        """Poll the shared state: has anyone (including me) stopped the
+        fleet?  Called between chunks, so any stop propagates to every
+        worker within one chunk latency."""
+        coordinator = self.coordinator
+        self._poll_bus()
+        state, detail = coordinator.campaign_state()
+        if state == ABORTED:
+            return detail or "fleet aborted"
+        limit = self.plan.abort_on_disagreements
+        if limit is not None:
+            # Distinct scenarios, so a reclaimed lease re-publishing the
+            # same finding cannot inflate the count toward the limit.
+            found = coordinator.bus.disagreement_count()
+            if found >= limit:
+                reason = f"disagreement limit reached ({found}) fleet-wide"
+                coordinator.abort(reason, self.worker_id)
+                return reason
+        if coordinator.exceeded_budget():
+            reason = "wall-clock budget exhausted fleet-wide"
+            coordinator.abort(reason, self.worker_id)
+            return reason
+        return None
+
+    def _poll_bus(self) -> None:
+        """Advance the cursor; sample notification latency on events other
+        workers published (publish time → first observation here)."""
+        now = time.time()
+        for event in self.coordinator.bus.events_after(self._bus_cursor):
+            self._bus_cursor = event.event_id
+            if event.worker != self.worker_id \
+                    and event.kind in (DISAGREEMENT, ABORT):
+                self._latency_samples.append(max(0.0, now - event.time))
+
+
+def run_distributed_worker(directory: str, *,
+                           worker_id: str | None = None,
+                           sink: ResultSink | None = None) -> CampaignReport:
+    """Convenience: attach to a campaign directory and work it to the end."""
+    coordinator = CampaignCoordinator.attach(directory)
+    try:
+        return DistributedWorker(coordinator, worker_id=worker_id,
+                                 sink=sink).run()
+    finally:
+        coordinator.close()

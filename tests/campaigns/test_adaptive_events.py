@@ -1,0 +1,134 @@
+"""Adaptive event schedules: best-path-biased link failures (ROADMAP item).
+
+The generator marks a per-family fraction of specs ``adaptive_events``;
+materialization then binds their ``fail`` events to the best-path link
+pool of a cheap hop-count shortest-path probe instead of the full link
+list.  Uniform draws must still occur, and everything stays a pure
+function of the spec (reproducers keep reproducing).
+"""
+
+from dataclasses import replace
+
+from repro.campaigns import ScenarioGenerator, best_path_link_pool, materialize
+from repro.campaigns.spec import LinkEventSpec, ScenarioSpec
+
+
+def caida_spec(*, adaptive: bool, link_index: int = 11,
+               seed: int = 3) -> ScenarioSpec:
+    params = [("as_count", 12), ("peer_fraction", 0.2), ("destinations", 1)]
+    if adaptive:
+        params.append(("adaptive_events", True))
+    return ScenarioSpec(
+        scenario_id=0, family="caida", algebra="gr-a", seed=seed,
+        until=60.0, max_events=30_000, params=tuple(params),
+        events=(LinkEventSpec(time=0.3, kind="fail",
+                              link_index=link_index),))
+
+
+class TestGeneratorDraws:
+    def test_both_adaptive_and_uniform_specs_occur(self):
+        generator = ScenarioGenerator(3, families=("caida",),
+                                      profile="quick")
+        flags = [bool(spec.param("adaptive_events"))
+                 for spec in generator.generate(60)]
+        assert any(flags), "the adaptive bias never fired in 60 draws"
+        assert not all(flags), "uniform draws must still occur"
+
+    def test_families_without_probe_semantics_stay_uniform(self):
+        assert ScenarioGenerator.ADAPTIVE_EVENT_PROBABILITY.get("hlp") \
+            is None
+        assert ScenarioGenerator.ADAPTIVE_EVENT_PROBABILITY.get("ibgp") \
+            is None
+        generator = ScenarioGenerator(3, families=("hlp",), profile="quick")
+        assert not any(spec.param("adaptive_events")
+                       for spec in generator.generate(24))
+
+    def test_multipath_inherits_the_shape_draw(self):
+        generator = ScenarioGenerator(5, families=("multipath",),
+                                      profile="quick")
+        flags = [bool(spec.param("adaptive_events"))
+                 for spec in generator.generate(60)]
+        assert any(flags) and not all(flags)
+
+
+class TestResolution:
+    def test_adaptive_failures_land_on_best_path_links(self):
+        hits = 0
+        for link_index in range(12):
+            scenario = materialize(caida_spec(adaptive=True,
+                                              link_index=link_index))
+            pool = {link.ends for link in best_path_link_pool(
+                scenario.network, scenario.destinations)}
+            assert pool, "probe found no best-path links"
+            for event in scenario.events:
+                if event.kind == "fail":
+                    hits += 1
+                    assert frozenset((event.a, event.b)) in pool
+        assert hits > 0
+
+    def test_uniform_spec_can_fail_off_the_tree(self):
+        """Across many uniform draws at least one failure misses the
+        best-path pool — the bias is real, not a no-op."""
+        off_tree = 0
+        for link_index in range(24):
+            scenario = materialize(caida_spec(adaptive=False,
+                                              link_index=link_index))
+            pool = {link.ends for link in best_path_link_pool(
+                scenario.network, scenario.destinations)}
+            for event in scenario.events:
+                if event.kind == "fail" and \
+                        frozenset((event.a, event.b)) not in pool:
+                    off_tree += 1
+        assert off_tree > 0
+
+    def test_materialization_stays_deterministic(self):
+        spec = caida_spec(adaptive=True)
+        first = materialize(spec)
+        second = materialize(spec)
+        assert [(e.kind, e.a, e.b, e.time) for e in first.events] == \
+            [(e.kind, e.a, e.b, e.time) for e in second.events]
+
+    def test_probe_is_destination_aware(self):
+        spec = caida_spec(adaptive=True)
+        scenario = materialize(spec)
+        pool = best_path_link_pool(scenario.network, scenario.destinations)
+        dist_ok = {scenario.destinations[0]}
+        # Every pool link touches the shortest-path level structure: walk
+        # the pool from the destination and require full connectivity.
+        frontier = {scenario.destinations[0]}
+        edges = {link.ends for link in pool}
+        while frontier:
+            nxt = set()
+            for link in pool:
+                if link.a in frontier and link.b not in dist_ok:
+                    nxt.add(link.b)
+                if link.b in frontier and link.a not in dist_ok:
+                    nxt.add(link.a)
+            dist_ok |= nxt
+            frontier = nxt
+        touched = {node for ends in edges for node in ends}
+        assert touched <= dist_ok, \
+            "pool contains links unreachable from the destination tree"
+
+    def test_gadget_family_resolves_adaptively_too(self):
+        spec = ScenarioSpec(
+            scenario_id=0, family="gadget", algebra="spp", seed=9,
+            until=30.0, max_events=20_000,
+            params=(("gadget", "good"), ("adaptive_events", True)),
+            events=(LinkEventSpec(time=0.2, kind="fail", link_index=5),))
+        scenario = materialize(spec)
+        pool = {link.ends for link in best_path_link_pool(
+            scenario.network, scenario.destinations)}
+        for event in scenario.events:
+            assert frozenset((event.a, event.b)) in pool
+
+    def test_adaptive_flag_changes_only_event_binding(self):
+        uniform = materialize(caida_spec(adaptive=False))
+        adaptive = materialize(caida_spec(adaptive=True))
+        assert sorted(uniform.network.nodes()) == \
+            sorted(adaptive.network.nodes())
+        assert uniform.destinations == adaptive.destinations
+
+    def test_spec_param_survives_replacement(self):
+        spec = caida_spec(adaptive=True)
+        assert replace(spec, seed=4).param("adaptive_events") is True

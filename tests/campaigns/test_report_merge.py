@@ -1,0 +1,126 @@
+"""CampaignReport.merge() under concurrent/partial inputs, and the
+to_state/from_state serialization the distributed coordinator stores.
+
+The distributed control plane feeds merge() from JSON-reconstructed unit
+reports that may be partial (aborted workers), empty (a unit whose every
+scenario errored out of retention), or — when a reclaimed lease was
+finished twice — overlapping.  These tests pin the contract: merge is
+*additive* and trusts its inputs to be disjoint; deduplication of
+double-completed units is the coordinator's job (first completion wins),
+which `tests/distributed` covers.
+"""
+
+import json
+
+from repro.campaigns import (
+    CampaignReport,
+    ScenarioGenerator,
+    clear_verdict_cache,
+    evaluate,
+    result_from_record,
+    result_record,
+    run_campaign,
+)
+
+
+def small_report(count=4, seed=1, **kwargs):
+    clear_verdict_cache()
+    return run_campaign(count, seed=seed, families=("gadget",),
+                        profile="quick", **kwargs)
+
+
+def forced_disagreement_report(seed=1):
+    """A report retaining one reproducer (synthesized, like the drill)."""
+    from dataclasses import replace
+
+    from repro.campaigns import SAFE_DIVERGED
+    spec = ScenarioGenerator(seed, families=("gadget",),
+                             profile="quick").make(0)
+    clear_verdict_cache()
+    result = replace(evaluate(spec), classification=SAFE_DIVERGED)
+    return CampaignReport(results=[result], total_scenarios=1,
+                          class_counts={SAFE_DIVERGED: 1},
+                          family_counts={"gadget": {SAFE_DIVERGED: 1}},
+                          pair_counts={}, cache_hit_count=0,
+                          analyzed_count=1)
+
+
+class TestMergePartialInputs:
+    def test_empty_shards_contribute_nothing(self):
+        real = small_report(4)
+        empty = CampaignReport(total_scenarios=0, class_counts={},
+                               family_counts={}, pair_counts={},
+                               cache_hit_count=0, analyzed_count=0)
+        merged = CampaignReport.merge([empty, real, empty])
+        assert merged.scenario_count == real.scenario_count == 4
+        assert merged.counters() == real.counters()
+        assert merged.by_family() == real.by_family()
+
+    def test_overlapping_reproducers_are_additive(self):
+        """Two reports carrying the *same* reproducer merge additively —
+        merge trusts its inputs to be disjoint shards; deduping a
+        double-completed unit happens upstream in the coordinator."""
+        a = forced_disagreement_report(seed=1)
+        b = forced_disagreement_report(seed=1)
+        merged = CampaignReport.merge([a, b])
+        assert merged.scenario_count == 2
+        assert merged.disagreement_count == 2
+        ids = [r.scenario_id for r in merged.results]
+        assert ids == sorted(ids) == [0, 0]
+        # Both reproducer seeds survive retention (never evicted by bulk
+        # results) and render identically.
+        seeds = merged.reproducer_seeds()
+        assert len(seeds) == 2 and seeds[0] == seeds[1]
+
+    def test_merge_of_aborted_and_complete_shards(self):
+        aborted = small_report(6, wall_clock_budget_s=0.0)
+        complete = small_report(6)
+        merged = CampaignReport.merge([aborted, complete])
+        assert merged.aborted == "wall-clock budget exhausted"
+        assert merged.scenario_count == \
+            aborted.scenario_count + complete.scenario_count
+
+
+class TestStateRoundTrip:
+    def test_result_record_roundtrip(self):
+        report = forced_disagreement_report()
+        original = report.results[0]
+        record = json.loads(json.dumps(result_record(original),
+                                       default=repr))
+        rebuilt = result_from_record(record)
+        assert rebuilt.scenario_id == original.scenario_id
+        assert rebuilt.classification == original.classification
+        assert rebuilt.is_disagreement
+        assert rebuilt.spec.to_dict() == original.spec.to_dict()
+        assert [(p.pair, p.status) for p in rebuilt.pairwise] == \
+            [(p.pair, p.status) for p in original.pairwise]
+        assert [(p.pair, p.detail) for p in rebuilt.divergences] == \
+            [(p.pair, p.detail) for p in original.divergences]
+
+    def test_report_state_roundtrip_preserves_aggregates(self):
+        report = small_report(6, keep_results=False)
+        state = json.loads(json.dumps(report.to_state(), default=repr))
+        rebuilt = CampaignReport.from_state(state)
+        assert rebuilt.scenario_count == report.scenario_count
+        assert rebuilt.counters() == report.counters()
+        assert rebuilt.by_family() == report.by_family()
+        assert rebuilt.pairwise_counters() == report.pairwise_counters()
+        assert rebuilt.cache_hit_rate == report.cache_hit_rate
+
+    def test_merge_commutes_with_serialization(self):
+        """merge(from_state(to_state(r))) == merge(r): what makes the
+        coordinator's JSON-stored unit reports sound to live-merge."""
+        shards = [small_report(4, seed=s, keep_results=False)
+                  for s in (1, 2)]
+        direct = CampaignReport.merge(shards)
+        rebuilt = CampaignReport.merge([
+            CampaignReport.from_state(
+                json.loads(json.dumps(s.to_state(), default=repr)))
+            for s in shards
+        ])
+        assert rebuilt.counters() == direct.counters()
+        assert rebuilt.by_family() == direct.by_family()
+        assert rebuilt.pairwise_counters() == direct.pairwise_counters()
+        assert rebuilt.scenario_count == direct.scenario_count
+        assert json.loads(json.dumps(rebuilt.reproducer_seeds())) == \
+            json.loads(json.dumps(direct.reproducer_seeds()))

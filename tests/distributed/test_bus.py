@@ -1,0 +1,106 @@
+"""DisagreementBus: cursor polling, payload log, concurrent appenders."""
+
+import json
+import multiprocessing
+
+from repro.distributed import DISAGREEMENT, DisagreementBus
+
+
+class TestPublishPoll:
+    def test_cursor_semantics(self, tmp_path):
+        bus = DisagreementBus(str(tmp_path))
+        assert bus.last_event_id() == 0
+        first = bus.publish(DISAGREEMENT, "w1", scenario_id=7,
+                            detail="safe-diverged")
+        second = bus.publish("note", "w2")
+        events = bus.events_after(0)
+        assert [e.event_id for e in events] == [first.event_id,
+                                                second.event_id]
+        assert bus.events_after(first.event_id) == [second]
+        assert bus.events_after(second.event_id) == []
+        assert bus.count() == 2
+        assert bus.count(DISAGREEMENT) == 1
+        bus.close()
+
+    def test_payload_roundtrip(self, tmp_path):
+        bus = DisagreementBus(str(tmp_path))
+        payload = {"scenario_id": 3, "spec": {"family": "gadget",
+                                              "seed": 42}}
+        bus.publish(DISAGREEMENT, "w1", scenario_id=3, payload=payload)
+        bus.publish("note", "w1")
+        records = bus.read_payloads(DISAGREEMENT)
+        assert len(records) == 1
+        assert records[0]["payload"] == payload
+        assert records[0]["worker"] == "w1"
+        assert bus.read_payloads()[1]["kind"] == "note"
+        bus.close()
+
+    def test_abort_reason(self, tmp_path):
+        bus = DisagreementBus(str(tmp_path))
+        assert bus.abort_reason() is None
+        bus.publish("abort", "w1", detail="limit reached")
+        bus.publish("abort", "w2", detail="later reason")
+        assert bus.abort_reason() == "limit reached"
+        bus.close()
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        bus = DisagreementBus(str(tmp_path))
+        bus.publish(DISAGREEMENT, "w1", scenario_id=1)
+        with open(bus.jsonl_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "disagreement", "trunc')
+        assert len(bus.read_payloads()) == 1
+        bus.close()
+
+
+def _publish_many(directory: str, worker: str, count: int) -> None:
+    bus = DisagreementBus(directory)
+    for i in range(count):
+        bus.publish(DISAGREEMENT, worker, scenario_id=i,
+                    payload={"worker": worker, "i": i,
+                             "pad": "x" * (50 + i % 17)})
+    bus.close()
+
+
+class TestConcurrentAppends:
+    def test_interleaved_multiprocess_appends_stay_line_atomic(
+            self, tmp_path):
+        """Four processes hammer one bus; every line must parse and every
+        index row must exist — the property the fleet's merge and abort
+        logic both stand on."""
+        directory = str(tmp_path)
+        workers = [f"w{i}" for i in range(4)]
+        per_worker = 30
+        processes = [
+            multiprocessing.Process(target=_publish_many,
+                                    args=(directory, worker, per_worker))
+            for worker in workers
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        bus = DisagreementBus(directory)
+        assert bus.count(DISAGREEMENT) == len(workers) * per_worker
+        with open(bus.jsonl_path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(workers) * per_worker
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # no torn lines
+            seen.add((record["payload"]["worker"], record["payload"]["i"]))
+        assert seen == {(w, i) for w in workers for i in range(per_worker)}
+        bus.close()
+
+
+class TestDistinctDisagreements:
+    def test_republished_finding_counts_once(self, tmp_path):
+        """A reclaimed lease re-publishes the same deterministic finding;
+        the fleet abort metric must not inflate."""
+        bus = DisagreementBus(str(tmp_path))
+        bus.publish(DISAGREEMENT, "w1", scenario_id=5)
+        bus.publish(DISAGREEMENT, "w2", scenario_id=5)  # re-evaluated unit
+        bus.publish(DISAGREEMENT, "w2", scenario_id=9)
+        assert bus.count(DISAGREEMENT) == 3
+        assert bus.disagreement_count() == 2
+        bus.close()

@@ -1,0 +1,216 @@
+"""CampaignCoordinator: plan storage, lease lifecycle, reclaim, merge."""
+
+import json
+
+import pytest
+
+from repro.distributed import (
+    ABORT,
+    ABORTED,
+    CampaignCoordinator,
+    CampaignPlan,
+    FINISHED,
+    RUNNING,
+)
+
+
+def make_plan(**overrides) -> CampaignPlan:
+    defaults = dict(scenarios=10, seed=3, families=("gadget",),
+                    profile="quick", unit_size=4, chunk_size=2,
+                    lease_ttl_s=30.0, abort_on_disagreements=1)
+    defaults.update(overrides)
+    return CampaignPlan(**defaults)
+
+
+def unit_report_state(scenarios: int) -> dict:
+    return {"total_scenarios": scenarios, "class_counts": {},
+            "family_counts": {}, "pair_counts": {}, "results": [],
+            "backends": ["gpv"]}
+
+
+class TestPlan:
+    def test_json_roundtrip(self):
+        plan = make_plan(planted=(3, 7), wall_clock_budget_s=5.0)
+        again = CampaignPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.families == ("gadget",)
+        assert again.planted == (3, 7)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            make_plan(scenarios=0)
+        with pytest.raises(ValueError):
+            make_plan(unit_size=0)
+        with pytest.raises(ValueError):
+            make_plan(lease_ttl_s=0.0)
+
+
+class TestInit:
+    def test_units_partition_the_stream(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan(scenarios=10, unit_size=4))
+        units = []
+        while True:
+            unit = coordinator.acquire("w", now=100.0)
+            if unit is None:
+                break
+            units.append(unit)
+        assert [(u.start, u.stop) for u in units] == [(0, 4), (4, 8), (8, 10)]
+        coordinator.close()
+
+    def test_double_init_is_rejected(self, tmp_path):
+        path = str(tmp_path / "c")
+        CampaignCoordinator.init(path, make_plan()).close()
+        with pytest.raises(ValueError, match="already"):
+            CampaignCoordinator.init(path, make_plan())
+
+    def test_attach_requires_initialized_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignCoordinator.attach(str(tmp_path / "nope"))
+
+    def test_attach_sees_the_same_plan(self, tmp_path):
+        path = str(tmp_path / "c")
+        plan = make_plan(seed=99)
+        CampaignCoordinator.init(path, plan).close()
+        attached = CampaignCoordinator.attach(path)
+        assert attached.plan().seed == 99
+        assert attached.plan().created_at > 0
+        attached.close()
+
+
+class TestLeases:
+    def test_live_leases_are_not_reissued(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan(scenarios=4, unit_size=4))
+        first = coordinator.acquire("w1", now=100.0)
+        assert first is not None and not first.reclaimed
+        # Within the TTL the unit belongs to w1; w2 gets nothing.
+        assert coordinator.acquire("w2", now=110.0) is None
+        coordinator.close()
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"),
+            make_plan(scenarios=4, unit_size=4, lease_ttl_s=30.0))
+        coordinator.acquire("w1", now=100.0)
+        stolen = coordinator.acquire("w2", now=131.0)  # ttl elapsed
+        assert stolen is not None and stolen.reclaimed
+        assert coordinator.status(now=131.0).lease_churn == 1
+        # The straggler's next heartbeat reports the loss.
+        assert not coordinator.heartbeat("w1", stolen.unit_id, now=132.0)
+        assert coordinator.heartbeat("w2", stolen.unit_id, now=132.0)
+        coordinator.close()
+
+    def test_heartbeat_extends_the_lease(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"),
+            make_plan(scenarios=4, unit_size=4, lease_ttl_s=30.0))
+        unit = coordinator.acquire("w1", now=100.0)
+        assert coordinator.heartbeat("w1", unit.unit_id, now=125.0)
+        # Would have expired at 130 without the beat; now expires at 155.
+        assert coordinator.acquire("w2", now=140.0) is None
+        assert coordinator.acquire("w2", now=156.0) is not None
+        coordinator.close()
+
+
+class TestCompletion:
+    def test_first_completion_wins(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"),
+            make_plan(scenarios=4, unit_size=4, lease_ttl_s=10.0))
+        unit = coordinator.acquire("w1", now=100.0)
+        # w1 stalls; w2 reclaims and completes first.
+        coordinator.acquire("w2", now=111.0)
+        assert coordinator.complete("w2", unit.unit_id,
+                                    unit_report_state(4), now=112.0)
+        # The straggler's duplicate is discarded, not double counted.
+        assert not coordinator.complete("w1", unit.unit_id,
+                                        unit_report_state(4), now=113.0)
+        status = coordinator.status(now=113.0)
+        assert status.units_done == 1
+        assert status.scenarios_done == 4
+        assert status.status == FINISHED
+        coordinator.close()
+
+    def test_last_completion_finishes_the_campaign(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan(scenarios=8, unit_size=4))
+        first = coordinator.acquire("w", now=100.0)
+        second = coordinator.acquire("w", now=100.0)
+        coordinator.complete("w", first.unit_id, unit_report_state(4))
+        assert coordinator.campaign_state()[0] == RUNNING
+        assert not coordinator.all_units_done()
+        coordinator.complete("w", second.unit_id, unit_report_state(4))
+        assert coordinator.campaign_state()[0] == FINISHED
+        assert coordinator.all_units_done()
+        coordinator.close()
+
+
+class TestAbort:
+    def test_first_reason_sticks_and_hits_the_bus(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan())
+        coordinator.abort("disagreement limit reached (1)", "w1")
+        coordinator.abort("wall-clock budget exhausted", "w2")
+        state, detail = coordinator.campaign_state()
+        assert state == ABORTED
+        assert detail == "disagreement limit reached (1)"
+        assert coordinator.bus.count(ABORT) == 1
+        assert coordinator.bus.abort_reason() == detail
+        coordinator.close()
+
+    def test_budget_is_fleet_wide_from_plan_creation(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan(wall_clock_budget_s=50.0))
+        created = coordinator.plan().created_at
+        assert not coordinator.exceeded_budget(now=created + 49.0)
+        assert coordinator.exceeded_budget(now=created + 50.0)
+        coordinator.close()
+
+
+class TestMergedReport:
+    def test_empty_campaign_merges_to_zero(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan())
+        merged = coordinator.merged_report()
+        assert merged.scenario_count == 0
+        assert merged.fleet["units"]["done"] == 0
+        coordinator.close()
+
+    def test_aborted_reason_reaches_the_merged_report(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan())
+        coordinator.abort("drill", "w")
+        merged = coordinator.merged_report()
+        assert merged.aborted == "drill"
+        assert merged.fleet["bus"]["events"] == 1
+
+    def test_status_serializes(self, tmp_path):
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"), make_plan())
+        payload = coordinator.status().to_dict()
+        json.dumps(payload)
+        assert payload["scenarios_total"] == 10
+        assert payload["units_total"] == 3
+        coordinator.close()
+
+
+class TestPlanAbortLimit:
+    def test_zero_limit_is_rejected(self):
+        """A fleet worker checks the limit before acquiring, so 0 would
+        abort every worker at start; the plan refuses it (None disables)."""
+        with pytest.raises(ValueError, match="abort_on_disagreements"):
+            make_plan(abort_on_disagreements=0)
+        assert make_plan(abort_on_disagreements=None) \
+            .abort_on_disagreements is None
+
+
+class TestPlantedValidation:
+    def test_out_of_range_plant_is_rejected(self):
+        """A drill planted outside the stream would never fire and read
+        as a vacuous pass — the plan refuses it."""
+        with pytest.raises(ValueError, match="planted"):
+            make_plan(scenarios=10, planted=(10,))
+        with pytest.raises(ValueError, match="planted"):
+            make_plan(scenarios=10, planted=(-1,))
+        assert make_plan(scenarios=10, planted=(0, 9)).planted == (0, 9)

@@ -1,0 +1,188 @@
+"""End-to-end fleet behavior: equality with single-process runs, crash
+recovery, planted-disagreement early abort across real processes."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaigns import (
+    VerdictStore,
+    clear_verdict_cache,
+    configure_verdict_store,
+    run_campaign,
+)
+from repro.distributed import (
+    ABORTED,
+    CampaignCoordinator,
+    CampaignPlan,
+    DistributedWorker,
+    run_distributed_worker,
+)
+
+FAMILIES = ("gadget",)
+PROFILE = "quick"
+
+
+@pytest.fixture(autouse=True)
+def cold_oracle():
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    yield
+    configure_verdict_store(None)
+    clear_verdict_cache()
+
+
+def make_coordinator(path, **overrides) -> CampaignCoordinator:
+    defaults = dict(scenarios=12, seed=5, families=FAMILIES, profile=PROFILE,
+                    unit_size=4, chunk_size=2, lease_ttl_s=30.0,
+                    abort_on_disagreements=1)
+    defaults.update(overrides)
+    return CampaignCoordinator.init(str(path), CampaignPlan(**defaults))
+
+
+def single_process_report(scenarios: int, seed: int = 5):
+    clear_verdict_cache()
+    return run_campaign(scenarios, seed=seed, families=FAMILIES,
+                        profile=PROFILE, keep_results=False)
+
+
+def assert_reports_equal(merged, single):
+    assert merged.scenario_count == single.scenario_count
+    assert merged.counters() == single.counters()
+    assert merged.by_family() == single.by_family()
+    assert merged.pairwise_counters() == single.pairwise_counters()
+    # Reproducer specs compare after a JSON round trip (the coordinator
+    # stores unit reports as JSON, so tuples became tuples again).
+    assert json.loads(json.dumps(merged.reproducer_seeds())) == \
+        json.loads(json.dumps(single.reproducer_seeds()))
+
+
+def _worker_process(directory: str, worker_id: str) -> None:
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    run_distributed_worker(directory, worker_id=worker_id)
+
+
+def run_fleet(directory: str, count: int = 2) -> None:
+    processes = [
+        multiprocessing.Process(target=_worker_process,
+                                args=(directory, f"w{i}"))
+        for i in range(count)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=300)
+        assert process.exitcode == 0
+
+
+class TestSingleWorker:
+    def test_merged_report_equals_single_process_run(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "c")
+        merged = DistributedWorker(coordinator, worker_id="solo").run()
+        assert_reports_equal(merged, single_process_report(12))
+        assert merged.fleet["workers"]["solo"]["scenarios"] == 12
+        assert merged.fleet["units"]["done"] == 3
+        assert merged.fleet["lease_churn"] == 0
+        coordinator.close()
+
+    def test_max_units_stops_early_and_resume_finishes(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "c")
+        partial = DistributedWorker(coordinator, worker_id="first",
+                                    max_units=1).run()
+        assert partial.scenario_count == 4
+        assert not coordinator.all_units_done()
+        # Re-attaching later (a fresh process, a day later...) resumes
+        # from the un-leased units — incremental resumability.
+        merged = DistributedWorker(coordinator, worker_id="second").run()
+        assert_reports_equal(merged, single_process_report(12))
+        coordinator.close()
+
+    def test_shared_verdict_store_is_fed(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "c")
+        DistributedWorker(coordinator, worker_id="solo").run()
+        path = coordinator.verdict_cache_path
+        assert path is not None and os.path.exists(path)
+        store = VerdictStore(path)
+        assert len(store) > 0
+        store.close()
+        coordinator.close()
+
+
+class TestCrashRecovery:
+    def test_killed_workers_unit_is_reclaimed_losing_no_work(self, tmp_path):
+        """A worker crashes mid-campaign holding a lease; the resumed
+        fleet's merged report is identical to an uninterrupted
+        single-process run (the acceptance criterion)."""
+        coordinator = make_coordinator(tmp_path / "c", lease_ttl_s=0.05)
+        # "Crash": the worker leases unit 0 and is never heard from again.
+        doomed = coordinator.acquire("crashed-worker")
+        assert doomed is not None and doomed.start == 0
+        time.sleep(0.06)  # let the lease expire
+        merged = DistributedWorker(coordinator, worker_id="rescuer",
+                                   idle_wait_s=0.01).run()
+        assert_reports_equal(merged, single_process_report(12))
+        status = coordinator.status()
+        assert status.lease_churn >= 1
+        assert status.units_done == status.units_total
+        coordinator.close()
+
+    def test_straggler_completion_does_not_double_count(self, tmp_path):
+        """The crashed worker comes back and finishes its stale unit after
+        the reclaim: first completion wins, totals stay exact."""
+        coordinator = make_coordinator(tmp_path / "c", lease_ttl_s=0.05)
+        stale = coordinator.acquire("straggler")
+        time.sleep(0.06)
+        merged = DistributedWorker(coordinator, worker_id="rescuer",
+                                   idle_wait_s=0.01).run()
+        # The straggler finally "finishes" — its report must be discarded.
+        assert not coordinator.complete(
+            "straggler", stale.unit_id,
+            {"total_scenarios": len(stale), "results": []})
+        assert_reports_equal(coordinator.merged_report(),
+                             single_process_report(12))
+        assert merged.scenario_count == 12
+        coordinator.close()
+
+
+class TestRealFleet:
+    def test_two_process_fleet_equals_single_process_run(self, tmp_path):
+        directory = str(tmp_path / "c")
+        make_coordinator(directory, scenarios=16, unit_size=2).close()
+        run_fleet(directory, count=2)
+        coordinator = CampaignCoordinator.attach(directory)
+        merged = coordinator.merged_report()
+        assert_reports_equal(merged, single_process_report(16))
+        status = coordinator.status()
+        assert status.status == "done"
+        total = sum(row["units_done"] for row in status.workers)
+        assert total == status.units_total == 8
+        coordinator.close()
+
+    def test_planted_disagreement_aborts_the_whole_fleet_early(
+            self, tmp_path):
+        """The acceptance criterion: a disagreement found by one worker
+        aborts all other workers before they exhaust their spec ranges."""
+        directory = str(tmp_path / "c")
+        make_coordinator(directory, scenarios=40, unit_size=4,
+                         planted=(0,), abort_on_disagreements=1).close()
+        run_fleet(directory, count=2)
+        coordinator = CampaignCoordinator.attach(directory)
+        status = coordinator.status()
+        assert status.status == ABORTED
+        assert "disagreement limit" in status.status_detail
+        # The fleet stopped long before the 40-scenario stream ran dry.
+        assert status.units_done < status.units_total
+        merged = coordinator.merged_report()
+        assert merged.aborted is not None
+        assert merged.scenario_count < 40
+        # Every worker recorded the fleet-wide abort, not just the finder.
+        assert all(row["aborted"] for row in status.workers)
+        # The reproducer payload is on the bus for whoever investigates.
+        payloads = coordinator.bus.read_payloads("disagreement")
+        assert payloads and payloads[0]["payload"]["scenario_id"] == 0
+        assert payloads[0]["payload"]["spec"]["family"] == "gadget"
+        coordinator.close()
