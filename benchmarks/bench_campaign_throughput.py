@@ -270,6 +270,185 @@ def test_tau_sweep_prefix_reuse(benchmark, save_result, smoke):
         "the sweep family must raise prefix reuse over the mixed rotation"
 
 
+def _batch_specs(smoke: bool):
+    """Fixed-seed scenarios per batch-supported family, near the node cap
+    (where the vectorized path amortizes best and the scalar engines pay
+    the most per scenario)."""
+    from repro.campaigns import LinkEventSpec, ScenarioSpec
+
+    per_family = 8 if smoke else 40
+    specs = {"caida/hop-count": [], "hierarchy/safe-backup": [],
+             "rocketfuel/shortest-path": [], "tau-sweep/hlp-tau": []}
+    for i in range(per_family):
+        specs["caida/hop-count"].append(ScenarioSpec(
+            scenario_id=1000 + i, family="caida", algebra="hop-count",
+            seed=100 + i, until=60.0, max_events=200_000,
+            params=(("as_count", 56), ("peer_fraction", 0.2),
+                    ("destinations", 3)),
+            events=(LinkEventSpec(time=0.2, kind="fail",
+                                  link_index=i % 11),)))
+        specs["hierarchy/safe-backup"].append(ScenarioSpec(
+            scenario_id=2000 + i, family="hierarchy", algebra="safe-backup",
+            seed=200 + i, until=60.0, max_events=200_000,
+            params=(("depth", 4), ("branching", 3), ("max_nodes", 56),
+                    ("destinations", 3)),
+            events=(LinkEventSpec(time=0.2, kind="fail",
+                                  link_index=i % 7),)))
+        specs["rocketfuel/shortest-path"].append(ScenarioSpec(
+            scenario_id=3000 + i, family="rocketfuel",
+            algebra="shortest-path",
+            seed=300 + i, until=60.0, max_events=200_000,
+            params=(("routers", 48), ("links", 120), ("weights", (1, 2)),
+                    ("destinations", 3)),
+            events=(LinkEventSpec(time=0.1, kind="perturb",
+                                  link_index=i % 13, weight=2),)))
+    generator = ScenarioGenerator(SEED, families=("tau-sweep",),
+                                  profile="quick")
+    specs["tau-sweep/hlp-tau"] = generator.generate(per_family)
+    return specs
+
+
+def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
+    """The vectorized backend's twin acceptance gates, on fixed seeds.
+
+    *Equality*: on every scenario the batch backend declares supported —
+    across all batch-supported families — its route tables must be
+    preference-equal to the scalar GPV engine (``route_mismatches`` empty
+    per scenario, non-vacuously per family).
+
+    *Throughput*: executing the same scenarios as vectorized batches
+    must beat the scalar per-scenario loop by >= 10x aggregated over the
+    large-topology families (the smoke workload asserts a floor of 2x —
+    kernel tabulation is a fixed cost the small run cannot amortize).
+    The tau-sweep family rides the *equality* gate but is excluded from
+    the throughput gate: each spec draws a distinct tau, so every ~9-node
+    scenario tabulates its own kernel and nothing amortizes — its honest
+    ~1x figure is still recorded per family in ``BENCH_batch.json`` for
+    the CI artifact trail.
+    """
+    from repro.campaigns import materialize
+    from repro.exec import get_backend, route_mismatches, schedule_events
+    from repro.exec.batch import clear_kernel_cache
+
+    import time as _time
+
+    batch = get_backend("batch")
+    gpv = get_backend("gpv")
+    by_family = _batch_specs(smoke)
+
+    supported: dict[str, list] = {}
+    for family_key, specs in by_family.items():
+        supported[family_key] = [
+            spec for spec in specs if batch.supports(materialize(spec))]
+        assert supported[family_key], (
+            f"equality gate is vacuous: no supported scenario "
+            f"in {family_key}")
+    family_counts = Counter(
+        {key: len(specs) for key, specs in supported.items()})
+    total = sum(family_counts.values())
+
+    # Scalar reference pass (timed per family): one GPV run per scenario.
+    references: dict[str, list] = {}
+    scalar_s: dict[str, float] = {}
+    for family_key, specs in supported.items():
+        scenarios = [materialize(spec) for spec in specs]
+        started = _time.perf_counter()
+        refs = []
+        for spec, scenario in zip(specs, scenarios):
+            session = gpv.prepare(scenario, seed=spec.seed)
+            schedule_events(session, scenario.events)
+            refs.append((scenario.algebra,
+                         session.run(until=spec.until,
+                                     max_events=spec.max_events)))
+        scalar_s[family_key] = _time.perf_counter() - started
+        references[family_key] = refs
+
+    # Vectorized pass (timed per family, fresh kernels): one batch per
+    # family — the amortization unit, since kernels are per-algebra.
+    def batched_run():
+        clear_kernel_cache()
+        fresh = {key: [materialize(spec) for spec in specs]
+                 for key, specs in supported.items()}
+        outcomes, seconds = {}, {}
+        for family_key, scenarios in fresh.items():
+            started = _time.perf_counter()
+            outcomes[family_key] = batch.prepare_batch(scenarios).run()
+            seconds[family_key] = _time.perf_counter() - started
+        return outcomes, seconds
+
+    outcomes, batch_s = benchmark.pedantic(batched_run, rounds=1,
+                                           iterations=1)
+
+    # The equality gate: preference-equal tables on every scenario of
+    # every family, tau-sweep included.
+    mismatched = []
+    for family_key, specs in supported.items():
+        for spec, (algebra, reference), outcome in zip(
+                specs, references[family_key], outcomes[family_key]):
+            diffs = route_mismatches(algebra, reference, outcome)
+            if diffs:
+                mismatched.append((spec.describe(), diffs[:2]))
+    assert not mismatched, f"batch != gpv on {mismatched}"
+
+    per_family = {
+        key: {
+            "scenarios": family_counts[key],
+            "scalar_sps": family_counts[key] / scalar_s[key],
+            "batch_sps": family_counts[key] / batch_s[key],
+            "speedup": scalar_s[key] / batch_s[key],
+        }
+        for key in supported
+    }
+    amortized = [key for key in supported if key != "tau-sweep/hlp-tau"]
+    gated_n = sum(family_counts[key] for key in amortized)
+    gated_scalar_s = sum(scalar_s[key] for key in amortized)
+    gated_batch_s = sum(batch_s[key] for key in amortized)
+    gated_speedup = gated_scalar_s / gated_batch_s
+    scalar_sps = total / sum(scalar_s.values())
+    batch_sps = total / sum(batch_s.values())
+    speedup = sum(scalar_s.values()) / sum(batch_s.values())
+    lines = [
+        f"scenarios: {total} supported (fixed seeds), "
+        f"families: " + " ".join(f"{k}={n}"
+                                 for k, n in sorted(family_counts.items())),
+        f"scalar gpv: {scalar_sps:>8.1f} scenarios/s "
+        f"({sum(scalar_s.values()):.2f}s)",
+        f"batch:      {batch_sps:>8.1f} scenarios/s "
+        f"({sum(batch_s.values()):.2f}s)",
+        f"speedup:    {speedup:>8.1f}x overall, "
+        f"{gated_speedup:.1f}x on the {gated_n} large-topology scenarios, "
+        f"route mismatches: 0",
+    ] + [
+        f"  {key}: {stats['speedup']:.1f}x "
+        f"({stats['batch_sps']:.0f} vs {stats['scalar_sps']:.0f} "
+        f"scenarios/s)"
+        for key, stats in sorted(per_family.items())
+    ]
+    save_result("batch_backend_speedup", "\n".join(lines))
+    payload = {
+        "seed": SEED,
+        "smoke": smoke,
+        "scenarios": total,
+        "family_counts": dict(family_counts),
+        "route_mismatches": 0,
+        "scalar_sps": scalar_sps,
+        "batch_sps": batch_sps,
+        "speedup": speedup,
+        "gated_families": amortized,
+        "gated_speedup": gated_speedup,
+        "per_family": per_family,
+    }
+    pathlib.Path("BENCH_batch.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(payload)
+
+    floor = 2.0 if smoke else 10.0
+    assert gated_speedup >= floor, (
+        f"batch backend must beat scalar gpv by >={floor}x on the "
+        f"large-topology families "
+        f"(got {gated_speedup:.1f}x on {gated_n} scenarios)")
+
+
 def _fleet_bench_worker(directory: str, worker_id: str) -> None:
     from repro.campaigns.oracle import configure_verdict_store
     from repro.distributed import run_distributed_worker

@@ -7,4 +7,8 @@ in ``pyproject.toml``.
 
 from setuptools import setup
 
-setup()
+setup(
+    # The vectorized batch execution backend (repro.exec.batch) needs
+    # numpy; everything else is stdlib-only, so it stays an extra.
+    extras_require={"batch": ["numpy"]},
+)

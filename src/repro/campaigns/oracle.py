@@ -192,8 +192,17 @@ def cached_verdict(
 
 
 def evaluate(spec: ScenarioSpec,
-             options: EvaluationOptions | None = None) -> ScenarioResult:
-    """Run the full differential check for one spec (never raises)."""
+             options: EvaluationOptions | None = None, *,
+             precomputed: dict[str, ExecutionOutcome] | None = None
+             ) -> ScenarioResult:
+    """Run the full differential check for one spec (never raises).
+
+    ``precomputed`` maps backend name → an :class:`ExecutionOutcome` that
+    was already produced for this spec (the chunked batch path executes
+    whole chunks through ``prepare_batch`` before evaluating each spec);
+    those backends skip the prepare/run cycle but still participate in
+    every pairwise cross-check.
+    """
     options = options or EvaluationOptions()
     started = time.perf_counter()
     try:
@@ -215,10 +224,17 @@ def evaluate(spec: ScenarioSpec,
                 f"family {spec.family!r}")
         sessions = []
         outcomes: list[ExecutionOutcome] = []
-        for index, name in enumerate(backends):
+        fresh_scenario = scenario
+        for name in backends:
+            if precomputed is not None and name in precomputed:
+                sessions.append(None)
+                outcomes.append(precomputed[name])
+                continue
             # Each session owns a mutable network: re-materialize for every
             # backend after the first (materialization is deterministic).
-            scn = scenario if index == 0 else materialize(spec)
+            scn = fresh_scenario if fresh_scenario is not None \
+                else materialize(spec)
+            fresh_scenario = None
             session = get_backend(name).prepare(
                 scn, seed=spec.seed, log_routes=scn.log_routes)
             schedule_events(session, scn.events)
@@ -228,7 +244,9 @@ def evaluate(spec: ScenarioSpec,
 
         if scenario.analysis_subject is None:
             # iBGP workflow: extract the realized SPP (from the primary
-            # backend's route log) and analyze that.
+            # backend's route log) and analyze that.  Precomputed outcomes
+            # never cover this family (the batch backend declines subjects
+            # requiring post-run extraction), so sessions[0] is live.
             extracted = extract_spp(sessions[0], scenario.extract_dest)
             safe, method, cache_hit = cached_verdict(extracted)
 
@@ -307,10 +325,48 @@ def _pairwise(scenario: Scenario, safe: bool | None,
     return tuple(pairs)
 
 
+def _precompute_batch(specs: list[ScenarioSpec],
+                      options: EvaluationOptions
+                      ) -> dict[int, dict[str, ExecutionOutcome]]:
+    """One vectorized pass over a chunk's batch-supported scenarios.
+
+    Returns ``scenario_id → {"batch": outcome}`` for every chunk member
+    the ``batch`` backend supports — these are handed to
+    :func:`evaluate` as ``precomputed`` so the per-spec loop skips the
+    batch-of-one path.  Any failure degrades to ``{}``: correctness then
+    rides the scalar session adapter inside :func:`evaluate`.
+    """
+    if "batch" not in options.backends:
+        return {}
+    backend = get_backend("batch")
+    members: list[tuple[int, Scenario]] = []
+    for spec in specs:
+        try:
+            scenario = materialize(spec)
+        except Exception:  # noqa: BLE001 - evaluate() classifies it as ERROR
+            continue
+        if backend.supports(scenario):
+            members.append((spec.scenario_id, scenario))
+    if not members:
+        return {}
+    try:
+        outcomes = backend.prepare_batch(
+            [scenario for _, scenario in members]).run()
+    except Exception:  # noqa: BLE001 - scalar fallback keeps the chunk alive
+        return {}
+    return {scenario_id: {"batch": outcome}
+            for (scenario_id, _), outcome in zip(members, outcomes)}
+
+
 def evaluate_chunk(specs: list[ScenarioSpec],
                    options: EvaluationOptions | None = None
                    ) -> list[ScenarioResult]:
     """Worker entry point: evaluate a chunk, sharing the process cache.
+
+    When the campaign runs the ``batch`` backend, the whole chunk's
+    batch-supported scenarios are executed in one vectorized call first
+    — this is where the struct-of-arrays kernel amortizes — and the
+    per-spec evaluations consume those outcomes instead of re-running.
 
     The store is (re)configured unconditionally — including to ``None`` —
     so a chunk from a cache-less campaign never writes through a store a
@@ -319,6 +375,9 @@ def evaluate_chunk(specs: list[ScenarioSpec],
     options = options or EvaluationOptions()
     configure_verdict_store(options.verdict_store_path)
     try:
-        return [evaluate(spec, options) for spec in specs]
+        batched = _precompute_batch(specs, options)
+        return [evaluate(spec, options,
+                         precomputed=batched.get(spec.scenario_id))
+                for spec in specs]
     finally:
         flush_store_hits()

@@ -44,7 +44,7 @@ from .oracle import (
     evaluate_chunk,
     flush_store_hits,
 )
-from .report import CampaignReport, ScenarioResult
+from .report import ERROR, CampaignReport, ScenarioResult
 from .sink import AggregatingSink, ResultSink
 from .spec import ScenarioGenerator, ScenarioSpec
 
@@ -162,6 +162,17 @@ class CampaignRunner:
         # any store a previous run left configured in this process.
         configure_verdict_store(options.verdict_store_path)
         try:
+            if "batch" in self.config.backends:
+                # The vectorized backend amortizes over whole chunks, so
+                # the serial path consumes the stream chunk-wise through
+                # the same worker entry point the process pool uses.
+                for chunk in _chunk_stream(specs, self.config.chunk_size):
+                    for result in evaluate_chunk(chunk, options):
+                        state.consume(result)
+                        state.aborted = self._abort_reason(state)
+                        if state.aborted:
+                            return
+                return
             for spec in specs:
                 state.consume(evaluate(spec, options))
                 state.aborted = self._abort_reason(state)
@@ -177,19 +188,23 @@ class CampaignRunner:
         options = self.config.evaluation_options()
         chunks = _chunk_stream(specs, self.config.chunk_size)
         window = self.config.jobs * self.config.pipeline_depth
-        pending: set = set()
+        #: Future → the chunk it carries, so an abort can account for
+        #: every submitted spec even when its worker failed.
+        inflight: dict = {}
         executor = ProcessPoolExecutor(max_workers=self.config.jobs)
         try:
             for chunk in itertools.islice(chunks, window):
-                pending.add(executor.submit(evaluate_chunk, chunk, options))
-            while pending:
+                inflight[executor.submit(evaluate_chunk, chunk,
+                                         options)] = chunk
+            while inflight:
                 timeout = self._remaining_budget(state.started)
-                done, pending = wait(pending, timeout=timeout,
-                                     return_when=FIRST_COMPLETED)
+                done, _ = wait(inflight, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
                 if not done:  # budget elapsed with work still in flight
                     state.aborted = "wall-clock budget exhausted"
                     break
                 for future in done:
+                    inflight.pop(future)
                     for result in future.result():
                         state.consume(result)
                 state.aborted = self._abort_reason(state)
@@ -197,21 +212,45 @@ class CampaignRunner:
                     break
                 # Keep the pipeline full: one fresh chunk per finished one.
                 for chunk in itertools.islice(chunks, len(done)):
-                    pending.add(executor.submit(evaluate_chunk, chunk,
-                                                options))
+                    inflight[executor.submit(evaluate_chunk, chunk,
+                                             options)] = chunk
         finally:
-            for future in pending:
+            for future in inflight:
                 future.cancel()
             # Queued chunks are cancelled, but chunks already running finish
             # during shutdown — keep their evidence instead of discarding it.
             executor.shutdown(wait=True, cancel_futures=True)
-            for future in pending:
-                if future.done() and not future.cancelled():
-                    try:
-                        for result in future.result():
-                            state.consume(result)
-                    except Exception:  # noqa: BLE001 - abort path, best effort
-                        pass
+            self._drain_inflight(inflight, state)
+
+    @staticmethod
+    def _drain_inflight(inflight: dict, state: _RunState) -> None:
+        """Account for every chunk still in flight when the run stopped.
+
+        Chunks whose workers finished during shutdown contribute their
+        results normally.  A chunk whose worker *raised* (or whose pool
+        died under it) must not silently vanish from the merged report:
+        each of its specs is synthesized into an ERROR result carrying
+        the failure, so the report still accounts for every submitted
+        scenario.  Cancelled chunks were never evaluated and are
+        intentionally excluded — an abort dropping queued work is the
+        documented budget semantics, not lost evidence.
+        """
+        for future, chunk in inflight.items():
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                results = list(future.result())
+            except Exception as exc:  # noqa: BLE001 - a lost chunk is evidence
+                results = [
+                    ScenarioResult(
+                        spec=spec,
+                        classification=ERROR,
+                        error=f"chunk lost during abort: "
+                              f"{type(exc).__name__}: {exc}")
+                    for spec in chunk
+                ]
+            for result in results:
+                state.consume(result)
 
     # -- budget logic ---------------------------------------------------------
 

@@ -477,9 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop once this many disagreements were found")
     p.add_argument("--backends", default="gpv", metavar="NAME[,NAME...]",
                    help="execution backends to cross-check per scenario, "
-                        "comma-separated (gpv, ndlog, hlp; default: gpv). "
-                        "Backends skip scenarios they cannot execute (hlp "
-                        "runs the hlp family only)")
+                        "comma-separated (gpv, ndlog, hlp, batch; default: "
+                        "gpv). Backends skip scenarios they cannot execute "
+                        "(hlp runs the hlp family only; batch runs strictly "
+                        "monotonic algebras, vectorized per chunk)")
     p.add_argument("--stream-out", default=None, metavar="PATH",
                    help="stream one JSONL record per scenario to PATH as "
                         "results are produced (constant memory)")

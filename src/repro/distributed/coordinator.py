@@ -280,6 +280,14 @@ class CampaignCoordinator:
         self._conn.executescript(_SCHEMA)
         self._plan: CampaignPlan | None = None
         self._bus: DisagreementBus | None = None
+        #: High-water mark of every clock reading this instance has seen.
+        #: ``time.time()`` is *not* monotonic (NTP steps it backwards), and
+        #: lease arithmetic on a stepped-back clock can expire and re-issue
+        #: a live worker's lease — so lease writes stamp with
+        #: ``max(now, floor)`` and the stored ``lease_expires_at`` is
+        #: additionally clamped non-decreasing per unit in SQL (the
+        #: cross-process half of the guarantee).
+        self._clock_floor = 0.0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -361,11 +369,28 @@ class CampaignCoordinator:
 
     # -- lease protocol -------------------------------------------------------
 
+    def _lease_clock(self, now: float | None) -> float:
+        """One clock reading for lease arithmetic, never moving backwards.
+
+        A wall-clock regression (NTP step) must delay expiry decisions,
+        never accelerate them: with a raw stepped-back ``now`` a fresh
+        lease would be stamped to expire *before* a live sibling's, and
+        the expiry sweep could reclaim (and double-evaluate) a unit whose
+        owner is still heartbeating.  Clamping to the instance high-water
+        mark makes every lease computation see non-decreasing time; the
+        stored ``lease_expires_at`` is clamped non-decreasing in SQL as
+        well, which covers regressions observed across *different*
+        coordinator processes sharing the ledger.
+        """
+        now = time.time() if now is None else now
+        self._clock_floor = max(self._clock_floor, now)
+        return self._clock_floor
+
     def acquire(self, worker: str,
                 now: float | None = None) -> WorkUnit | None:
         """Lease the lowest pending-or-expired unit, or None when all are
         done or validly held by live workers."""
-        now = time.time() if now is None else now
+        now = self._lease_clock(now)
         ttl = self.plan().lease_ttl_s
         with self._write():
             row = self._conn.execute(
@@ -379,7 +404,8 @@ class CampaignCoordinator:
             reclaimed = state == LEASED
             self._conn.execute(
                 "UPDATE units SET state = ?, worker = ?, "
-                "lease_expires_at = ?, attempts = attempts + 1, "
+                "lease_expires_at = MAX(COALESCE(lease_expires_at, 0), ?), "
+                "attempts = attempts + 1, "
                 "reclaims = reclaims + ? WHERE unit_id = ?",
                 (LEASED, worker, now + ttl, int(reclaimed), unit_id))
             self._touch_worker(worker, now)
@@ -391,7 +417,7 @@ class CampaignCoordinator:
         """Extend the lease and credit ``scenarios`` evaluated since the
         last beat; False means the lease was reclaimed — abandon the unit
         (the new owner re-derives the same results)."""
-        now = time.time() if now is None else now
+        now = self._lease_clock(now)
         ttl = self.plan().lease_ttl_s
         with self._write():
             self._touch_worker(worker, now)
@@ -399,8 +425,11 @@ class CampaignCoordinator:
                 self._conn.execute(
                     "UPDATE workers SET scenarios_done = scenarios_done + ? "
                     "WHERE worker = ?", (scenarios, worker))
+            # MAX: a beat computed on a stepped-back clock extends or
+            # leaves the lease alone — it can never *shorten* one.
             updated = self._conn.execute(
-                "UPDATE units SET lease_expires_at = ? "
+                "UPDATE units SET "
+                "lease_expires_at = MAX(COALESCE(lease_expires_at, 0), ?) "
                 "WHERE unit_id = ? AND state = ? AND worker = ?",
                 (now + ttl, unit_id, LEASED, worker)).rowcount
         return bool(updated)

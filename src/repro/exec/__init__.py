@@ -11,13 +11,19 @@ on N independent implementations and cross-check their route tables:
 * ``hlp`` (:class:`HLPBackend`) — the hierarchical link-state / FPV
   protocol of the paper's Sec. VI-D case study, comparable on HLP-cost
   scenarios (it declares per-scenario applicability via
-  :meth:`ExecutionBackend.supports`).
+  :meth:`ExecutionBackend.supports`);
+* ``batch`` (:class:`BatchBackend`) — the vectorized fixpoint engine:
+  strictly monotonic algebras tabulated to integer preference ranks and
+  relaxed over numpy, thousands of scenarios per call via
+  :meth:`ExecutionBackend.prepare_batch`; the scalar engines stay the
+  differential ground truth.
 
 See ``src/repro/exec/README.md`` for the backend contract and the
 checklist for adding further backends.
 """
 
 from .base import (
+    BatchExecutionSession,
     ExecutionBackend,
     ExecutionOutcome,
     ExecutionSession,
@@ -25,6 +31,7 @@ from .base import (
     route_set_mismatches,
     schedule_events,
 )
+from .batch import BatchBackend, BatchSession
 from .gpv import GPVBackend, GPVSession
 from .hlp import HLPBackend, HLPSession
 from .ndlog import NDlogBackend, NDlogSession
@@ -34,6 +41,7 @@ BACKENDS: dict[str, ExecutionBackend] = {
     GPVBackend.name: GPVBackend(),
     NDlogBackend.name: NDlogBackend(),
     HLPBackend.name: HLPBackend(),
+    BatchBackend.name: BatchBackend(),
 }
 
 #: The default single-backend configuration (fast path).
@@ -66,6 +74,9 @@ def resolve_backends(names) -> tuple[str, ...]:
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKENDS",
+    "BatchBackend",
+    "BatchExecutionSession",
+    "BatchSession",
     "ExecutionBackend",
     "ExecutionOutcome",
     "ExecutionSession",

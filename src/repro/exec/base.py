@@ -139,10 +139,54 @@ class ExecutionSession(ABC):
         return {}
 
 
+class BatchExecutionSession(ABC):
+    """Many prepared scenarios executed as one unit (vectorized or not).
+
+    The batched counterpart of :class:`ExecutionSession`:
+    ``backend.prepare_batch(scenarios)`` builds one, and :meth:`run`
+    executes *every* scenario — applying each scenario's own event
+    schedule — and returns one :class:`ExecutionOutcome` per input
+    scenario, index-aligned with ``scenarios``.
+
+    Backends with a struct-of-arrays fast path (the ``batch`` backend's
+    numpy relaxation kernel) override ``prepare_batch`` to return a truly
+    vectorized session; every other backend inherits a sequential
+    adapter, so callers can *always* go through the batched entry point.
+    """
+
+    scenarios: list
+
+    @abstractmethod
+    def run(self) -> list[ExecutionOutcome]:
+        """Execute all scenarios; ``outcomes[i]`` belongs to
+        ``scenarios[i]``."""
+
+
+class _SequentialBatchSession(BatchExecutionSession):
+    """Default batched path: scalar sessions, one scenario at a time."""
+
+    def __init__(self, backend: "ExecutionBackend", scenarios: list):
+        self.backend = backend
+        self.scenarios = list(scenarios)
+
+    def run(self) -> list[ExecutionOutcome]:
+        outcomes = []
+        for scenario in self.scenarios:
+            spec = getattr(scenario, "spec", None)
+            session = self.backend.prepare(
+                scenario, seed=getattr(spec, "seed", 0),
+                log_routes=getattr(scenario, "log_routes", False))
+            schedule_events(session, scenario.events)
+            outcomes.append(session.run(
+                until=getattr(spec, "until", None),
+                max_events=getattr(spec, "max_events", None)))
+        return outcomes
+
+
 class ExecutionBackend(ABC):
     """Factory for :class:`ExecutionSession`s; stateless and reusable."""
 
-    #: Registry / CLI name (``--backends gpv,ndlog,hlp``).
+    #: Registry / CLI name (``--backends gpv,ndlog,hlp,batch``).
     name: str = "backend"
 
     def supports(self, scenario: "Scenario") -> bool:
@@ -162,6 +206,17 @@ class ExecutionBackend(ABC):
                 log_routes: bool = False) -> ExecutionSession:
         """Build a session for the scenario (which this session then owns)."""
 
+    def prepare_batch(self, scenarios: Iterable["Scenario"]
+                      ) -> BatchExecutionSession:
+        """Build one batched session over many scenarios.
+
+        Each scenario must already be supported (callers filter with
+        :meth:`supports`).  The default adapter prepares and runs scalar
+        sessions sequentially — backends with a genuinely vectorized path
+        override this.
+        """
+        return _SequentialBatchSession(self, list(scenarios))
+
 
 def schedule_events(session: ExecutionSession,
                     events: Iterable["ResolvedEvent"]) -> None:
@@ -170,7 +225,16 @@ def schedule_events(session: ExecutionSession,
     Scheduling happens *before* the run, at sim time 0, so the failure /
     perturbation timeline is identical for every backend evaluating the
     same spec — the property the differential oracle depends on.
+
+    Sessions without a simulator of their own (the ``batch`` backend
+    computes the converged table of the *final* topology directly, so
+    there is no timeline to schedule on) expose ``schedule(events)``
+    instead, and receive the schedule wholesale.
     """
+    schedule = getattr(session, "schedule", None)
+    if schedule is not None:
+        schedule(list(events))
+        return
     for event in events:
         session.sim.at(event.time, lambda e=event: session.apply_event(e))
 
@@ -194,8 +258,15 @@ def route_mismatches(algebra: RoutingAlgebra, first: ExecutionOutcome,
             mismatches.append(
                 f"{node}->{dest}: {first.backend}={p1} {second.backend}={p2}")
         elif p1 is not None and p1 != p2:
-            s1, s2 = first.sigs[key], second.sigs[key]
-            if algebra.preference(s1, s2) is not Pref.EQUAL:
+            s1, s2 = first.sigs.get(key), second.sigs.get(key)
+            if s1 is None or s2 is None:
+                # A backend reported a route without its signature: the
+                # tables cannot be proven equivalent, so report a mismatch
+                # instead of crashing the oracle on the missing key.
+                mismatches.append(
+                    f"{node}->{dest}: signature missing "
+                    f"{first.backend}={p1}({s1}) {second.backend}={p2}({s2})")
+            elif algebra.preference(s1, s2) is not Pref.EQUAL:
                 mismatches.append(
                     f"{node}->{dest}: {first.backend}={p1}({s1}) "
                     f"{second.backend}={p2}({s2})")

@@ -1,0 +1,664 @@
+"""Vectorized batch execution backend: thousands of scenarios per call.
+
+The scalar engines (GPV, NDlog) simulate every advertisement of every
+scenario through a discrete-event loop — faithful, and the differential
+ground truth, but the campaign hot path.  This backend exploits the
+theorem the whole toolkit is built on: for a **strictly monotonic**
+algebra the protocol's converged best-route table *is* the unique
+Bellman-Ford fixpoint of the final topology (paper Thm. 4.1 plus
+uniqueness of the stable state), independent of message timing, event
+interleaving, or advertisement batching.  So instead of simulating, it:
+
+1. **tabulates the algebra ordinally** — the reachable signature closure
+   (origin signatures extended by every observed label) is rank-sorted
+   into integer ids where *smaller id == more preferred*, with φ as the
+   largest, absorbing id; ⊕ becomes one ``int32`` lookup table
+   ``trans[label, sig] -> sig`` (the canonicalizer's ordinal-rank
+   rendering, promoted to an execution kernel).  Strict monotonicity is
+   *verified* during closure — every tabulated extension must be
+   strictly worse than its source, which also guarantees ids strictly
+   increase across ⊕ — and any violation marks the algebra unsupported;
+2. **applies each scenario's event mask up front** — link failures
+   remove links, perturbations relabel them; history-independence of
+   the unique stable state makes the final topology sufficient;
+3. **relaxes all scenarios at once** in struct-of-arrays form: one flat
+   ``int32`` state vector over every (scenario, destination, node)
+   triple, one flat directed-edge list, and synchronous
+   ``np.minimum.at`` rounds until fixpoint (ids only ever decrease, and
+   strictly-increasing ⊕ bounds the rounds by the signature count).
+
+Scenarios whose semantics the fixpoint shortcut cannot reproduce are
+declared unsupported (see :meth:`BatchBackend.supports`) and stay on the
+scalar engines; the scalar↔batched differential in the campaign oracle
+and the fixed-seed equality gate in ``benchmarks/`` keep the fast path
+honest.
+
+numpy is optional: without it the backend simply supports nothing, so
+campaigns degrade to the scalar engines instead of failing to import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterable
+
+try:  # gated: the toolkit must import (and run scalar) without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less boxes
+    _np = None
+
+from ..algebra.base import PHI, Pref, RoutingAlgebra, rank_sort
+from ..algebra.extended import ExtendedAlgebra
+from ..algebra.hlp import HLPCostAlgebra
+from ..algebra.spp import SPPAlgebra
+from ..net.simulator import StopReason
+from .base import (
+    BatchExecutionSession,
+    ExecutionBackend,
+    ExecutionOutcome,
+    ExecutionSession,
+)
+
+if TYPE_CHECKING:
+    from ..campaigns.scenarios import ResolvedEvent, Scenario
+
+#: Structural limits of the kernel: the ordinal table must stay small
+#: enough that tabulation is cheaper than the simulations it replaces.
+MAX_NODES = 64
+MAX_SIGNATURES = 4096
+MAX_CLOSURE_DEPTH = 64
+
+#: algebra canonical key + observed label set -> kernel (None = unsupported).
+_KERNEL_CACHE: dict[tuple, "_Kernel | None"] = {}
+_KERNEL_CACHE_MAX = 256
+
+
+def _transfer(algebra: RoutingAlgebra, key: Hashable, sig):
+    """One directed link traversal, exactly as the scalar engines do it.
+
+    For :class:`ExtendedAlgebra` the key is the directed
+    ``(export label, import label)`` pair — the sender filters with ⊕E
+    over *its* side's label and the receiver filters (⊕I) and extends
+    (⊕P) over the reverse direction's label, mirroring the GPV/NDlog
+    send/receive split.  Plain algebras have a single combined ⊕ and the
+    key is the receiver-side label alone.
+    """
+    if sig is PHI:
+        return PHI
+    if isinstance(algebra, ExtendedAlgebra):
+        out_label, in_label = key
+        if not algebra.export_allows(out_label, sig):
+            return PHI
+        if not algebra.import_allows(in_label, sig):
+            return PHI
+        return algebra.concat(in_label, sig)
+    return algebra.oplus(key, sig)
+
+
+def _origin_sig(algebra: RoutingAlgebra, label: Hashable):
+    """One-hop origination, with the engines' undefined-label semantics
+    (a label the algebra cannot originate over simply yields no route)."""
+    try:
+        return algebra.origin_signature(label)
+    except (KeyError, NotImplementedError):
+        return PHI
+
+
+class _Kernel:
+    """One algebra tabulated over one transfer vocabulary, as integer ranks.
+
+    ``sigs[i]`` is the representative signature of ordinal id ``i`` (rank
+    order, ties broken by ``repr`` so ids are deterministic); ``phi_id ==
+    len(sigs)`` is φ.  ``trans[key_id, sig_id]`` is the id of the
+    signature after one directed link traversal (φ row/φ results map to
+    ``phi_id``), and ``origin_id[label]`` the id of the one-hop
+    origination signature over an import label.  Strict monotonicity
+    makes every non-φ ``trans`` entry strictly larger than its source id
+    — the property both the fixpoint argument and the next-hop
+    reconstruction lean on.
+    """
+
+    __slots__ = ("sigs", "sig_id", "phi_id", "key_id", "trans",
+                 "origin_id")
+
+    def __init__(self, sigs: list, key_id: dict, trans, origin_id: dict):
+        self.sigs = sigs
+        self.sig_id = {sig: i for i, sig in enumerate(sigs)}
+        self.phi_id = len(sigs)
+        self.key_id = key_id
+        self.trans = trans
+        self.origin_id = origin_id
+
+
+def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
+                  origin_labels: Iterable[Hashable]) -> "_Kernel | None":
+    """Tabulate ``algebra`` over a transfer vocabulary; None if unbatchable.
+
+    Unsupported means: the reachable closure does not stay within the
+    size budget, or — the crucial one — some tabulated extension is not
+    *strictly* worse than its source signature (without strict
+    monotonicity the fixpoint need not equal the protocol's outcome, or
+    even be unique).
+
+    The closure is *depth*-truncated, not required to be closed:
+    additive metrics (shortest-path, hop counts) have infinite signature
+    spaces, but walks longer than ``MAX_CLOSURE_DEPTH + 1`` hops can
+    never win on a ``MAX_NODES``-bounded topology (every simple path is
+    shorter, and strict monotonicity makes loopy walks strictly worse),
+    so extensions past the depth horizon are tabulated as φ.
+    """
+    ordered_keys = sorted(set(keys), key=repr)
+    try:
+        origin = {label: _origin_sig(algebra, label)
+                  for label in sorted(set(origin_labels), key=repr)}
+        seen = {sig for sig in origin.values() if sig is not PHI}
+        frontier = list(seen)
+        depth = 0
+        while frontier:
+            depth += 1
+            if depth > MAX_CLOSURE_DEPTH:
+                break  # deeper values are loopy-walk-only: tabulate as φ
+            fresh = []
+            for sig in frontier:
+                for key in ordered_keys:
+                    extended = _transfer(algebra, key, sig)
+                    if extended is PHI:
+                        continue
+                    if algebra.preference(sig, extended) is not Pref.BETTER:
+                        return None  # not strictly monotonic
+                    if extended not in seen:
+                        seen.add(extended)
+                        fresh.append(extended)
+                        if len(seen) > MAX_SIGNATURES:
+                            return None
+            frontier = fresh
+        sigs = rank_sort(algebra, sorted(seen, key=repr))
+        sig_id = {sig: i for i, sig in enumerate(sigs)}
+        phi_id = len(sigs)
+        key_id = {key: i for i, key in enumerate(ordered_keys)}
+        trans = _np.full((max(len(ordered_keys), 1), phi_id + 1), phi_id,
+                         dtype=_np.int32)
+        for key, ki in key_id.items():
+            for sig, si in sig_id.items():
+                extended = _transfer(algebra, key, sig)
+                if extended is PHI:
+                    continue
+                ti = sig_id.get(extended)
+                if ti is None:
+                    continue  # beyond the depth horizon: stays φ
+                if ti <= si:  # a rank tie would break the id ordering
+                    return None
+                trans[ki, si] = ti
+        # Isotonicity (per-row monotone ids, φ greatest): the protocol
+        # propagates only each node's *selected* best, so min-relaxation
+        # equals the protocol's stable state only when extending a better
+        # route never yields a worse one.  Strict inflation alone does not
+        # give this (BGP-like algebras are famously non-isotone); rows
+        # that ever decrease mark the algebra unbatchable.
+        if not bool(_np.all(trans[:, :-1] <= trans[:, 1:])):
+            return None
+        origin_id = {
+            label: (phi_id if sig is PHI else sig_id[sig])
+            for label, sig in origin.items()
+        }
+    except Exception:  # noqa: BLE001 - exotic algebra => scalar engines
+        return None
+    return _Kernel(sigs, key_id, trans, origin_id)
+
+
+def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
+                origin_labels: Iterable[Hashable]) -> "_Kernel | None":
+    """Cached tabulation, keyed isomorphism-invariantly.
+
+    The canonical key makes relabeled copies of one algebra share a
+    kernel across every scenario, seed and chunk in the process — the
+    same dedup trick the verdict cache plays for the analyzer.
+    """
+    # Imported lazily: repro.campaigns imports repro.exec, so a module-level
+    # import here would be circular.
+    from ..campaigns.canonical import canonical_key
+
+    vocab = (tuple(sorted(repr(k) for k in set(keys))),
+             tuple(sorted(repr(l) for l in set(origin_labels))))
+    # Instance-level memo first: ``supports()`` and the batched ``run()``
+    # see the same materialized algebra object, so the (quadratic)
+    # canonical keying is paid once per scenario, not once per call.
+    memo = getattr(algebra, "_batch_kernel_memo", None)
+    if memo is not None and vocab in memo:
+        return memo[vocab]
+    try:
+        key = (repr(canonical_key(algebra)),) + vocab
+    except Exception:  # noqa: BLE001 - uncanonicalizable => uncacheable
+        return _build_kernel(algebra, keys, origin_labels)
+    if key not in _KERNEL_CACHE:
+        if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
+            _KERNEL_CACHE.clear()
+        _KERNEL_CACHE[key] = _build_kernel(algebra, keys, origin_labels)
+    kernel = _KERNEL_CACHE[key]
+    try:
+        if memo is None:
+            memo = algebra._batch_kernel_memo = {}
+        memo[vocab] = kernel
+    except AttributeError:  # __slots__ algebra: process cache still applies
+        pass
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop tabulated kernels (benches isolating tabulation cost)."""
+    _KERNEL_CACHE.clear()
+
+
+def _transfer_key(algebra: RoutingAlgebra, out_label: Hashable,
+                  in_label: Hashable) -> Hashable:
+    """The vocabulary key of a directed ``u → v`` traversal, where the
+    sender exports over ``label(u, v)`` and the receiver imports over
+    ``label(v, u)``."""
+    if isinstance(algebra, ExtendedAlgebra):
+        return (out_label, in_label)
+    return in_label
+
+
+def _scan_topology(scenario: "Scenario") -> tuple[set, set, list]:
+    """One pass over the starting topology: the transfer vocabulary the
+    run can ever observe — every directed link traversal, plus the labels
+    perturbation events may swap in (perturbations relabel both
+    directions identically) — and the directed ``(u, v, key)`` edge list
+    the relaxation compiles."""
+    algebra = scenario.algebra
+    paired = isinstance(algebra, ExtendedAlgebra)
+    keys: set = set()
+    origin_labels: set = set()
+    edges: list = []
+    for link in scenario.network.links():
+        for u, v in ((link.a, link.b), (link.b, link.a)):
+            out_label = link.labels.get((u, v))
+            in_label = link.labels.get((v, u))
+            key = (out_label, in_label) if paired else in_label
+            keys.add(key)
+            origin_labels.add(in_label)
+            edges.append((u, v, key))
+    for event in getattr(scenario, "events", ()):
+        if event.kind == "perturb" and event.label is not None:
+            keys.add(_transfer_key(algebra, event.label, event.label))
+            origin_labels.add(event.label)
+    return keys, origin_labels, edges
+
+
+def _transfer_vocab(scenario: "Scenario") -> tuple[set, set]:
+    """``(transfer keys, origin labels)`` of :func:`_scan_topology`."""
+    keys, origin_labels, _edges = _scan_topology(scenario)
+    return keys, origin_labels
+
+
+def _patch_edges(scenario: "Scenario", edges: list,
+                 events: Iterable["ResolvedEvent"]) -> list:
+    """Re-derive the edge list after the event mask was applied: failed
+    links drop out, perturbed links pick up their final-label key."""
+    network = scenario.network  # already carries the final topology
+    algebra = scenario.algebra
+    paired = isinstance(algebra, ExtendedAlgebra)
+    touched = set()
+    for event in events:
+        touched.add((event.a, event.b))
+        touched.add((event.b, event.a))
+    patched = []
+    for u, v, key in edges:
+        if (u, v) in touched:
+            if not network.has_link(u, v):
+                continue
+            out_label = network.label(u, v)
+            in_label = network.label(v, u)
+            key = (out_label, in_label) if paired else in_label
+        patched.append((u, v, key))
+    return patched
+
+
+def _apply_events(network, events: Iterable["ResolvedEvent"],
+                  until: float | None) -> None:
+    """Fold the event schedule into the topology (final state only).
+
+    The unique stable state is history-independent, so *when* a failure
+    fires is irrelevant — only whether it fires within the run budget.
+    """
+    for event in sorted(events, key=lambda e: e.time):
+        if until is not None and event.time > until:
+            continue  # the scalar timeline would never reach it either
+        if not network.has_link(event.a, event.b):
+            continue  # already failed (or never materialized): a no-op
+        if event.kind == "fail":
+            network.remove_link(event.a, event.b)
+        elif event.kind == "perturb":
+            network.set_label(event.a, event.b, event.label)
+            network.set_label(event.b, event.a, event.label)
+
+
+class _Problem:
+    """One scenario compiled to integer arrays (all destinations)."""
+
+    __slots__ = ("scenario", "kernel", "nodes", "node_index", "dests",
+                 "edge_src", "edge_dst", "edge_lab", "state",
+                 "_edge_src_list", "_edge_src_nodes", "_edge_dst_nodes")
+
+    def __init__(self, scenario: "Scenario", kernel: _Kernel, edges: list):
+        self.scenario = scenario
+        self.kernel = kernel
+        network = scenario.network
+        self.nodes = sorted(network.nodes())
+        self.node_index = {node: i for i, node in enumerate(self.nodes)}
+        self.dests = list(scenario.destinations)
+        # ``edges`` is the (u, v, key) list from _scan_topology (patched
+        # for events): v learns from u; the key already encodes u's export
+        # over L(u, v) and v's import over L(v, u) — the engines'
+        # send/receive convention.
+        node_index = self.node_index
+        key_id = kernel.key_id
+        src, dst, lab = [], [], []
+        for u, v, key in edges:
+            src.append(node_index[u])
+            dst.append(node_index[v])
+            lab.append(key_id[key])
+        self.edge_src = _np.asarray(src, dtype=_np.int64)
+        self.edge_dst = _np.asarray(dst, dtype=_np.int64)
+        self.edge_lab = _np.asarray(lab, dtype=_np.int64)
+        # Plain-python mirrors for the witness scan (numpy scalar access
+        # in the rendering loop costs more than the relaxation itself).
+        self._edge_src_list = src
+        self._edge_src_nodes = [self.nodes[i] for i in src]
+        self._edge_dst_nodes = [self.nodes[i] for i in dst]
+        #: Filled by the relaxation: (dest, node) -> ordinal id.
+        self.state = None
+
+    def origin_candidates(self, dest: str) -> list[tuple[int, int]]:
+        """(node_index, ordinal id) injected by origination at ``dest``."""
+        network = self.scenario.network
+        kernel = self.kernel
+        candidates = []
+        for neighbor in network.neighbors(dest):
+            label = network.label(neighbor, dest)
+            oid = kernel.origin_id[label]
+            if oid != kernel.phi_id:
+                candidates.append((self.node_index[neighbor], oid))
+        return candidates
+
+    # -- outcome rendering ------------------------------------------------------
+
+    def outcome(self) -> ExecutionOutcome:
+        routes: dict = {}
+        sigs: dict = {}
+        kernel = self.kernel
+        phi = kernel.phi_id
+        for di, dest in enumerate(self.dests):
+            row = self.state[di]
+            next_hop = self._next_hops(dest, row)
+            paths = {dest: (dest,)}
+            for node, sid in zip(self.nodes, row.tolist()):
+                if node == dest:
+                    continue
+                if sid == phi:
+                    routes[(node, dest)] = None
+                    sigs[(node, dest)] = None
+                else:
+                    routes[(node, dest)] = self._path(node, next_hop, paths)
+                    sigs[(node, dest)] = kernel.sigs[sid]
+        return ExecutionOutcome(
+            backend=BatchBackend.name,
+            converged=True,
+            stop_reason=StopReason.QUIESCENT,
+            routes=routes,
+            sigs=sigs,
+        )
+
+    def _next_hops(self, dest: str, row) -> dict:
+        """One witness next hop per routed node, deterministically.
+
+        Origination wins when it explains the node's id; otherwise the
+        neighbor with the smallest ``(id, name)`` whose extension equals
+        the node's id.  Ids strictly decrease along the chain (strict
+        monotonicity), so following it always terminates at ``dest``.
+        The witness test runs vectorized over the problem's edge arrays
+        (one ``trans`` gather per destination) — table rendering used to
+        dominate the whole batch run when done link-by-link in Python.
+        """
+        kernel = self.kernel
+        phi = kernel.phi_id
+        ids = row.tolist()
+        nodes = self.nodes
+        next_hop: dict = {}
+        for node_idx, oid in self.origin_candidates(dest):
+            if ids[node_idx] == oid:
+                next_hop[nodes[node_idx]] = dest
+        dest_idx = self.node_index[dest]
+        src, dst, lab = self.edge_src, self.edge_dst, self.edge_lab
+        witness = ((src != dest_idx) & (dst != dest_idx)
+                   & (row[dst] != phi)
+                   & (kernel.trans[lab, row[src]] == row[dst]))
+        src_nodes, dst_nodes = self._edge_src_nodes, self._edge_dst_nodes
+        src_idx = self._edge_src_list
+        best: dict = {}
+        for i in _np.nonzero(witness)[0].tolist():
+            node = dst_nodes[i]
+            if node in next_hop:  # origination already explains it
+                continue
+            candidate = (ids[src_idx[i]], src_nodes[i])
+            if node not in best or candidate < best[node]:
+                best[node] = candidate
+        for node, (_nid, neighbor) in best.items():
+            next_hop[node] = neighbor
+        for node_idx, node in enumerate(nodes):
+            if node != dest and node not in next_hop \
+                    and ids[node_idx] != phi:
+                # Unreachable with a verified kernel.
+                raise RuntimeError(
+                    f"no witness next hop for {node}->{dest} at rank "
+                    f"{ids[node_idx]}")
+        return next_hop
+
+    def _path(self, node: str, next_hop: dict, paths: dict) -> tuple:
+        """Path via ``next_hop``, memoizing shared suffixes in ``paths``."""
+        chain = []
+        cursor = node
+        while cursor not in paths:
+            chain.append(cursor)
+            cursor = next_hop[cursor]
+            if len(chain) > len(self.nodes):
+                raise RuntimeError(f"next-hop cycle: {chain}")
+        suffix = paths[cursor]
+        for hop in reversed(chain):
+            suffix = (hop,) + suffix
+            paths[hop] = suffix
+        return paths[node]
+
+
+class VectorizedBatchSession(BatchExecutionSession):
+    """All scenarios of one batch relaxed simultaneously.
+
+    The session owns the scenarios it was prepared with (their networks
+    are mutated by the event mask), mirroring the scalar contract.
+    Scenarios may mix algebras/families: problems are grouped per kernel
+    and each group is one flat struct-of-arrays relaxation.
+    """
+
+    def __init__(self, scenarios: Iterable["Scenario"]):
+        if _np is None:
+            raise RuntimeError(
+                "the batch backend requires numpy (not installed)")
+        self.scenarios = list(scenarios)
+        self._event_overrides: dict[int, list] = {}
+
+    def override_events(self, index: int, events: list) -> None:
+        """Replace ``scenarios[index]``'s schedule (scalar-adapter hook)."""
+        self._event_overrides[index] = list(events)
+
+    def run(self) -> list[ExecutionOutcome]:
+        problems = []
+        for index, scenario in enumerate(self.scenarios):
+            keys, origin_labels, edges = _scan_topology(scenario)
+            kernel = _kernel_for(scenario.algebra, keys, origin_labels)
+            if kernel is None:
+                raise ValueError(
+                    f"scenario {getattr(scenario.spec, 'scenario_id', '?')} "
+                    f"is not batchable (algebra {scenario.algebra.name!r}); "
+                    f"callers must filter with BatchBackend.supports()")
+            events = self._event_overrides.get(index, scenario.events)
+            until = getattr(scenario.spec, "until", None)
+            _apply_events(scenario.network, events, until)
+            if events:
+                edges = _patch_edges(scenario, edges, events)
+            problems.append(_Problem(scenario, kernel, edges))
+        groups: dict[int, list[_Problem]] = {}
+        for problem in problems:
+            groups.setdefault(id(problem.kernel), []).append(problem)
+        for group in groups.values():
+            _relax_group(group)
+        return [problem.outcome() for problem in problems]
+
+
+def _relax_group(group: list["_Problem"]) -> None:
+    """Synchronous Bellman-Ford rounds over one kernel's flat arrays."""
+    kernel = group[0].kernel
+    phi = kernel.phi_id
+    src_parts, dst_parts, lab_parts = [], [], []
+    orig_pos, orig_val = [], []
+    blocks = []  # (problem, dest index, flat offset)
+    offset = 0
+    for problem in group:
+        width = len(problem.nodes)
+        for di, dest in enumerate(problem.dests):
+            blocks.append((problem, di, offset))
+            dest_idx = problem.node_index[dest]
+            # The destination neither originates from others nor transits
+            # its own routes: drop every edge touching it in this copy.
+            keep = (problem.edge_src != dest_idx) \
+                & (problem.edge_dst != dest_idx)
+            src_parts.append(problem.edge_src[keep] + offset)
+            dst_parts.append(problem.edge_dst[keep] + offset)
+            lab_parts.append(problem.edge_lab[keep])
+            for node_idx, oid in problem.origin_candidates(dest):
+                orig_pos.append(offset + node_idx)
+                orig_val.append(oid)
+            offset += width
+    state = _np.full(offset, phi, dtype=_np.int32)
+    if orig_pos:
+        _np.minimum.at(state, _np.asarray(orig_pos, dtype=_np.int64),
+                       _np.asarray(orig_val, dtype=_np.int32))
+    if src_parts:
+        src = _np.concatenate(src_parts)
+        dst = _np.concatenate(dst_parts)
+        lab = _np.concatenate(lab_parts)
+        trans = kernel.trans
+        # Ranks only ever improve, and each ⊕ strictly increases the
+        # rank, so the monotone iteration reaches the unique fixpoint in
+        # at most |Σ| rounds; the +2 cap is a pure safety net.
+        for _round in range(phi + 2):
+            before = state.copy()
+            _np.minimum.at(state, dst, trans[lab, state[src]])
+            if _np.array_equal(before, state):
+                break
+        else:  # pragma: no cover - unreachable with a verified kernel
+            raise RuntimeError("batch relaxation failed to reach fixpoint")
+    for problem, di, off in blocks:
+        if problem.state is None:
+            problem.state = _np.empty((len(problem.dests),
+                                       len(problem.nodes)),
+                                      dtype=_np.int32)
+        problem.state[di] = state[off:off + len(problem.nodes)]
+
+
+class BatchSession(ExecutionSession):
+    """Scalar adapter: one scenario through the vectorized kernel.
+
+    Keeps the batch backend usable through the ordinary
+    ``prepare / schedule_events / run`` lifecycle (conformance suite,
+    single-scenario oracle fallback).  There is no simulator: the event
+    schedule arrives wholesale via :meth:`schedule` and is folded into
+    the final topology before one batch-of-one relaxation.
+    """
+
+    def __init__(self, scenario: "Scenario", *, seed: int = 0,
+                 log_routes: bool = False):
+        if log_routes:
+            raise ValueError(
+                "the batch backend computes fixpoints, not advertisement "
+                "logs; prepare a scalar backend for route logging")
+        self.scenario = scenario
+        self.algebra = scenario.algebra
+        self.destinations = list(scenario.destinations)
+        self.route_log: list = []
+        self._events: list | None = None
+        self._table: tuple[dict, dict] | None = None
+
+    @property
+    def network(self):
+        return self.scenario.network
+
+    def schedule(self, events: list) -> None:
+        """Receive the pre-run schedule (via ``schedule_events``)."""
+        self._events = list(events)
+
+    def apply_event(self, event: "ResolvedEvent") -> None:
+        """Immediate application (the final topology is all that matters)."""
+        _apply_events(self.scenario.network, [event], None)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> ExecutionOutcome:
+        inner = VectorizedBatchSession([self.scenario])
+        if self._events is not None:
+            inner.override_events(0, self._events)
+        outcome = inner.run()[0]
+        self._table = (outcome.routes, outcome.sigs)
+        return outcome
+
+    def route_table(self) -> tuple[dict, dict]:
+        if self._table is None:
+            raise RuntimeError("route_table() before run()")
+        return self._table
+
+
+class BatchBackend(ExecutionBackend):
+    """The vectorized fixpoint backend (``batch``)."""
+
+    name = "batch"
+
+    def supports(self, scenario: "Scenario") -> bool:
+        """Batchable = the fixpoint shortcut provably equals the engines.
+
+        A scenario is batchable when every one of these holds:
+
+        * numpy is importable;
+        * single-path selection (``top_k == 1``) without route logging —
+          the kernel has no advertisement stream to log;
+        * the analysis subject is known up front (iBGP-style post-run
+          extraction needs a scalar primary backend);
+        * the algebra is rank-tabulable: not path-valued (SPP gadgets),
+          not the domain-path HLP cost algebra, and its reachable
+          signature closure over the scenario's directed transfer
+          vocabulary is within budget and **verified strictly monotonic**
+          (non-strict draws like plain Gao-Rexford fall back to the
+          scalar engines);
+        * the topology is within the node budget.
+        """
+        if _np is None:
+            return False
+        if getattr(scenario, "top_k", 1) != 1:
+            return False
+        if getattr(scenario, "log_routes", False):
+            return False
+        if getattr(scenario, "analysis_subject", "missing") is None:
+            return False
+        algebra = scenario.algebra
+        if isinstance(algebra, (SPPAlgebra, HLPCostAlgebra)):
+            return False
+        if scenario.network.node_count() > MAX_NODES:
+            return False
+        keys, origin_labels = _transfer_vocab(scenario)
+        if None in origin_labels:
+            return False
+        return _kernel_for(algebra, keys, origin_labels) is not None
+
+    def prepare(self, scenario: "Scenario", *, seed: int = 0,
+                log_routes: bool = False) -> BatchSession:
+        return BatchSession(scenario, seed=seed, log_routes=log_routes)
+
+    def prepare_batch(self, scenarios: Iterable["Scenario"]
+                      ) -> VectorizedBatchSession:
+        return VectorizedBatchSession(scenarios)

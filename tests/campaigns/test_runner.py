@@ -68,6 +68,72 @@ class TestBudgets:
         assert "disagreement limit" in report.aborted
 
 
+class TestAbortAccounting:
+    """An aborted parallel run must account for every submitted chunk.
+
+    The drain used to swallow failed chunks (``except Exception: pass``),
+    so a worker that died during an abort silently vanished from the
+    merged report.  Now every completed-but-failed chunk synthesizes one
+    ERROR result per spec it carried.
+    """
+
+    @staticmethod
+    def _state():
+        import time
+
+        from repro.campaigns.runner import _RunState
+        from repro.campaigns.sink import AggregatingSink
+
+        return _RunState(started=time.perf_counter(),
+                         aggregator=AggregatingSink(backends=("gpv",)))
+
+    def test_failed_chunks_surface_as_error_results(self):
+        from concurrent.futures import Future
+
+        from repro.campaigns.report import ERROR, ScenarioResult
+
+        specs = ScenarioGenerator(5, profile="quick").generate(6)
+        ok_chunk, lost_chunk, cancelled_chunk = (
+            specs[:2], specs[2:4], specs[4:])
+        finished = Future()
+        finished.set_result([
+            ScenarioResult(spec=spec, classification="safe-converged",
+                           safe=True, converged=True)
+            for spec in ok_chunk])
+        failed = Future()
+        failed.set_exception(RuntimeError("worker died mid-chunk"))
+        cancelled = Future()
+        cancelled.cancel()
+        state = self._state()
+        CampaignRunner._drain_inflight(
+            {finished: ok_chunk, failed: lost_chunk,
+             cancelled: cancelled_chunk}, state)
+        report = state.aggregator.report(wall_clock_s=0.0, jobs=2,
+                                         chunk_size=2, aborted="test")
+        # Finished chunks contribute normally; the failed chunk appears
+        # as one ERROR per submitted spec; cancelled work is excluded by
+        # the documented budget semantics.
+        assert report.scenario_count == len(ok_chunk) + len(lost_chunk)
+        errors = [r for r in report.results if r.classification == ERROR]
+        assert sorted(r.scenario_id for r in errors) == \
+            sorted(s.scenario_id for s in lost_chunk)
+        assert all("worker died mid-chunk" in r.error for r in errors)
+        # Lost chunks are evidence: they land in the reproducer bucket.
+        assert {r["scenario_id"] for r in report.reproducer_seeds()} >= \
+            {s.scenario_id for s in lost_chunk}
+
+    def test_pending_futures_are_not_consumed(self):
+        from concurrent.futures import Future
+
+        specs = ScenarioGenerator(5, profile="quick").generate(2)
+        pending = Future()  # never completed: still queued at shutdown
+        state = self._state()
+        CampaignRunner._drain_inflight({pending: specs}, state)
+        report = state.aggregator.report(wall_clock_s=0.0, jobs=2,
+                                         chunk_size=2, aborted="test")
+        assert report.scenario_count == 0
+
+
 class TestStreaming:
     def test_specs_may_be_a_lazy_iterator(self):
         generator = ScenarioGenerator(7, profile="quick")

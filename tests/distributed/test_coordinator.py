@@ -101,6 +101,42 @@ class TestLeases:
         assert coordinator.heartbeat("w2", stolen.unit_id, now=132.0)
         coordinator.close()
 
+    def test_backwards_clock_step_cannot_expire_a_live_lease(self, tmp_path):
+        """A wall-clock regression (NTP step) between beats must never
+        shorten a live lease: pre-fix, the stepped-back beat stored an
+        already-past expiry and the sweep re-issued the unit while its
+        owner was still working, double-evaluating the range."""
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"),
+            make_plan(scenarios=4, unit_size=4, lease_ttl_s=30.0))
+        unit = coordinator.acquire("w1", now=1000.0)
+        assert coordinator.heartbeat("w1", unit.unit_id, now=1020.0)
+        # NTP steps the clock back 80s; w1's next beat must keep the
+        # lease alive (expiry stays at 1050, never drops to 970).
+        assert coordinator.heartbeat("w1", unit.unit_id, now=940.0)
+        assert coordinator.acquire("w2", now=1030.0) is None
+        assert coordinator.heartbeat("w1", unit.unit_id, now=1035.0)
+        # Once w1 genuinely goes silent past the TTL, reclaim works
+        # normally — the clamp delays expiry, it does not disable it.
+        stolen = coordinator.acquire("w2", now=1066.0)
+        assert stolen is not None and stolen.reclaimed
+        coordinator.close()
+
+    def test_backwards_clock_step_cannot_backdate_a_fresh_lease(self, tmp_path):
+        """An acquire computed on a stepped-back clock must not stamp a
+        lease that looks already-expired to the next sweep."""
+        coordinator = CampaignCoordinator.init(
+            str(tmp_path / "c"),
+            make_plan(scenarios=8, unit_size=4, lease_ttl_s=30.0))
+        coordinator.acquire("w1", now=1000.0)
+        # w2 acquires the second unit while the clock reads 900: the
+        # lease clock clamps to 1000, so the lease runs until 1030.
+        second = coordinator.acquire("w2", now=900.0)
+        assert second is not None and not second.reclaimed
+        assert second.lease_expires_at >= 1030.0
+        assert coordinator.acquire("w3", now=1010.0) is None
+        coordinator.close()
+
     def test_heartbeat_extends_the_lease(self, tmp_path):
         coordinator = CampaignCoordinator.init(
             str(tmp_path / "c"),

@@ -78,7 +78,7 @@ SAFE_SPECS = [
 
 class TestRegistry:
     def test_both_backends_are_registered(self):
-        assert set(BACKENDS) >= {"gpv", "ndlog"}
+        assert set(BACKENDS) >= {"gpv", "ndlog", "hlp", "batch"}
 
     def test_unknown_backend_is_rejected(self):
         with pytest.raises(KeyError, match="rapidnet"):
@@ -117,6 +117,40 @@ class TestSafeConformance:
         assert outcome.bytes_sent > 0
         assert outcome.routes  # at least the gadget's nodes toward dest
         assert outcome.to_dict()["routes_held"] >= 1
+
+
+#: Safe specs the vectorized backend also supports (strictly monotonic,
+#: isotone algebras): the three-way conformance set below.
+BATCH_SAFE_SPECS = [
+    ScenarioSpec(scenario_id=4, family="caida", algebra="hop-count",
+                 seed=7, until=60.0, max_events=120_000,
+                 params=(("as_count", 14), ("peer_fraction", 0.2),
+                         ("destinations", 2)),
+                 events=(LinkEventSpec(time=0.2, kind="fail",
+                                       link_index=5),)),
+    ScenarioSpec(scenario_id=5, family="hierarchy", algebra="safe-backup",
+                 seed=4, until=60.0, max_events=120_000,
+                 params=(("depth", 3), ("branching", 2), ("max_nodes", 20),
+                         ("destinations", 2)),
+                 events=(LinkEventSpec(time=0.15, kind="fail", link_index=3),
+                         LinkEventSpec(time=0.3, kind="fail",
+                                       link_index=9))),
+]
+
+
+class TestBatchConformance:
+    """The fixpoint backend is a full peer on the scenarios it supports:
+    its tables must be preference-equal to *both* scalar engines."""
+
+    @pytest.mark.parametrize("spec", BATCH_SAFE_SPECS,
+                             ids=lambda s: f"{s.family}-{s.algebra}")
+    @pytest.mark.parametrize("reference", ["gpv", "ndlog"])
+    def test_batch_tables_match_scalar_engines(self, reference, spec):
+        assert get_backend("batch").supports(materialize(spec))
+        ref_session, ref = run_backend(reference, spec)
+        _batch_session, batch = run_backend("batch", spec)
+        assert ref.converged and batch.converged
+        assert route_mismatches(ref_session.algebra, ref, batch) == []
 
 
 class TestUnsafeRegression:

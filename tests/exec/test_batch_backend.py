@@ -1,0 +1,241 @@
+"""Batch-backend equivalence and contract suite.
+
+The vectorized backend trades simulation for a Bellman-Ford fixpoint over
+tabulated preference ranks, which is only sound for strictly monotonic,
+isotone algebras (see ``repro/exec/batch.py``).  This suite pins both
+sides of that bargain: on every scenario the backend *declares* supported
+its route tables must be preference-equal to the scalar GPV engine — on
+fixed seeds and across a generated spec stream — and the scenarios whose
+semantics the shortcut cannot reproduce must be declined by
+``supports()`` rather than silently mis-executed.
+"""
+
+import pytest
+
+from repro.campaigns import (
+    LinkEventSpec,
+    ScenarioGenerator,
+    ScenarioSpec,
+    materialize,
+)
+from repro.exec import get_backend, route_mismatches, schedule_events
+from repro.exec.base import ExecutionOutcome
+from repro.exec.batch import VectorizedBatchSession
+
+BATCH = get_backend("batch")
+
+
+def run_backend(name: str, spec: ScenarioSpec, *, log_routes: bool = False):
+    """Materialize, prepare, schedule the spec's events, run."""
+    scenario = materialize(spec)
+    session = get_backend(name).prepare(scenario, seed=spec.seed,
+                                        log_routes=log_routes)
+    schedule_events(session, scenario.events)
+    outcome = session.run(until=spec.until, max_events=spec.max_events)
+    return session, outcome
+
+
+def gadget_spec(kind: str, *, seed: int = 3) -> ScenarioSpec:
+    return ScenarioSpec(scenario_id=0, family="gadget", algebra="spp",
+                        seed=seed, until=30.0, max_events=25_000,
+                        params=(("gadget", kind),))
+
+
+def batch_spec(scenario_id, family, algebra, seed, params,
+               events=()) -> ScenarioSpec:
+    return ScenarioSpec(scenario_id=scenario_id, family=family,
+                        algebra=algebra, seed=seed, until=60.0,
+                        max_events=120_000, params=params, events=events)
+
+
+#: Fixed-seed scenarios the batch backend supports, spanning every
+#: batch-supported algebra family (hop counts, safe backup, additive
+#: shortest path, the HLP tau-mode lexical metric) and both event kinds.
+BATCH_SPECS = [
+    batch_spec(10, "caida", "hop-count", 7,
+               params=(("as_count", 14), ("peer_fraction", 0.2),
+                       ("destinations", 2)),
+               events=(LinkEventSpec(time=0.2, kind="fail", link_index=5),)),
+    batch_spec(11, "hierarchy", "safe-backup", 4,
+               params=(("depth", 3), ("branching", 2), ("max_nodes", 20),
+                       ("destinations", 2)),
+               events=(LinkEventSpec(time=0.15, kind="fail", link_index=3),
+                       LinkEventSpec(time=0.3, kind="fail", link_index=9))),
+    batch_spec(12, "rocketfuel", "shortest-path", 5,
+               params=(("routers", 10), ("links", 24), ("weights", (1, 2)),
+                       ("destinations", 1)),
+               events=(LinkEventSpec(time=0.1, kind="perturb", link_index=7,
+                                     weight=2),
+                       LinkEventSpec(time=0.3, kind="fail", link_index=7))),
+    batch_spec(13, "rocketfuel", "hop-count", 9,
+               params=(("routers", 12), ("links", 30), ("weights", (1,)),
+                       ("destinations", 2)),
+               events=(LinkEventSpec(time=0.2, kind="fail", link_index=11),)),
+    batch_spec(14, "tau-sweep", "hlp-tau", 2, params=()),
+]
+
+
+class TestFixedSeedEquivalence:
+    """batch == gpv (up to algebra ties) on every supported fixed seed."""
+
+    @pytest.mark.parametrize("spec", BATCH_SPECS,
+                             ids=lambda s: f"{s.family}-{s.algebra}")
+    def test_batched_tables_equal_gpv(self, spec):
+        assert BATCH.supports(materialize(spec)), \
+            "fixture drift: spec no longer batch-supported"
+        gpv_session, gpv = run_backend("gpv", spec)
+        _batch_session, batch = run_backend("batch", spec)
+        assert batch.converged and batch.stop_reason == "quiescent"
+        assert batch.backend == "batch"
+        assert route_mismatches(gpv_session.algebra, gpv, batch) == []
+        # Non-vacuous: the scenario actually routes somewhere.
+        assert any(path is not None for path in batch.routes.values())
+
+    def test_generated_stream_equivalence(self):
+        """Property check over the campaign generator itself: whatever
+        the batch backend claims to support must match GPV."""
+        generator = ScenarioGenerator(
+            1234, families=("caida", "hierarchy", "rocketfuel", "tau-sweep"),
+            profile="quick")
+        supported_algebras = set()
+        checked = 0
+        for spec in generator.iter_specs(40):
+            if not BATCH.supports(materialize(spec)):
+                continue
+            gpv_session, gpv = run_backend("gpv", spec)
+            _batch_session, batch = run_backend("batch", spec)
+            assert route_mismatches(gpv_session.algebra, gpv, batch) == [], \
+                f"batch diverged from gpv on {spec.describe()}"
+            supported_algebras.add(spec.algebra)
+            checked += 1
+        # The property must not pass vacuously: the generator's stream
+        # has to keep exercising several batch-supported algebras.
+        assert checked >= 5
+        assert len(supported_algebras) >= 2
+
+
+class TestSupports:
+    """Unbatchable semantics are declined up front, never mis-executed."""
+
+    @pytest.mark.parametrize("family,algebra,params", [
+        # Plain Gao-Rexford draws preference ties: not *strictly*
+        # monotonic, so the fixpoint need not be unique.
+        ("caida", "gr-a", (("as_count", 12), ("peer_fraction", 0.2),
+                           ("destinations", 1))),
+        # BGP-like lexical products are not isotone over the tabulated
+        # vocabulary: min-relaxation could keep unjustified routes.
+        ("caida", "gr-a-hopcount", (("as_count", 12), ("peer_fraction", 0.2),
+                                    ("destinations", 1))),
+        ("caida", "widest-shortest", (("as_count", 12), ("peer_fraction", 0.2),
+                                      ("destinations", 1))),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_untabulable_algebras_are_declined(self, family, algebra, params):
+        spec = batch_spec(90, family, algebra, 3, params=params)
+        assert not BATCH.supports(materialize(spec))
+
+    def test_path_valued_algebras_are_declined(self):
+        assert not BATCH.supports(materialize(gadget_spec("good")))
+
+    def test_multipath_and_subjectless_scenarios_are_declined(self):
+        generator = ScenarioGenerator(7, families=("multipath",),
+                                      profile="quick")
+        spec = next(iter(generator.iter_specs(1)))
+        assert not BATCH.supports(materialize(spec))
+        generator = ScenarioGenerator(7, families=("ibgp",), profile="quick")
+        spec = next(iter(generator.iter_specs(1)))
+        assert not BATCH.supports(materialize(spec))
+
+    def test_unsupported_scenario_is_rejected_at_run(self):
+        scenario = materialize(gadget_spec("good"))
+        session = VectorizedBatchSession([scenario])
+        with pytest.raises(ValueError, match="supports"):
+            session.run()
+
+    def test_route_logging_is_refused(self):
+        scenario = materialize(BATCH_SPECS[0])
+        with pytest.raises(ValueError, match="log"):
+            BATCH.prepare(scenario, log_routes=True)
+
+
+class TestBatchedSession:
+    """The prepare_batch contract: index-aligned outcomes, mixed kernels."""
+
+    def test_mixed_algebra_batch_matches_per_scenario_gpv(self):
+        specs = [BATCH_SPECS[0], BATCH_SPECS[4], BATCH_SPECS[1],
+                 BATCH_SPECS[2]]
+        session = BATCH.prepare_batch([materialize(s) for s in specs])
+        outcomes = session.run()
+        assert len(outcomes) == len(specs)
+        for spec, outcome in zip(specs, outcomes):
+            gpv_session, gpv = run_backend("gpv", spec)
+            assert route_mismatches(gpv_session.algebra, gpv, outcome) == []
+
+    def test_duplicate_scenarios_share_a_kernel_and_agree(self):
+        spec = BATCH_SPECS[3]
+        session = BATCH.prepare_batch(
+            [materialize(spec), materialize(spec)])
+        first, second = session.run()
+        assert first.routes == second.routes
+        assert first.sigs == second.sigs
+
+    def test_route_table_requires_run(self):
+        session = BATCH.prepare(materialize(BATCH_SPECS[0]))
+        with pytest.raises(RuntimeError, match="run"):
+            session.route_table()
+
+
+class TestEventSemantics:
+    """The folded-in event mask means the same thing as the timeline."""
+
+    def test_no_surviving_route_rides_a_failed_link(self):
+        spec = BATCH_SPECS[1]  # hierarchy with two link failures
+        session, outcome = run_backend("batch", spec)
+        for (node, dest), path in outcome.routes.items():
+            if path is None:
+                continue
+            for u, v in zip(path, path[1:]):
+                assert session.network.has_link(u, v), (
+                    f"{node}->{dest} rides failed link {u}-{v}: {path}")
+
+    def test_event_past_the_horizon_is_ignored(self):
+        base = BATCH_SPECS[0]
+        late = ScenarioSpec(
+            scenario_id=base.scenario_id, family=base.family,
+            algebra=base.algebra, seed=base.seed, until=base.until,
+            max_events=base.max_events, params=base.params,
+            events=base.events + (
+                LinkEventSpec(time=base.until + 1.0, kind="fail",
+                              link_index=2),))
+        _s1, with_late = run_backend("batch", late)
+        _s2, without = run_backend("batch", base)
+        assert with_late.routes == without.routes
+
+    def test_event_on_missing_link_is_a_noop(self):
+        base = BATCH_SPECS[3]
+        doubled = ScenarioSpec(
+            scenario_id=base.scenario_id, family=base.family,
+            algebra=base.algebra, seed=base.seed, until=base.until,
+            max_events=base.max_events, params=base.params,
+            events=base.events + base.events)  # same failure twice
+        _s1, twice = run_backend("batch", doubled)
+        _s2, once = run_backend("batch", base)
+        assert twice.routes == once.routes
+
+
+class TestRouteMismatchGuards:
+    """Missing signatures degrade to a reported mismatch, not a crash."""
+
+    def test_missing_signature_is_reported_not_raised(self):
+        spec = BATCH_SPECS[0]
+        gpv_session, gpv = run_backend("gpv", spec)
+        _batch_session, batch = run_backend("batch", spec)
+        # Make the tables textually unequal, then drop the signature a
+        # comparison would need: pre-fix code raised KeyError here.
+        key = next(k for k, p in batch.routes.items() if p is not None)
+        mutated = ExecutionOutcome(
+            backend=batch.backend, converged=batch.converged,
+            stop_reason=batch.stop_reason,
+            routes={**batch.routes, key: batch.routes[key] + ("bogus",)},
+            sigs={k: s for k, s in batch.sigs.items() if k != key})
+        mismatches = route_mismatches(gpv_session.algebra, gpv, mutated)
+        assert any("signature missing" in m for m in mismatches)
