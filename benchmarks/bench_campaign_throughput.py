@@ -278,7 +278,29 @@ def _batch_specs(smoke: bool):
 
     per_family = 8 if smoke else 40
     specs = {"caida/hop-count": [], "hierarchy/safe-backup": [],
-             "rocketfuel/shortest-path": [], "tau-sweep/hlp-tau": []}
+             "rocketfuel/shortest-path": [], "tau-sweep/hlp-tau": [],
+             "caida/gr-a-hopcount": [], "caida/widest-shortest": [],
+             "rocketfuel/shortest-path-wide": []}
+    for i in range(per_family):
+        # The hole-aware admissions: lexical products relaxed in the
+        # monotone mode, and wide weights injecting beyond-horizon holes
+        # into the additive kernel.
+        specs["caida/gr-a-hopcount"].append(ScenarioSpec(
+            scenario_id=4000 + i, family="caida", algebra="gr-a-hopcount",
+            seed=400 + i, until=60.0, max_events=200_000,
+            params=(("as_count", 40), ("peer_fraction", 0.2),
+                    ("destinations", 3))))
+        specs["caida/widest-shortest"].append(ScenarioSpec(
+            scenario_id=5000 + i, family="caida", algebra="widest-shortest",
+            seed=400 + i, until=60.0, max_events=200_000,
+            params=(("as_count", 40), ("peer_fraction", 0.2),
+                    ("destinations", 3))))
+        specs["rocketfuel/shortest-path-wide"].append(ScenarioSpec(
+            scenario_id=6000 + i, family="rocketfuel",
+            algebra="shortest-path",
+            seed=500 + i, until=60.0, max_events=200_000,
+            params=(("routers", 48), ("links", 120), ("weights", (1, 19)),
+                    ("destinations", 3))))
     for i in range(per_family):
         specs["caida/hop-count"].append(ScenarioSpec(
             scenario_id=1000 + i, family="caida", algebra="hop-count",
@@ -312,23 +334,31 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
     """The vectorized backend's twin acceptance gates, on fixed seeds.
 
     *Equality*: on every scenario the batch backend declares supported —
-    across all batch-supported families — its route tables must be
-    preference-equal to the scalar GPV engine (``route_mismatches`` empty
-    per scenario, non-vacuously per family).
+    across all batch-supported families, including the hole-aware
+    admissions (``gr-a-hopcount``, ``widest-shortest``, wide-weight
+    shortest path) — its route tables must be preference-equal to the
+    scalar GPV engine (``route_mismatches`` empty per scenario,
+    non-vacuously per family).
 
-    *Throughput*: executing the same scenarios as vectorized batches
-    must beat the scalar per-scenario loop by >= 10x aggregated over the
-    large-topology families (the smoke workload asserts a floor of 2x —
+    *Throughput*: two measured passes per family.  The *cold* pass
+    (kernel caches cleared) must beat the scalar per-scenario loop by
+    >= 10x aggregated over the large-topology families (smoke floor 2x —
     kernel tabulation is a fixed cost the small run cannot amortize).
-    The tau-sweep family rides the *equality* gate but is excluded from
-    the throughput gate: each spec draws a distinct tau, so every ~9-node
-    scenario tabulates its own kernel and nothing amortizes — its honest
-    ~1x figure is still recorded per family in ``BENCH_batch.json`` for
-    the CI artifact trail.
+    The *warm* pass (process kernel cache hot — what every chunk after a
+    worker's first sees, and what a persistent kernel store gives whole
+    fleets from the start) gates tau-sweep at >= 2x: each sweep spec
+    draws distinct weights, so tabulation dominated its cold figure
+    (~0.5x before canonical-token keying and the kernel cache; the cold
+    number is recorded, un-gated).  Kernel cache hit/miss/tabulation
+    counters for both passes land in ``BENCH_batch.json``.
     """
     from repro.campaigns import materialize
     from repro.exec import get_backend, route_mismatches, schedule_events
-    from repro.exec.batch import clear_kernel_cache
+    from repro.exec.batch import (
+        clear_kernel_cache,
+        kernel_cache_stats,
+        reset_kernel_cache_stats,
+    )
 
     import time as _time
 
@@ -336,6 +366,12 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
     gpv = get_backend("gpv")
     by_family = _batch_specs(smoke)
 
+    # The supports() filter is where kernels are first tabulated (and,
+    # when a persistent store is configured, written through).  Snapshot
+    # its counters separately: on a process whose store is already warm,
+    # setup tabulations are zero — the cross-process cache contract CI
+    # asserts by running this bench twice over one sqlite file.
+    reset_kernel_cache_stats()
     supported: dict[str, list] = {}
     for family_key, specs in by_family.items():
         supported[family_key] = [
@@ -343,6 +379,7 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         assert supported[family_key], (
             f"equality gate is vacuous: no supported scenario "
             f"in {family_key}")
+    setup_stats = kernel_cache_stats()
     family_counts = Counter(
         {key: len(specs) for key, specs in supported.items()})
     total = sum(family_counts.values())
@@ -363,10 +400,11 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         scalar_s[family_key] = _time.perf_counter() - started
         references[family_key] = refs
 
-    # Vectorized pass (timed per family, fresh kernels): one batch per
-    # family — the amortization unit, since kernels are per-algebra.
+    # Vectorized cold pass (timed per family, fresh kernels): one batch
+    # per family — the amortization unit, since kernels are per-algebra.
     def batched_run():
         clear_kernel_cache()
+        reset_kernel_cache_stats()
         fresh = {key: [materialize(spec) for spec in specs]
                  for key, specs in supported.items()}
         outcomes, seconds = {}, {}
@@ -378,15 +416,30 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
 
     outcomes, batch_s = benchmark.pedantic(batched_run, rounds=1,
                                            iterations=1)
+    cold_stats = kernel_cache_stats()
+
+    # Warm pass: same scenarios re-materialized, kernel cache left hot —
+    # the steady state of every worker after its first chunk (and of a
+    # whole fleet when a persistent kernel store is configured).
+    reset_kernel_cache_stats()
+    warm_s: dict[str, float] = {}
+    for family_key, specs in supported.items():
+        scenarios = [materialize(spec) for spec in specs]
+        started = _time.perf_counter()
+        batch.prepare_batch(scenarios).run()
+        warm_s[family_key] = _time.perf_counter() - started
+    warm_stats = kernel_cache_stats()
 
     # The equality gate: preference-equal tables on every scenario of
     # every family, tau-sweep included.
     mismatched = []
+    family_mismatches = {key: 0 for key in supported}
     for family_key, specs in supported.items():
         for spec, (algebra, reference), outcome in zip(
                 specs, references[family_key], outcomes[family_key]):
             diffs = route_mismatches(algebra, reference, outcome)
             if diffs:
+                family_mismatches[family_key] += len(diffs)
                 mismatched.append((spec.describe(), diffs[:2]))
     assert not mismatched, f"batch != gpv on {mismatched}"
 
@@ -395,7 +448,10 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
             "scenarios": family_counts[key],
             "scalar_sps": family_counts[key] / scalar_s[key],
             "batch_sps": family_counts[key] / batch_s[key],
+            "batch_warm_sps": family_counts[key] / warm_s[key],
             "speedup": scalar_s[key] / batch_s[key],
+            "warm_speedup": scalar_s[key] / warm_s[key],
+            "route_mismatches": family_mismatches[key],
         }
         for key in supported
     }
@@ -404,6 +460,8 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
     gated_scalar_s = sum(scalar_s[key] for key in amortized)
     gated_batch_s = sum(batch_s[key] for key in amortized)
     gated_speedup = gated_scalar_s / gated_batch_s
+    tau_cold = per_family["tau-sweep/hlp-tau"]["speedup"]
+    tau_warm = per_family["tau-sweep/hlp-tau"]["warm_speedup"]
     scalar_sps = total / sum(scalar_s.values())
     batch_sps = total / sum(batch_s.values())
     speedup = sum(scalar_s.values()) / sum(batch_s.values())
@@ -414,12 +472,19 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         f"scalar gpv: {scalar_sps:>8.1f} scenarios/s "
         f"({sum(scalar_s.values()):.2f}s)",
         f"batch:      {batch_sps:>8.1f} scenarios/s "
-        f"({sum(batch_s.values()):.2f}s)",
+        f"({sum(batch_s.values()):.2f}s cold, "
+        f"{sum(warm_s.values()):.2f}s warm)",
         f"speedup:    {speedup:>8.1f}x overall, "
         f"{gated_speedup:.1f}x on the {gated_n} large-topology scenarios, "
+        f"tau-sweep {tau_cold:.1f}x cold / {tau_warm:.1f}x warm, "
         f"route mismatches: 0",
+        f"kernels:    {cold_stats['tabulations']} tabulated in "
+        f"{cold_stats['tabulation_s']:.3f}s cold; warm pass "
+        f"{warm_stats['tabulations']} tabulations, "
+        f"{warm_stats['memo_hits'] + warm_stats['cache_hits']} cache hits",
     ] + [
-        f"  {key}: {stats['speedup']:.1f}x "
+        f"  {key}: {stats['speedup']:.1f}x cold / "
+        f"{stats['warm_speedup']:.1f}x warm "
         f"({stats['batch_sps']:.0f} vs {stats['scalar_sps']:.0f} "
         f"scenarios/s)"
         for key, stats in sorted(per_family.items())
@@ -436,6 +501,13 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         "speedup": speedup,
         "gated_families": amortized,
         "gated_speedup": gated_speedup,
+        "newly_admitted": ["caida/gr-a-hopcount", "caida/widest-shortest",
+                           "rocketfuel/shortest-path-wide"],
+        "tau_sweep_cold_speedup": tau_cold,
+        "tau_sweep_warm_speedup": tau_warm,
+        "kernel_stats_setup": setup_stats,
+        "kernel_stats_cold": cold_stats,
+        "kernel_stats_warm": warm_stats,
         "per_family": per_family,
     }
     pathlib.Path("BENCH_batch.json").write_text(
@@ -447,6 +519,13 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         f"batch backend must beat scalar gpv by >={floor}x on the "
         f"large-topology families "
         f"(got {gated_speedup:.1f}x on {gated_n} scenarios)")
+    # The tau-sweep gate rides the warm pass: with kernels cached (one
+    # worker's steady state; every worker's start under a persistent
+    # store) the sweep must beat scalar by >= 2x — it regressed at 0.52x
+    # before kernel-keyed scheduling and canonical-token keying.
+    assert tau_warm >= 2.0, (
+        f"tau-sweep must beat scalar gpv by >=2x with warm kernels "
+        f"(got {tau_warm:.2f}x; cold was {tau_cold:.2f}x)")
 
 
 def _fleet_bench_worker(directory: str, worker_id: str) -> None:

@@ -221,6 +221,18 @@ class HLPTauAlgebra(RoutingAlgebra):
     def labels(self) -> Sequence[Label]:
         return self._weights
 
+    def canonical_token(self):
+        """Closed-form canonical identity (see ``campaigns.canonical``).
+
+        ``(tau, weights, max_cost)`` determines every preference
+        statement and ⊕ entry this algebra enumerates, so equal tokens
+        imply identical constraint systems — which spares the tau-sweep
+        campaign family the quadratic table rendering on every draw
+        (the per-scenario keying cost was what kept the batch backend
+        slower than scalar on this family).
+        """
+        return (self.tau, self._weights, self.max_cost)
+
     # -- declarative interface ------------------------------------------------
 
     def signatures(self) -> Sequence[Signature]:

@@ -50,6 +50,15 @@ CANONICALIZATION_BRANCH_LIMIT = 2048
 
 def canonical_key(subject: RoutingAlgebra | SPPInstance) -> Key:
     """A hashable, relabeling-invariant identity for the subject."""
+    # Parametric algebra families can short-circuit the (quadratic)
+    # enumerated rendering with a closed-form identity token: two
+    # instances with equal tokens must generate identical constraint
+    # systems (the token is the full parameter vector, type-tagged).
+    # This is what lets kernel/verdict caches key a tau-sweep draw in
+    # microseconds instead of re-rendering its preference tables.
+    token = getattr(subject, "canonical_token", None)
+    if callable(token):
+        return ("token", type(subject).__name__, token())
     if isinstance(subject, SPPInstance):
         return _spp_key(subject)
     if isinstance(subject, SPPAlgebra):

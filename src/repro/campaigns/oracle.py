@@ -46,6 +46,7 @@ from ..exec import (
     route_set_mismatches,
     schedule_events,
 )
+from ..exec.batch import BatchDeclined, configure_kernel_store, kernel_key_of
 from ..experiments.extraction import extract_spp
 from .canonical import canonical_key
 from .report import (
@@ -86,6 +87,9 @@ class EvaluationOptions:
 
     backends: tuple = DEFAULT_BACKENDS
     verdict_store_path: str | None = None
+    #: Persistent tabulated-kernel store for the batch backend (None
+    #: falls back to ``$REPRO_BATCH_KERNEL_CACHE``, unset = in-memory).
+    kernel_store_path: str | None = None
 
 
 def _analyzer() -> SafetyAnalyzer:
@@ -238,9 +242,22 @@ def evaluate(spec: ScenarioSpec,
             session = get_backend(name).prepare(
                 scn, seed=spec.seed, log_routes=scn.log_routes)
             schedule_events(session, scn.events)
+            try:
+                outcome = session.run(until=spec.until,
+                                      max_events=spec.max_events)
+            except BatchDeclined:
+                # A monotone-mode kernel bailed at run time (transient
+                # crossed the closure horizon): the scenario is simply
+                # not batchable after all — drop the backend from this
+                # scenario's differential, exactly as if supports() had
+                # said no.  Never an ERROR: the scalar engines carry on.
+                continue
             sessions.append(session)
-            outcomes.append(session.run(until=spec.until,
-                                        max_events=spec.max_events))
+            outcomes.append(outcome)
+        if not outcomes:
+            raise ValueError(
+                f"every backend in {list(options.backends)} declined "
+                f"scenario {spec.scenario_id} at run time")
 
         if scenario.analysis_subject is None:
             # iBGP workflow: extract the realized SPP (from the primary
@@ -338,6 +355,7 @@ def _precompute_batch(specs: list[ScenarioSpec],
     """
     if "batch" not in options.backends:
         return {}
+    configure_kernel_store(options.kernel_store_path)
     backend = get_backend("batch")
     members: list[tuple[int, Scenario]] = []
     for spec in specs:
@@ -349,13 +367,24 @@ def _precompute_batch(specs: list[ScenarioSpec],
             members.append((spec.scenario_id, scenario))
     if not members:
         return {}
+    # Kernel-keyed scheduling: order the chunk by canonical kernel key so
+    # scenarios sharing (algebra, transfer vocabulary) sit adjacent and
+    # the vectorized session relaxes each key group in a single flat
+    # tabulation+relaxation call — tau-sweep's shared-prefix draws, and
+    # every relabeled copy of one policy, collapse this way.
+    members.sort(key=lambda member: (repr(kernel_key_of(member[1])),
+                                     member[0]))
     try:
         outcomes = backend.prepare_batch(
-            [scenario for _, scenario in members]).run()
+            [scenario for _, scenario in members]).run(partial=True)
     except Exception:  # noqa: BLE001 - scalar fallback keeps the chunk alive
         return {}
+    # partial=True yields None for kernel groups that declined at run
+    # time (monotone-mode horizon bail): those scenarios simply take the
+    # scalar path inside evaluate().
     return {scenario_id: {"batch": outcome}
-            for (scenario_id, _), outcome in zip(members, outcomes)}
+            for (scenario_id, _), outcome in zip(members, outcomes)
+            if outcome is not None}
 
 
 def evaluate_chunk(specs: list[ScenarioSpec],

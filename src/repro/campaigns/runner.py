@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from ..exec import DEFAULT_BACKENDS, resolve_backends
+from ..exec.batch import numpy_available
 from .oracle import (
     EvaluationOptions,
     configure_verdict_store,
@@ -68,6 +69,13 @@ class CampaignConfig:
     verdict_cache_path: str | None = None
     #: Chunks in flight per worker in parallel mode.
     pipeline_depth: int = 2
+    #: Append the vectorized ``batch`` backend automatically (kernel-keyed
+    #: chunk execution for every scenario it supports; scalar backends
+    #: remain the differential ground truth).  ``--no-batch`` turns it off.
+    auto_batch: bool = True
+    #: Optional path of a persistent cross-process kernel cache (sqlite);
+    #: also configurable via ``REPRO_BATCH_KERNEL_CACHE``.
+    kernel_cache_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -79,11 +87,17 @@ class CampaignConfig:
         if self.max_retained < 1:
             raise ValueError("max_retained must be >= 1")
         self.backends = resolve_backends(self.backends)
+        if self.auto_batch and "batch" not in self.backends \
+                and numpy_available():
+            # Appended last: the configured scalar backends stay primary
+            # (ground truth); batch rides along as the vectorized check.
+            self.backends = self.backends + ("batch",)
 
     def evaluation_options(self) -> EvaluationOptions:
         return EvaluationOptions(
             backends=self.backends,
-            verdict_store_path=self.verdict_cache_path)
+            verdict_store_path=self.verdict_cache_path,
+            kernel_store_path=self.kernel_cache_path)
 
 
 @dataclass
@@ -280,6 +294,8 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
                  backends: Sequence[str] = DEFAULT_BACKENDS,
                  keep_results: bool = True,
                  verdict_cache_path: str | None = None,
+                 auto_batch: bool = True,
+                 kernel_cache_path: str | None = None,
                  shard_index: int = 0, shard_count: int = 1,
                  sink: ResultSink | None = None,
                  coordinator: str | None = None,
@@ -305,7 +321,9 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
         abort_on_disagreements=abort_on_disagreements,
         backends=tuple(backends),
         keep_results=keep_results,
-        verdict_cache_path=verdict_cache_path))
+        verdict_cache_path=verdict_cache_path,
+        auto_batch=auto_batch,
+        kernel_cache_path=kernel_cache_path))
     return runner.run_generated(count, seed=seed, families=families,
                                 profile=profile, shard_index=shard_index,
                                 shard_count=shard_count, sink=sink)

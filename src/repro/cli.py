@@ -202,6 +202,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             # memory; full per-scenario records belong in --stream-out.
             keep_results=False,
             verdict_cache_path=args.verdict_cache,
+            auto_batch=not args.no_batch,
+            kernel_cache_path=args.kernel_cache,
             shard_index=args.shard_index,
             shard_count=args.shard_count,
             sink=sink,
@@ -290,6 +292,7 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
                 wall_clock_budget_s=args.budget_s,
                 planted=tuple(planted),
                 shared_verdicts=not args.no_shared_verdicts,
+                auto_batch=not args.no_batch,
             )
             # Fail bad families/profiles/backends at init time, not in
             # every worker after it leased a unit.
@@ -487,6 +490,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verdict-cache", default=None, metavar="PATH",
                    help="persistent sqlite verdict cache shared across "
                         "processes and campaign invocations")
+    p.add_argument("--no-batch", action="store_true",
+                   help="do not auto-append the vectorized batch backend "
+                        "(by default supported scenarios also run batched, "
+                        "with the scalar backends as ground truth)")
+    p.add_argument("--kernel-cache", default=None, metavar="PATH",
+                   help="persistent sqlite cache of tabulated batch "
+                        "kernels (default: $REPRO_BATCH_KERNEL_CACHE "
+                        "if set, else in-memory only)")
     p.add_argument("--shard-index", type=int, default=0,
                    help="this shard's index into the spec stream")
     p.add_argument("--shard-count", type=int, default=1,
@@ -516,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[init] workload profile: default or quick")
     p.add_argument("--backends", default="gpv", metavar="NAME[,NAME...]",
                    help="[init] execution backends per scenario")
+    p.add_argument("--no-batch", action="store_true",
+                   help="[init] fleet workers do not auto-append the "
+                        "vectorized batch backend")
     p.add_argument("--unit-size", type=int, default=25,
                    help="[init] scenarios per leased work unit")
     p.add_argument("--chunk-size", type=int, default=8,

@@ -52,6 +52,7 @@ from .bus import ABORT, DISAGREEMENT, DisagreementBus
 
 COORDINATOR_DB = "coordinator.sqlite"
 SHARED_VERDICTS = "verdicts.sqlite"
+SHARED_KERNELS = "kernels.sqlite"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS plan (
@@ -127,6 +128,10 @@ class CampaignPlan:
     #: Feed one shared write-through verdict store instead of per-worker
     #: memos (``verdicts.sqlite`` in the campaign directory).
     shared_verdicts: bool = True
+    #: Workers auto-append the vectorized ``batch`` backend (and share one
+    #: ``kernels.sqlite`` tabulated-kernel cache in the campaign directory
+    #: when ``shared_verdicts`` allows shared files at all).
+    auto_batch: bool = True
     max_retained: int = 200
     created_at: float = 0.0
 
@@ -170,6 +175,7 @@ class CampaignPlan:
             "wall_clock_budget_s": self.wall_clock_budget_s,
             "planted": list(self.planted),
             "shared_verdicts": self.shared_verdicts,
+            "auto_batch": self.auto_batch,
             "max_retained": self.max_retained,
             "created_at": self.created_at,
         }
@@ -366,6 +372,22 @@ class CampaignCoordinator:
         if not self.plan().shared_verdicts:
             return None
         return os.path.join(self.directory, SHARED_VERDICTS)
+
+    @property
+    def kernel_cache_path(self) -> str | None:
+        """Shared tabulated-kernel store for batch-running fleets.
+
+        Gated on the same ``shared_verdicts`` switch as the verdict
+        store: it expresses "workers may share campaign-directory sqlite
+        files", and a fleet that opts out of one shared cache means to
+        opt out of both.
+        """
+        plan = self.plan()
+        if not plan.auto_batch and "batch" not in plan.backends:
+            return None
+        if not plan.shared_verdicts:
+            return None
+        return os.path.join(self.directory, SHARED_KERNELS)
 
     # -- lease protocol -------------------------------------------------------
 

@@ -41,13 +41,14 @@ from dataclasses import replace
 from ..campaigns.oracle import (
     EvaluationOptions,
     configure_verdict_store,
-    evaluate,
+    evaluate_chunk,
     flush_store_hits,
 )
 from ..campaigns.report import SAFE_DIVERGED, CampaignReport, ScenarioResult
 from ..campaigns.sink import AggregatingSink, BusSink, ResultSink
 from ..campaigns.spec import ScenarioGenerator
 from ..exec import resolve_backends
+from ..exec.batch import numpy_available
 from .bus import ABORT, DISAGREEMENT
 from .coordinator import ABORTED, CampaignCoordinator, WorkUnit
 
@@ -76,6 +77,11 @@ class DistributedWorker:
         self.idle_wait_s = (min(self.plan.lease_ttl_s / 4, 0.2)
                             if idle_wait_s is None else idle_wait_s)
         self.backends = resolve_backends(self.plan.backends)
+        if getattr(self.plan, "auto_batch", True) \
+                and "batch" not in self.backends and numpy_available():
+            # Same augmentation the in-process runner applies: the plan's
+            # scalar backends stay primary, batch rides along vectorized.
+            self.backends = self.backends + ("batch",)
         self.aborted: str | None = None
         self.scenarios_done = 0
         self.units_done = 0
@@ -92,7 +98,8 @@ class DistributedWorker:
         coordinator = self.coordinator
         options = EvaluationOptions(
             backends=self.backends,
-            verdict_store_path=coordinator.verdict_cache_path)
+            verdict_store_path=coordinator.verdict_cache_path,
+            kernel_store_path=coordinator.kernel_cache_path)
         configure_verdict_store(options.verdict_store_path)
         bus_sink = BusSink(coordinator.bus, self.worker_id)
         # Latency samples must measure *notification* latency, so the
@@ -139,8 +146,12 @@ class DistributedWorker:
                                      backends=self.backends)
         for chunk_start in range(unit.start, unit.stop, plan.chunk_size):
             chunk_stop = min(chunk_start + plan.chunk_size, unit.stop)
-            for spec in generator.iter_range(chunk_start, chunk_stop):
-                result = self._plant(evaluate(spec, options))
+            # Whole-chunk evaluation so the batch backend's kernel-keyed
+            # vectorized pass amortizes inside the fleet exactly as it
+            # does in the in-process runner.
+            specs = list(generator.iter_range(chunk_start, chunk_stop))
+            for result in evaluate_chunk(specs, options):
+                result = self._plant(result)
                 aggregator.accept(result)
                 bus_sink.accept(result)
                 if self.extra_sink is not None:

@@ -60,6 +60,10 @@ class ExecutionOutcome:
     #: Multipath outcomes only (``top_k > 1``): ``(node, dest)`` → ranked
     #: tuple of selected ``(sig, path)`` routes, best first, capped at k.
     route_sets: dict = field(default_factory=dict)
+    #: Set when ``stop_reason == "error"``: the exception that killed this
+    #: scenario's run, so a batched caller can tell *which* member failed
+    #: and why instead of losing the whole batch.
+    error: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (route tables are summarized, not dumped)."""
@@ -77,6 +81,8 @@ class ExecutionOutcome:
         if self.route_sets:
             record["multipath_routes"] = sum(
                 len(routes) for routes in self.route_sets.values())
+        if self.error is not None:
+            record["error"] = self.error
         return record
 
 
@@ -173,13 +179,24 @@ class _SequentialBatchSession(BatchExecutionSession):
         outcomes = []
         for scenario in self.scenarios:
             spec = getattr(scenario, "spec", None)
-            session = self.backend.prepare(
-                scenario, seed=getattr(spec, "seed", 0),
-                log_routes=getattr(scenario, "log_routes", False))
-            schedule_events(session, scenario.events)
-            outcomes.append(session.run(
-                until=getattr(spec, "until", None),
-                max_events=getattr(spec, "max_events", None)))
+            try:
+                session = self.backend.prepare(
+                    scenario, seed=getattr(spec, "seed", 0),
+                    log_routes=getattr(scenario, "log_routes", False))
+                schedule_events(session, scenario.events)
+                outcomes.append(session.run(
+                    until=getattr(spec, "until", None),
+                    max_events=getattr(spec, "max_events", None)))
+            except Exception as error:  # noqa: BLE001
+                # One broken scenario must not take down the other N-1:
+                # surface it as an index-aligned ERROR outcome so the
+                # caller sees *which* member failed and why.
+                outcomes.append(ExecutionOutcome(
+                    backend=self.backend.name,
+                    converged=False,
+                    stop_reason="error",
+                    error=f"{type(error).__name__}: {error}",
+                ))
         return outcomes
 
 

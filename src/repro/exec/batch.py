@@ -12,20 +12,30 @@ interleaving, or advertisement batching.  So instead of simulating, it:
 1. **tabulates the algebra ordinally** — the reachable signature closure
    (origin signatures extended by every observed label) is rank-sorted
    into integer ids where *smaller id == more preferred*, with φ as the
-   largest, absorbing id; ⊕ becomes one ``int32`` lookup table
+   largest absorbing *routable* id and a distinct **hole** sentinel
+   (``hole_id == phi_id + 1``) for extensions whose true value lies past
+   the closure depth horizon; ⊕ becomes one ``int32`` lookup table
    ``trans[label, sig] -> sig`` (the canonicalizer's ordinal-rank
    rendering, promoted to an execution kernel).  Strict monotonicity is
-   *verified* during closure — every tabulated extension must be
-   strictly worse than its source, which also guarantees ids strictly
-   increase across ⊕ — and any violation marks the algebra unsupported;
+   *verified* for every tabulated entry — in-table extensions must carry
+   a strictly larger id, hole extensions are preference-checked against
+   their source — and any violation marks the algebra unsupported;
 2. **applies each scenario's event mask up front** — link failures
    remove links, perturbations relabel them; history-independence of
    the unique stable state makes the final topology sufficient;
 3. **relaxes all scenarios at once** in struct-of-arrays form: one flat
    ``int32`` state vector over every (scenario, destination, node)
-   triple, one flat directed-edge list, and synchronous
-   ``np.minimum.at`` rounds until fixpoint (ids only ever decrease, and
-   strictly-increasing ⊕ bounds the rounds by the signature count).
+   triple, one flat directed-edge list, and synchronous numpy rounds
+   until fixpoint.  *Isotone* kernels (rank tables monotone in
+   preference space) use accumulating ``np.minimum.at`` rounds — holes
+   rank worse than φ, so a depth-truncated value can never win the min
+   and the fixpoint provably equals the scalar engines' stable state.
+   *Monotone-only* kernels (strictly monotonic but genuinely
+   non-isotone, e.g. the Gao-Rexford × hopcount products) run an honest
+   synchronous Jacobi iteration — one fair activation schedule of the
+   protocol the safety theorem proves convergent — and **decline at run
+   time** (:class:`BatchDeclined`) the moment a transient value would
+   read a hole entry, or if the iteration fails to settle.
 
 Scenarios whose semantics the fixpoint shortcut cannot reproduce are
 declared unsupported (see :meth:`BatchBackend.supports`) and stay on the
@@ -33,12 +43,23 @@ scalar engines; the scalar↔batched differential in the campaign oracle
 and the fixed-seed equality gate in ``benchmarks/`` keep the fast path
 honest.
 
+Tabulation cost is amortized three ways: a per-algebra-instance memo, a
+process-wide cache under canonical algebra keys, and an optional
+**persistent kernel store** (:mod:`repro.exec.kernel_store`, enabled via
+:func:`configure_kernel_store` or ``$REPRO_BATCH_KERNEL_CACHE``) shared
+by fleet workers and repeat campaigns.  The store is the documented seam
+for future GPU/mypyc/Rust kernel drop-ins: anything that can produce the
+``trans`` table for a canonical key can serve it from there.
+
 numpy is optional: without it the backend simply supports nothing, so
 campaigns degrade to the scalar engines instead of failing to import.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
 from typing import TYPE_CHECKING, Hashable, Iterable
 
 try:  # gated: the toolkit must import (and run scalar) without numpy
@@ -70,6 +91,56 @@ MAX_CLOSURE_DEPTH = 64
 #: algebra canonical key + observed label set -> kernel (None = unsupported).
 _KERNEL_CACHE: dict[tuple, "_Kernel | None"] = {}
 _KERNEL_CACHE_MAX = 256
+
+#: Environment variable naming the persistent kernel store (sqlite).
+KERNEL_CACHE_ENV = "REPRO_BATCH_KERNEL_CACHE"
+
+#: Round budget multiplier for the monotone-mode Jacobi iteration.
+_MONOTONE_ROUND_SLACK = 4
+
+_KERNEL_STATS = {
+    "memo_hits": 0,        # per-algebra-instance memo
+    "cache_hits": 0,       # process-wide canonical-key cache
+    "cache_misses": 0,
+    "store_hits": 0,       # persistent kernel store
+    "store_misses": 0,
+    "tabulations": 0,      # closures actually computed this process
+    "tabulation_s": 0.0,
+    "runtime_declines": 0,  # monotone-mode BatchDeclined bails
+}
+
+#: Persistent store state (fork-guarded; see configure_kernel_store).
+_STORE = None
+_STORE_PATH: str | None = None
+_STORE_PID: int | None = None
+_STORE_RESOLVED = False
+
+
+class BatchDeclined(RuntimeError):
+    """A supported-looking scenario must fall back to scalar at run time.
+
+    Raised only by *monotone-mode* kernels: their Jacobi iteration is
+    sound exactly while every transient value stays inside the tabulated
+    closure, so reading a beyond-horizon hole — or failing to settle
+    within the round budget — aborts the batch answer rather than risk a
+    wrong one.  Callers (oracle, scalar adapter) treat it as "scenario
+    not batchable after all", never as an execution error.
+    """
+
+
+def kernel_cache_stats() -> dict:
+    """Snapshot of kernel amortization counters (benchmark/CI telemetry)."""
+    return dict(_KERNEL_STATS)
+
+
+def reset_kernel_cache_stats() -> None:
+    for key in _KERNEL_STATS:
+        _KERNEL_STATS[key] = 0.0 if key == "tabulation_s" else 0
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run at all in this process."""
+    return _np is not None
 
 
 def _transfer(algebra: RoutingAlgebra, key: Hashable, sig):
@@ -108,25 +179,110 @@ class _Kernel:
 
     ``sigs[i]`` is the representative signature of ordinal id ``i`` (rank
     order, ties broken by ``repr`` so ids are deterministic); ``phi_id ==
-    len(sigs)`` is φ.  ``trans[key_id, sig_id]`` is the id of the
-    signature after one directed link traversal (φ row/φ results map to
-    ``phi_id``), and ``origin_id[label]`` the id of the one-hop
-    origination signature over an import label.  Strict monotonicity
-    makes every non-φ ``trans`` entry strictly larger than its source id
-    — the property both the fixpoint argument and the next-hop
-    reconstruction lean on.
+    len(sigs)`` is φ and ``hole_id == phi_id + 1`` the beyond-horizon
+    sentinel.  ``trans[key_id, sig_id]`` is the id of the signature after
+    one directed link traversal (genuine filters map to ``phi_id``,
+    depth-truncated extensions to ``hole_id``), and ``origin_id[label]``
+    the id of the one-hop origination signature over an import label.
+    Strict monotonicity makes every in-table ``trans`` entry strictly
+    larger than its source id — the property both the fixpoint argument
+    and the next-hop reconstruction lean on.
+
+    ``pref_class[i]`` is the *preference class* of id ``i``: adjacent
+    rank-sorted signatures that compare EQUAL share a class, φ is the
+    strictly-worst real class, and the hole sentinel sits above even
+    that (so it can never win a min).  ``mode`` records which relaxation
+    the gate licensed: ``"isotone"`` (accumulating min, exact) or
+    ``"monotone"`` (synchronous Jacobi with run-time hole bail-out).
     """
 
-    __slots__ = ("sigs", "sig_id", "phi_id", "key_id", "trans",
-                 "origin_id")
+    __slots__ = ("sigs", "sig_id", "phi_id", "hole_id", "key_id", "trans",
+                 "origin_id", "pref_class", "mode", "hole_count")
 
-    def __init__(self, sigs: list, key_id: dict, trans, origin_id: dict):
+    def __init__(self, sigs: list, key_id: dict, trans, origin_id: dict,
+                 pref_class, mode: str, hole_count: int):
         self.sigs = sigs
         self.sig_id = {sig: i for i, sig in enumerate(sigs)}
         self.phi_id = len(sigs)
+        self.hole_id = len(sigs) + 1
         self.key_id = key_id
         self.trans = trans
         self.origin_id = origin_id
+        self.pref_class = pref_class
+        self.mode = mode
+        self.hole_count = hole_count
+
+
+def _pref_classes(algebra: RoutingAlgebra, sigs: list):
+    """id -> preference class over ``sigs`` + φ + hole (ascending = worse)."""
+    classes = _np.empty(len(sigs) + 2, dtype=_np.int32)
+    cls = 0
+    for i, sig in enumerate(sigs):
+        if i and algebra.preference(sigs[i - 1], sig) is not Pref.EQUAL:
+            cls += 1
+        classes[i] = cls
+    classes[len(sigs)] = cls + 1      # φ: strictly worse than every route
+    classes[len(sigs) + 1] = cls + 2  # hole: worse still, never compared
+    return classes
+
+
+def _classify_kernel(trans, pref_class, phi_id: int, hole_id: int
+                     ) -> str | None:
+    """Which relaxation the rank tables license: the hole-aware gate.
+
+    ``"isotone"`` — every row, restricted to its non-hole entries, is
+    non-decreasing in *preference class* and preference-constant within
+    each input tie class (i.e. the true algebra is isotone on the whole
+    tabulated closure, ties included, with genuine φ as the worst
+    class).  Then accumulating min-relaxation is exact: every stable or
+    simple-path value uses ≤ ``MAX_NODES - 1`` transfers and so lives
+    inside the depth-``MAX_CLOSURE_DEPTH`` closure, holes only ever
+    appear on loopy transients and rank below φ, and the classical
+    de-looping argument needs isotonicity only at in-table points.
+
+    ``"monotone"`` — not isotone, but every row *respects ties*: within
+    each input tie class the non-hole outputs are preference-EQUAL and
+    holes don't mix with non-holes (a mix would leave tie-respect
+    unverifiable).  Strict monotonicity + tie-respect make the stable
+    state unique up to preference-equality, which licenses the Jacobi
+    iteration — provided no transient reads a hole, enforced at run
+    time.
+
+    ``None`` — neither; the algebra stays on the scalar engines.
+    """
+    n = phi_id  # number of real signature ids
+    in_cls = pref_class[:n]
+    isotone = True
+    for row in trans[:, :n]:
+        mask = row != hole_id
+        oc = pref_class[row[mask]]
+        ic = in_cls[mask]
+        if oc.size > 1:
+            # Non-hole entries stay contiguous per tie class (ids are
+            # rank-sorted), so adjacent masked pairs cover every in-table
+            # comparison the exactness proof performs — holes constrain
+            # nothing, they only ever appear on loopy transients.
+            d_oc = _np.diff(oc)
+            if _np.any(d_oc < 0) \
+                    or _np.any((_np.diff(ic) == 0) & (d_oc != 0)):
+                isotone = False
+                break
+    if isotone:
+        return "isotone"
+    # Tie-respect alone: per row, per input tie class — no hole/non-hole
+    # mix, and all non-hole outputs in one preference class.
+    for row in trans[:, :n]:
+        boundaries = _np.flatnonzero(_np.diff(in_cls)) + 1
+        for seg in _np.split(_np.arange(n), boundaries):
+            entries = row[seg]
+            holes = entries == hole_id
+            if bool(_np.any(holes)):
+                if not bool(_np.all(holes)):
+                    return None  # mixed class: tie-respect unverifiable
+                continue
+            if _np.unique(pref_class[entries]).size > 1:
+                return None
+    return "monotone"
 
 
 def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
@@ -134,17 +290,20 @@ def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
     """Tabulate ``algebra`` over a transfer vocabulary; None if unbatchable.
 
     Unsupported means: the reachable closure does not stay within the
-    size budget, or — the crucial one — some tabulated extension is not
-    *strictly* worse than its source signature (without strict
-    monotonicity the fixpoint need not equal the protocol's outcome, or
-    even be unique).
+    size budget, some tabulated extension is not *strictly* worse than
+    its source signature (without strict monotonicity the fixpoint need
+    not equal the protocol's outcome, or even be unique), or the rank
+    tables pass neither leg of the hole-aware gate
+    (:func:`_classify_kernel`).
 
     The closure is *depth*-truncated, not required to be closed:
     additive metrics (shortest-path, hop counts) have infinite signature
-    spaces, but walks longer than ``MAX_CLOSURE_DEPTH + 1`` hops can
-    never win on a ``MAX_NODES``-bounded topology (every simple path is
-    shorter, and strict monotonicity makes loopy walks strictly worse),
-    so extensions past the depth horizon are tabulated as φ.
+    spaces, but every stable-state and simple-path value on a
+    ``MAX_NODES``-bounded topology uses at most ``MAX_NODES - 1``
+    transfers and so lies within the depth-``MAX_CLOSURE_DEPTH``
+    closure.  Extensions past the horizon are tabulated as the explicit
+    **hole** sentinel (strictness still preference-verified), so the
+    gate can reason about them instead of conflating them with φ.
     """
     ordered_keys = sorted(set(keys), key=repr)
     try:
@@ -174,9 +333,13 @@ def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
         sigs = rank_sort(algebra, sorted(seen, key=repr))
         sig_id = {sig: i for i, sig in enumerate(sigs)}
         phi_id = len(sigs)
+        hole_id = phi_id + 1
         key_id = {key: i for i, key in enumerate(ordered_keys)}
-        trans = _np.full((max(len(ordered_keys), 1), phi_id + 1), phi_id,
+        # trans columns: real ids, then φ (absorbing), then hole (absorbing).
+        trans = _np.full((max(len(ordered_keys), 1), hole_id + 1), phi_id,
                          dtype=_np.int32)
+        trans[:, hole_id] = hole_id
+        hole_count = 0
         for key, ki in key_id.items():
             for sig, si in sig_id.items():
                 extended = _transfer(algebra, key, sig)
@@ -184,17 +347,24 @@ def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
                     continue
                 ti = sig_id.get(extended)
                 if ti is None:
-                    continue  # beyond the depth horizon: stays φ
+                    # Beyond the depth horizon: an explicit hole, still
+                    # required to strictly worsen its source.
+                    if algebra.preference(sig, extended) is not Pref.BETTER:
+                        return None
+                    trans[ki, si] = hole_id
+                    hole_count += 1
+                    continue
                 if ti <= si:  # a rank tie would break the id ordering
                     return None
                 trans[ki, si] = ti
-        # Isotonicity (per-row monotone ids, φ greatest): the protocol
-        # propagates only each node's *selected* best, so min-relaxation
-        # equals the protocol's stable state only when extending a better
-        # route never yields a worse one.  Strict inflation alone does not
-        # give this (BGP-like algebras are famously non-isotone); rows
-        # that ever decrease mark the algebra unbatchable.
-        if not bool(_np.all(trans[:, :-1] <= trans[:, 1:])):
+        pref_class = _pref_classes(algebra, sigs)
+        # The hole-aware gate: which relaxation (if any) the tables
+        # license.  Strict inflation alone does not make min-relaxation
+        # exact (BGP-like algebras are famously non-isotone); isotone
+        # tables get the accumulating min, tie-respecting tables get the
+        # Jacobi iteration, everything else stays scalar.
+        mode = _classify_kernel(trans, pref_class, phi_id, hole_id)
+        if mode is None:
             return None
         origin_id = {
             label: (phi_id if sig is PHI else sig_id[sig])
@@ -202,7 +372,105 @@ def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
         }
     except Exception:  # noqa: BLE001 - exotic algebra => scalar engines
         return None
-    return _Kernel(sigs, key_id, trans, origin_id)
+    return _Kernel(sigs, key_id, trans, origin_id, pref_class, mode,
+                   hole_count)
+
+
+def _timed_build(algebra: RoutingAlgebra, keys: Iterable[Hashable],
+                 origin_labels: Iterable[Hashable]) -> "_Kernel | None":
+    started = time.perf_counter()
+    kernel = _build_kernel(algebra, keys, origin_labels)
+    _KERNEL_STATS["tabulations"] += 1
+    _KERNEL_STATS["tabulation_s"] += time.perf_counter() - started
+    return kernel
+
+
+def configure_kernel_store(path: str | None = None) -> None:
+    """Open (or switch) the persistent kernel store for this process.
+
+    ``path=None`` falls back to ``$REPRO_BATCH_KERNEL_CACHE`` (no store
+    when that is unset too).  Idempotent per ``(path, pid)``; forked
+    workers transparently reopen their own connection.  A store that
+    fails to open degrades to in-process caching only — the batch
+    backend never hard-fails on cache trouble.
+    """
+    global _STORE, _STORE_PATH, _STORE_PID, _STORE_RESOLVED
+    resolved = path if path is not None \
+        else (os.environ.get(KERNEL_CACHE_ENV) or None)
+    if _STORE_RESOLVED and resolved == _STORE_PATH \
+            and _STORE_PID == os.getpid():
+        return
+    if _STORE is not None:
+        try:
+            _STORE.close()
+        except Exception:  # noqa: BLE001
+            pass
+    _STORE = None
+    _STORE_PATH = resolved
+    _STORE_PID = os.getpid()
+    _STORE_RESOLVED = True
+    if resolved is not None and _np is not None:
+        from .kernel_store import KernelStore
+        try:
+            _STORE = KernelStore(resolved)
+        except Exception:  # noqa: BLE001 - unusable store => in-memory only
+            _STORE = None
+
+
+def _active_store():
+    if not _STORE_RESOLVED or _STORE_PID != os.getpid():
+        configure_kernel_store(_STORE_PATH if _STORE_RESOLVED else None)
+    return _STORE
+
+
+def _encode_kernel(kernel: "_Kernel | None") -> bytes | None:
+    """Kernel -> store payload (None encodes a cached negative result)."""
+    if kernel is None:
+        return None
+    ordered_keys = sorted(kernel.key_id, key=kernel.key_id.get)
+    return pickle.dumps({
+        "sigs": kernel.sigs,
+        "keys": ordered_keys,
+        "origin_id": kernel.origin_id,
+        "trans": kernel.trans.tobytes(),
+        "shape": kernel.trans.shape,
+        "pref_class": kernel.pref_class.tobytes(),
+        "mode": kernel.mode,
+        "hole_count": kernel.hole_count,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_kernel(payload: bytes | None) -> "_Kernel | None":
+    if payload is None:
+        return None
+    body = pickle.loads(payload)
+    trans = _np.frombuffer(body["trans"], dtype=_np.int32) \
+        .reshape(body["shape"]).copy()
+    pref_class = _np.frombuffer(body["pref_class"], dtype=_np.int32).copy()
+    key_id = {key: i for i, key in enumerate(body["keys"])}
+    return _Kernel(body["sigs"], key_id, trans, body["origin_id"],
+                   pref_class, body["mode"], body["hole_count"])
+
+
+def _canonical_repr(algebra: RoutingAlgebra) -> str:
+    """``repr(canonical_key(algebra))``, memoized on the instance.
+
+    Canonicalizing a table algebra is a refinement search; ``supports()``,
+    the batched ``run()`` and the oracle's kernel-keyed chunk grouping
+    all want the same rendering of the same materialized instance, so it
+    is paid once per instance, not once per question.
+    """
+    cached = getattr(algebra, "_batch_canonical_repr", None)
+    if cached is not None:
+        return cached
+    from ..campaigns.canonical import canonical_key
+
+    rendered = repr(canonical_key(algebra))
+    try:
+        algebra._batch_canonical_repr = rendered
+    except AttributeError:  # __slots__ algebra: recompute per call
+        pass
+    return rendered
 
 
 def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
@@ -211,28 +479,49 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
 
     The canonical key makes relabeled copies of one algebra share a
     kernel across every scenario, seed and chunk in the process — the
-    same dedup trick the verdict cache plays for the analyzer.
+    same dedup trick the verdict cache plays for the analyzer — and,
+    when a persistent store is configured, across processes, fleet
+    workers and repeat campaigns too.
     """
-    # Imported lazily: repro.campaigns imports repro.exec, so a module-level
-    # import here would be circular.
-    from ..campaigns.canonical import canonical_key
-
     vocab = (tuple(sorted(repr(k) for k in set(keys))),
              tuple(sorted(repr(l) for l in set(origin_labels))))
     # Instance-level memo first: ``supports()`` and the batched ``run()``
-    # see the same materialized algebra object, so the (quadratic)
-    # canonical keying is paid once per scenario, not once per call.
+    # see the same materialized algebra object, so the canonical keying
+    # is paid once per scenario, not once per call.
     memo = getattr(algebra, "_batch_kernel_memo", None)
     if memo is not None and vocab in memo:
+        _KERNEL_STATS["memo_hits"] += 1
         return memo[vocab]
     try:
-        key = (repr(canonical_key(algebra)),) + vocab
+        key = (_canonical_repr(algebra),) + vocab
     except Exception:  # noqa: BLE001 - uncanonicalizable => uncacheable
-        return _build_kernel(algebra, keys, origin_labels)
-    if key not in _KERNEL_CACHE:
+        return _timed_build(algebra, keys, origin_labels)
+    if key in _KERNEL_CACHE:
+        _KERNEL_STATS["cache_hits"] += 1
+    else:
+        _KERNEL_STATS["cache_misses"] += 1
         if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
             _KERNEL_CACHE.clear()
-        _KERNEL_CACHE[key] = _build_kernel(algebra, keys, origin_labels)
+        kernel = _UNSET = object()
+        store = _active_store()
+        if store is not None:
+            found, payload = store.get(repr(key))
+            if found:
+                try:
+                    kernel = _decode_kernel(payload)
+                    _KERNEL_STATS["store_hits"] += 1
+                except Exception:  # noqa: BLE001 - stale/corrupt row
+                    kernel = _UNSET
+            if kernel is _UNSET:
+                _KERNEL_STATS["store_misses"] += 1
+        if kernel is _UNSET:
+            kernel = _timed_build(algebra, keys, origin_labels)
+            if store is not None:
+                try:
+                    store.put(repr(key), _encode_kernel(kernel))
+                except Exception:  # noqa: BLE001 - cache write, best-effort
+                    pass
+        _KERNEL_CACHE[key] = kernel
     kernel = _KERNEL_CACHE[key]
     try:
         if memo is None:
@@ -246,6 +535,23 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
 def clear_kernel_cache() -> None:
     """Drop tabulated kernels (benches isolating tabulation cost)."""
     _KERNEL_CACHE.clear()
+
+
+def kernel_key_of(scenario: "Scenario"):
+    """The canonical kernel key a scenario's batch execution will use.
+
+    ``(canonical algebra key, transfer vocabulary)`` — scenarios sharing
+    it share one tabulation *and* one relaxation call, which is what the
+    oracle's kernel-keyed chunk grouping sorts by.  ``None`` when the
+    algebra cannot be canonicalized (still batchable, just uncacheable).
+    """
+    keys, origin_labels = _transfer_vocab(scenario)
+    vocab = (tuple(sorted(repr(k) for k in set(keys))),
+             tuple(sorted(repr(l) for l in set(origin_labels))))
+    try:
+        return (_canonical_repr(scenario.algebra),) + vocab
+    except Exception:  # noqa: BLE001
+        return None
 
 
 def _transfer_key(algebra: RoutingAlgebra, out_label: Hashable,
@@ -489,7 +795,16 @@ class VectorizedBatchSession(BatchExecutionSession):
         """Replace ``scenarios[index]``'s schedule (scalar-adapter hook)."""
         self._event_overrides[index] = list(events)
 
-    def run(self) -> list[ExecutionOutcome]:
+    def run(self, *, partial: bool = False
+            ) -> "list[ExecutionOutcome | None]":
+        """Relax every scenario; one outcome per input, index-aligned.
+
+        With ``partial=True`` a kernel group that declines at run time
+        (monotone-mode :class:`BatchDeclined`) yields ``None`` for its
+        scenarios instead of failing the whole batch — the oracle's
+        chunk precompute uses this so one hole-touching scenario cannot
+        take the rest of the chunk off the fast path.
+        """
         problems = []
         for index, scenario in enumerate(self.scenarios):
             keys, origin_labels, edges = _scan_topology(scenario)
@@ -508,15 +823,38 @@ class VectorizedBatchSession(BatchExecutionSession):
         groups: dict[int, list[_Problem]] = {}
         for problem in problems:
             groups.setdefault(id(problem.kernel), []).append(problem)
-        for group in groups.values():
-            _relax_group(group)
-        return [problem.outcome() for problem in problems]
+        declined: set[int] = set()
+        for gid, group in groups.items():
+            try:
+                _relax_group(group)
+            except BatchDeclined:
+                _KERNEL_STATS["runtime_declines"] += 1
+                if not partial:
+                    raise
+                declined.add(gid)
+        return [None if id(problem.kernel) in declined else problem.outcome()
+                for problem in problems]
 
 
 def _relax_group(group: list["_Problem"]) -> None:
-    """Synchronous Bellman-Ford rounds over one kernel's flat arrays."""
+    """Relax one kernel's scenarios over flat struct-of-arrays state.
+
+    Isotone kernels run accumulating ``np.minimum.at`` rounds: state
+    only ever improves, holes rank above φ and so can never enter the
+    state, and the fixpoint is exactly the scalar engines' stable state.
+
+    Monotone-only kernels run the synchronous Jacobi iteration — every
+    node simultaneously re-selects the best of its neighbors' *current*
+    routes, a fair activation schedule of the protocol itself, so the
+    settled state is a stable state and (strict monotonicity +
+    tie-respect) *the* stable state up to preference-equality.  The
+    iteration is only faithful while every transient stays inside the
+    tabulated closure: reading a hole entry, or failing to settle within
+    the round budget, raises :class:`BatchDeclined`.
+    """
     kernel = group[0].kernel
     phi = kernel.phi_id
+    hole = kernel.hole_id
     src_parts, dst_parts, lab_parts = [], [], []
     orig_pos, orig_val = [], []
     blocks = []  # (problem, dest index, flat offset)
@@ -537,25 +875,52 @@ def _relax_group(group: list["_Problem"]) -> None:
                 orig_pos.append(offset + node_idx)
                 orig_val.append(oid)
             offset += width
-    state = _np.full(offset, phi, dtype=_np.int32)
+    seeds = _np.full(offset, phi, dtype=_np.int32)
     if orig_pos:
-        _np.minimum.at(state, _np.asarray(orig_pos, dtype=_np.int64),
+        _np.minimum.at(seeds, _np.asarray(orig_pos, dtype=_np.int64),
                        _np.asarray(orig_val, dtype=_np.int32))
+    state = seeds.copy()
     if src_parts:
         src = _np.concatenate(src_parts)
         dst = _np.concatenate(dst_parts)
         lab = _np.concatenate(lab_parts)
         trans = kernel.trans
-        # Ranks only ever improve, and each ⊕ strictly increases the
-        # rank, so the monotone iteration reaches the unique fixpoint in
-        # at most |Σ| rounds; the +2 cap is a pure safety net.
-        for _round in range(phi + 2):
-            before = state.copy()
-            _np.minimum.at(state, dst, trans[lab, state[src]])
-            if _np.array_equal(before, state):
-                break
-        else:  # pragma: no cover - unreachable with a verified kernel
-            raise RuntimeError("batch relaxation failed to reach fixpoint")
+        if kernel.mode == "isotone":
+            # Ranks only ever improve, and each ⊕ strictly increases the
+            # rank, so the accumulating iteration reaches the unique
+            # fixpoint in at most |Σ| rounds; the +2 cap is a pure safety
+            # net.  Hole entries rank above φ, so minimum.at silently
+            # discards them — exactly the masked min-relaxation the gate
+            # licensed.
+            for _round in range(phi + 2):
+                before = state.copy()
+                _np.minimum.at(state, dst, trans[lab, state[src]])
+                if _np.array_equal(before, state):
+                    break
+            else:  # pragma: no cover - unreachable with a verified kernel
+                raise RuntimeError(
+                    "batch relaxation failed to reach fixpoint")
+        else:
+            # Jacobi: recompute every node's selection from scratch each
+            # round (no accumulation — with a non-isotone table, keeping
+            # a stale better-ranked offer whose advertiser has since
+            # re-routed computes a state no protocol run can reach).
+            rounds = _MONOTONE_ROUND_SLACK * (phi + 2) + MAX_NODES
+            for _round in range(rounds):
+                vals = trans[lab, state[src]]
+                if bool((vals == hole).any()):
+                    raise BatchDeclined(
+                        "transient value crossed the closure depth "
+                        "horizon; falling back to scalar engines")
+                fresh = seeds.copy()
+                _np.minimum.at(fresh, dst, vals)
+                if _np.array_equal(fresh, state):
+                    break
+                state = fresh
+            else:
+                raise BatchDeclined(
+                    "Jacobi iteration did not settle within the round "
+                    "budget; falling back to scalar engines")
     for problem, di, off in blocks:
         if problem.state is None:
             problem.state = _np.empty((len(problem.dests),
@@ -635,6 +1000,11 @@ class BatchBackend(ExecutionBackend):
           vocabulary is within budget and **verified strictly monotonic**
           (non-strict draws like plain Gao-Rexford fall back to the
           scalar engines);
+        * the rank tables pass the hole-aware gate: isotone in
+          preference space (exact min-relaxation) or at least
+          tie-respecting (Jacobi iteration — which may still decline
+          *at run time* with :class:`BatchDeclined` if a transient
+          crosses the closure depth horizon);
         * the topology is within the node budget.
         """
         if _np is None:

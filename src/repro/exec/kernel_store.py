@@ -1,0 +1,276 @@
+"""Cross-process persistence for tabulated batch kernels (schema v1).
+
+The process caches in :mod:`repro.exec.batch` pay for each distinct
+(algebra, transfer vocabulary) closure once per worker *lifetime*; this
+module makes tabulated kernels survive across processes and campaign
+invocations, so fleet workers and repeat campaigns skip re-tabulation
+entirely — and it is the documented **drop-in seam** for accelerated
+kernel producers: anything (GPU tabulators, mypyc/Rust builders, a CI
+warm-up job) that can write the serialized rank tables for a canonical
+key serves every future batch run from here.
+
+Kernels are content-addressed by the ``repr`` of the batch backend's
+process-cache key — the isomorphism-invariant
+:func:`~repro.campaigns.canonical.canonical_key` of the algebra plus the
+scenario's transfer vocabulary — so relabeled copies of one algebra
+share a row, exactly mirroring the verdict store.  Negative results
+("this algebra is not batchable over this vocabulary") are stored too,
+as NULL payloads: a declined closure is as expensive to re-derive as an
+accepted one.
+
+Storage, concurrency and hygiene deliberately mirror
+:mod:`repro.campaigns.verdict_store`: one sqlite database, WAL + busy
+timeout for multi-writer fleets, ``INSERT OR IGNORE`` so racing workers
+tabulating the same kernel are harmless, ``PRAGMA user_version``-gated
+schema migration, and automatic open-time retention (hit decay, age and
+size bounds, coldest-first eviction).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS kernels (
+    key        TEXT PRIMARY KEY,
+    payload    BLOB,
+    created_at REAL NOT NULL,
+    hits       INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+_META_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    name  TEXT PRIMARY KEY,
+    value REAL NOT NULL
+)
+"""
+
+
+@dataclass(frozen=True)
+class KernelRetention:
+    """Automatic hygiene bounds applied every time a store is opened.
+
+    Kernels are far fewer and far larger than verdicts (a campaign
+    rotation draws tens of distinct algebras, each kernel carrying its
+    ``int32`` rank tables), so the defaults bound *rows* much lower than
+    the verdict store while keeping the same decay/eviction shape.
+    """
+
+    max_rows: int = 4_096
+    max_age_days: float = 90.0
+    decay_half_life_days: float = 14.0
+
+    @property
+    def max_age_s(self) -> float:
+        return self.max_age_days * 86_400.0
+
+    @property
+    def half_life_s(self) -> float:
+        return self.decay_half_life_days * 86_400.0
+
+    @property
+    def mutates_on_open(self) -> bool:
+        return (self.max_rows > 0 or self.max_age_s > 0
+                or self.half_life_s > 0)
+
+
+#: Opt-out policy for callers that must not rewrite rows on open.
+NO_RETENTION = KernelRetention(max_rows=0, max_age_days=0.0,
+                               decay_half_life_days=0.0)
+
+
+class KernelStore:
+    """An append-mostly ``canonical kernel key → payload`` sqlite store.
+
+    Payloads are opaque to the store — :mod:`repro.exec.batch` owns the
+    serialization (pickled rank tables today; an accelerated producer
+    can write the same format).  A NULL payload is a cached *negative*
+    result: the algebra/vocabulary pair is known unbatchable.
+    """
+
+    def __init__(self, path: str,
+                 retention: KernelRetention | None = None,
+                 now: float | None = None):
+        self.path = path
+        self.retention = retention or KernelRetention()
+        #: What the automatic open-time hygiene did (for stats/tests).
+        self.last_retention: dict[str, int] = {}
+        self._conn = sqlite3.connect(path, timeout=30.0)
+        try:  # WAL lets fleet workers read while one writes.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:
+            pass  # e.g. unsupported filesystem; rollback journal still works
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.execute(_SCHEMA)
+        self._conn.execute(_META_SCHEMA)
+        self._conn.commit()
+        if self.retention.mutates_on_open:
+            # Serialize racing openers (parallel fleet workers all open
+            # the store): take the write lock up front, then re-check
+            # versions/timestamps under it.
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._migrate()
+                self._apply_retention(
+                    now if now is not None else time.time())
+            except BaseException:
+                self._conn.rollback()
+                raise
+            self._conn.commit()
+
+    # -- schema migration -----------------------------------------------------
+
+    def _migrate(self) -> None:
+        """Future format changes re-key or drop rows here, gated on
+        ``PRAGMA user_version`` exactly like the verdict store's v2→v3
+        pass.  v1 only stamps the version; unknown *newer* versions drop
+        the table rather than misread payloads (kernels are pure cache —
+        losing them costs one re-tabulation each)."""
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            dropped = self._conn.execute(
+                "DELETE FROM kernels").rowcount
+            if dropped:
+                self.last_retention["format_dropped"] = dropped
+        elif version == SCHEMA_VERSION:
+            return
+        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    # -- automatic retention --------------------------------------------------
+
+    def _apply_retention(self, now: float) -> None:
+        policy = self.retention
+        stats = self.last_retention
+        if policy.half_life_s > 0:
+            last = self._meta("last_decay_at")
+            if last is None:
+                self._set_meta("last_decay_at", now)
+            else:
+                halvings = int((now - last) / policy.half_life_s)
+                if halvings > 0:
+                    self._conn.execute(
+                        "UPDATE kernels SET hits = hits / ? WHERE hits > 0",
+                        (2 ** min(halvings, 62),))
+                    self._set_meta(
+                        "last_decay_at",
+                        last + halvings * policy.half_life_s)
+                    stats["decay_halvings"] = halvings
+        if policy.max_age_s > 0:
+            evicted = self._conn.execute(
+                "DELETE FROM kernels WHERE hits = 0 AND created_at < ?",
+                (now - policy.max_age_s,)).rowcount
+            if evicted:
+                stats["age_evicted"] = evicted
+        if policy.max_rows > 0:
+            total = self._conn.execute(
+                "SELECT COUNT(*) FROM kernels").fetchone()[0]
+            excess = total - policy.max_rows
+            if excess > 0:
+                self._conn.execute(
+                    "DELETE FROM kernels WHERE key IN ("
+                    "SELECT key FROM kernels "
+                    "ORDER BY hits ASC, created_at ASC LIMIT ?)",
+                    (excess,))
+                stats["size_evicted"] = excess
+
+    def _meta(self, name: str) -> float | None:
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE name = ?", (name,)).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, name: str, value: float) -> None:
+        self._conn.execute(
+            "INSERT INTO store_meta (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = excluded.value",
+            (name, value))
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> tuple[bool, bytes | None]:
+        """``(found, payload)`` — payload None on a found row means a
+        cached negative result ("unbatchable"), distinct from a miss.
+        Hits are counted inline (one bounded-retry write; kernel lookups
+        are orders of magnitude rarer than verdict lookups)."""
+        row = self._conn.execute(
+            "SELECT payload FROM kernels WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            return False, None
+        try:
+            self._retry_locked(
+                lambda: self._conn.execute(
+                    "UPDATE kernels SET hits = hits + 1 WHERE key = ?",
+                    (key,)))
+        except sqlite3.OperationalError:
+            pass  # bookkeeping only; the payload is already in hand
+        return True, row[0]
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM kernels").fetchone()[0]
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, payload: bytes | None) -> None:
+        """Record one tabulated kernel (or negative result); racing
+        duplicates are ignored, not errors — both workers tabulated the
+        same tables from the same canonical key."""
+        self._retry_locked(
+            lambda: self._conn.execute(
+                "INSERT OR IGNORE INTO kernels (key, payload, created_at) "
+                "VALUES (?, ?, ?)",
+                (key, payload, time.time())))
+
+    def _retry_locked(self, write, attempts: int = 5) -> None:
+        """Run one write+commit, retrying transient lock errors (same
+        contract and rationale as the verdict store's)."""
+        for attempt in range(attempts):
+            try:
+                write()
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as error:
+                try:
+                    self._conn.rollback()
+                except sqlite3.OperationalError:
+                    pass
+                message = str(error).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+
+    # -- hygiene ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        total, negative, hits, size = self._conn.execute(
+            "SELECT COUNT(*), "
+            "COALESCE(SUM(CASE WHEN payload IS NULL THEN 1 ELSE 0 END), 0), "
+            "COALESCE(SUM(hits), 0), "
+            "COALESCE(SUM(LENGTH(COALESCE(payload, ''))), 0) "
+            "FROM kernels").fetchone()
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        return {
+            "kernels": total,
+            "negative": negative,
+            "hits": hits,
+            "payload_bytes": size,
+            "schema_version": version,
+            "retention": dict(self.last_retention),
+        }
+
+    def compact(self) -> int:
+        """Evict never-hit rows and reclaim the space; returns the count."""
+        evicted = self._conn.execute(
+            "DELETE FROM kernels WHERE hits = 0").rowcount
+        self._conn.commit()
+        self._conn.execute("VACUUM")
+        return evicted
+
+    def close(self) -> None:
+        self._conn.close()

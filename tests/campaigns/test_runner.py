@@ -219,7 +219,7 @@ class TestSharding:
 class TestMultiBackend:
     def test_differential_campaign_cross_checks_backends(self):
         report = run_campaign(8, seed=7, jobs=1, profile="quick",
-                              backends=("gpv", "ndlog"))
+                              backends=("gpv", "ndlog"), auto_batch=False)
         pairwise = report.pairwise_counters()
         assert set(pairwise) == {"analysis~gpv", "analysis~ndlog",
                                  "gpv~ndlog"}
@@ -231,6 +231,29 @@ class TestMultiBackend:
         assert report.backends == ("gpv", "ndlog")
         for result in report.results:
             assert [o.backend for o in result.outcomes] == ["gpv", "ndlog"]
+
+    def test_auto_batch_appends_the_vectorized_backend(self):
+        """Default routing: batch rides along last (scalar primary), and
+        the supported scenarios it executed agree with the ground truth."""
+        config = CampaignConfig(backends=("gpv",))
+        assert config.backends == ("gpv", "batch")
+        report = CampaignRunner(config).run(
+            ScenarioGenerator(7, profile="quick").generate(10))
+        pairwise = report.pairwise_counters()
+        assert "gpv~batch" in pairwise
+        statuses = pairwise["gpv~batch"]
+        assert sum(statuses.values()) >= 1  # batch really ran somewhere
+        assert not (set(statuses) & HARD_DIVERGENCES)
+        for result in report.results:
+            # The scalar backend stays primary on every scenario.
+            assert result.outcomes[0].backend == "gpv"
+
+    def test_auto_batch_escape_hatch(self):
+        config = CampaignConfig(backends=("gpv",), auto_batch=False)
+        assert config.backends == ("gpv",)
+        # An explicit batch request is never duplicated.
+        config = CampaignConfig(backends=("batch", "gpv"))
+        assert config.backends == ("batch", "gpv")
 
     def test_parallel_differential_matches_serial(self):
         specs = ScenarioGenerator(11, profile="quick").generate(8)

@@ -20,7 +20,15 @@ from repro.campaigns import (
 )
 from repro.exec import get_backend, route_mismatches, schedule_events
 from repro.exec.base import ExecutionOutcome
-from repro.exec.batch import VectorizedBatchSession
+from repro.exec.batch import (
+    BatchDeclined,
+    VectorizedBatchSession,
+    _kernel_for,
+    _scan_topology,
+    kernel_cache_stats,
+    kernel_key_of,
+    reset_kernel_cache_stats,
+)
 
 BATCH = get_backend("batch")
 
@@ -72,6 +80,25 @@ BATCH_SPECS = [
                        ("destinations", 2)),
                events=(LinkEventSpec(time=0.2, kind="fail", link_index=11),)),
     batch_spec(14, "tau-sweep", "hlp-tau", 2, params=()),
+    # Hole-aware admissions (PR 7): kernels with φ/beyond-horizon holes,
+    # relaxed under the monotone (tie-respecting) gate instead of the
+    # strict per-row isotonicity check.
+    batch_spec(15, "caida", "gr-a-hopcount", 3,
+               params=(("as_count", 12), ("peer_fraction", 0.2),
+                       ("destinations", 2)),
+               events=(LinkEventSpec(time=0.2, kind="fail", link_index=4),)),
+    batch_spec(16, "caida", "gr-b-hopcount", 11,
+               params=(("as_count", 12), ("peer_fraction", 0.2),
+                       ("destinations", 2))),
+    batch_spec(17, "caida", "widest-shortest", 3,
+               params=(("as_count", 12), ("peer_fraction", 0.2),
+                       ("destinations", 2)),
+               events=(LinkEventSpec(time=0.25, kind="fail", link_index=6),)),
+    # Wide weights drive sums past MAX_CLOSURE_DEPTH fast, injecting
+    # beyond-horizon holes into an otherwise isotone additive kernel.
+    batch_spec(18, "rocketfuel", "shortest-path", 8,
+               params=(("routers", 10), ("links", 22), ("weights", (1, 19)),
+                       ("destinations", 2))),
 ]
 
 
@@ -119,15 +146,11 @@ class TestSupports:
 
     @pytest.mark.parametrize("family,algebra,params", [
         # Plain Gao-Rexford draws preference ties: not *strictly*
-        # monotonic, so the fixpoint need not be unique.
+        # monotonic, so the fixpoint need not be unique.  (Its hopcount
+        # refinements *are* strict and ride the monotone relaxation mode
+        # — see BATCH_SPECS — but the unrefined algebra stays declined.)
         ("caida", "gr-a", (("as_count", 12), ("peer_fraction", 0.2),
                            ("destinations", 1))),
-        # BGP-like lexical products are not isotone over the tabulated
-        # vocabulary: min-relaxation could keep unjustified routes.
-        ("caida", "gr-a-hopcount", (("as_count", 12), ("peer_fraction", 0.2),
-                                    ("destinations", 1))),
-        ("caida", "widest-shortest", (("as_count", 12), ("peer_fraction", 0.2),
-                                      ("destinations", 1))),
     ], ids=lambda v: v if isinstance(v, str) else "")
     def test_untabulable_algebras_are_declined(self, family, algebra, params):
         spec = batch_spec(90, family, algebra, 3, params=params)
@@ -220,6 +243,94 @@ class TestEventSemantics:
         _s1, twice = run_backend("batch", doubled)
         _s2, once = run_backend("batch", base)
         assert twice.routes == once.routes
+
+
+class TestHoleAwareKernels:
+    """φ/beyond-horizon holes are explicit, and never invent routes."""
+
+    @staticmethod
+    def kernel_of(scenario):
+        keys, origin_labels, _edges = _scan_topology(scenario)
+        return _kernel_for(scenario.algebra, keys, origin_labels)
+
+    def test_admitted_modes(self):
+        """The hole-aware gate classifies each admitted family as
+        expected: additive metrics stay isotone, the lexical products
+        ride the monotone (tie-respecting) relaxation mode."""
+        modes = {}
+        for spec in BATCH_SPECS:
+            kernel = self.kernel_of(materialize(spec))
+            assert kernel is not None
+            modes[spec.algebra] = kernel.mode
+        assert modes["hop-count"] == "isotone"
+        assert modes["shortest-path"] == "isotone"
+        assert modes["gr-a-hopcount"] == "monotone"
+        assert modes["gr-b-hopcount"] == "monotone"
+        assert modes["widest-shortest"] == "monotone"
+
+    def test_holey_kernel_never_reports_a_route_gpv_does_not(self):
+        """Property: over seeds of the wide-weight shortest-path family
+        (sums cross the closure horizon fast, so the kernels carry real
+        beyond-horizon holes), every route the batch backend reports must
+        also exist — preference-equal — in the scalar ground truth."""
+        holes_seen = 0
+        for seed in range(4):
+            spec = batch_spec(200 + seed, "rocketfuel", "shortest-path",
+                              seed,
+                              params=(("routers", 10), ("links", 22),
+                                      ("weights", (1, 19)),
+                                      ("destinations", 2)))
+            scenario = materialize(spec)
+            kernel = self.kernel_of(scenario)
+            assert kernel is not None
+            holes_seen += kernel.hole_count
+            gpv_session, gpv = run_backend("gpv", spec)
+            _bs, batch = run_backend("batch", spec)
+            for key, path in batch.routes.items():
+                if path is not None:
+                    assert gpv.routes.get(key) is not None, (
+                        f"batch invented route {key} on seed {seed}")
+            assert route_mismatches(gpv_session.algebra, gpv, batch) == []
+        # The property must not pass vacuously: the wide weights really
+        # have to inject φ/beyond-horizon holes into these kernels.
+        assert holes_seen > 0
+
+    def test_monotone_kernels_have_holes(self):
+        """The newly admitted lexical products are exactly the holey
+        case the sentinel exists for (gr export filters yield φ)."""
+        kernel = self.kernel_of(materialize(BATCH_SPECS[5]))
+        assert kernel.mode == "monotone"
+        assert kernel.hole_count > 0
+
+    def test_partial_run_skips_declined_groups(self, monkeypatch):
+        """partial=True degrades a run-time decline to None outcomes;
+        partial=False (the direct contract) re-raises."""
+        import repro.exec.batch as batch_mod
+
+        def bail(_group):
+            raise BatchDeclined("forced for test")
+
+        monkeypatch.setattr(batch_mod, "_relax_group", bail)
+        session = VectorizedBatchSession([materialize(BATCH_SPECS[0])])
+        assert session.run(partial=True) == [None]
+        session = VectorizedBatchSession([materialize(BATCH_SPECS[0])])
+        with pytest.raises(BatchDeclined):
+            session.run()
+
+    def test_kernel_cache_stats_track_hits(self):
+        reset_kernel_cache_stats()
+        spec = BATCH_SPECS[2]
+        scn1, scn2 = materialize(spec), materialize(spec)
+        key1 = kernel_key_of(scn1)
+        assert key1 is not None and key1 == kernel_key_of(scn2)
+        self.kernel_of(scn1)
+        stats = kernel_cache_stats()
+        first_tab = stats["tabulations"]
+        # Distinct materialization, same canonical key: process cache hit.
+        self.kernel_of(scn2)
+        stats = kernel_cache_stats()
+        assert stats["tabulations"] == first_tab
+        assert stats["memo_hits"] + stats["cache_hits"] >= 1
 
 
 class TestRouteMismatchGuards:

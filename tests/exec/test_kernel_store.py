@@ -1,0 +1,182 @@
+"""Persistent kernel-store suite: round trips, warm starts, hygiene.
+
+The store's whole point is that a second process (or a second campaign)
+never re-tabulates a kernel the first one already built — so the core
+test drives the real batch-backend cache path twice over one sqlite file
+and asserts the second pass performs zero tabulations.
+"""
+
+import pickle
+import sqlite3
+
+import pytest
+
+import repro.exec.batch as batch_mod
+from repro.campaigns import ScenarioSpec, materialize
+from repro.exec.batch import (
+    _kernel_for,
+    _scan_topology,
+    clear_kernel_cache,
+    configure_kernel_store,
+    kernel_cache_stats,
+    reset_kernel_cache_stats,
+)
+from repro.exec.kernel_store import (
+    NO_RETENTION,
+    KernelRetention,
+    KernelStore,
+)
+
+
+@pytest.fixture(autouse=True)
+def detach_store():
+    """Every test leaves the process without a configured store."""
+    yield
+    configure_kernel_store(None)
+    clear_kernel_cache()
+    reset_kernel_cache_stats()
+
+
+def kernel_spec(seed: int = 5) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id=0, family="rocketfuel", algebra="shortest-path",
+        seed=seed, until=60.0, max_events=120_000,
+        params=(("routers", 10), ("links", 24), ("weights", (1, 2)),
+                ("destinations", 1)))
+
+
+def build_kernel():
+    scenario = materialize(kernel_spec())
+    keys, origin_labels, _edges = _scan_topology(scenario)
+    return _kernel_for(scenario.algebra, keys, origin_labels)
+
+
+class TestStorePrimitives:
+    def test_round_trip_and_negative_rows(self, tmp_path):
+        store = KernelStore(str(tmp_path / "k.sqlite"))
+        assert store.get("missing") == (False, None)
+        store.put("yes", b"payload")
+        store.put("no", None)  # cached negative result
+        assert store.get("yes") == (True, b"payload")
+        found, payload = store.get("no")
+        assert found and payload is None
+        assert len(store) == 2
+        stats = store.stats()
+        assert stats["kernels"] == 2
+        assert stats["negative"] == 1
+        assert stats["hits"] == 2  # the two found gets above
+        store.close()
+
+    def test_racing_duplicate_put_is_ignored(self, tmp_path):
+        store = KernelStore(str(tmp_path / "k.sqlite"))
+        store.put("k", b"first")
+        store.put("k", b"second")  # racing worker: same canonical key
+        assert store.get("k") == (True, b"first")
+        store.close()
+
+    def test_size_retention_evicts_coldest_first(self, tmp_path):
+        path = str(tmp_path / "k.sqlite")
+        store = KernelStore(path, retention=NO_RETENTION)
+        for i in range(6):
+            store.put(f"k{i}", b"x")
+        store.get("k5")  # warm one row
+        store.close()
+        store = KernelStore(
+            path, retention=KernelRetention(max_rows=2, max_age_days=0.0,
+                                            decay_half_life_days=0.0))
+        assert len(store) == 2
+        assert store.last_retention["size_evicted"] == 4
+        assert store.get("k5")[0]  # the warmed row survived
+        store.close()
+
+    def test_age_retention_drops_cold_old_rows(self, tmp_path):
+        path = str(tmp_path / "k.sqlite")
+        store = KernelStore(path, retention=NO_RETENTION)
+        store.put("old", b"x")
+        store.close()
+        future = 91 * 86_400.0 + __import__("time").time()
+        store = KernelStore(path, now=future)
+        assert len(store) == 0
+        assert store.last_retention["age_evicted"] == 1
+        store.close()
+
+    def test_newer_schema_drops_rows_instead_of_misreading(self, tmp_path):
+        path = str(tmp_path / "k.sqlite")
+        store = KernelStore(path)
+        store.put("k", b"x")
+        store.close()
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        store = KernelStore(path)
+        assert len(store) == 0
+        store.close()
+
+    def test_compact_reclaims_never_hit_rows(self, tmp_path):
+        store = KernelStore(str(tmp_path / "k.sqlite"),
+                            retention=NO_RETENTION)
+        store.put("cold", b"x")
+        store.put("hot", b"y")
+        store.get("hot")
+        assert store.compact() == 1
+        assert len(store) == 1
+        store.close()
+
+
+class TestBatchIntegration:
+    def test_second_process_lifetime_skips_tabulation(self, tmp_path):
+        """Cold pass tabulates and writes through; after dropping every
+        in-process cache (as a fresh worker would start), the warm pass
+        serves the kernel from the store with zero tabulations."""
+        path = str(tmp_path / "kernels.sqlite")
+        configure_kernel_store(path)
+        reset_kernel_cache_stats()
+        cold = build_kernel()
+        assert cold is not None
+        stats = kernel_cache_stats()
+        assert stats["tabulations"] == 1
+        assert stats["store_misses"] == 1
+
+        clear_kernel_cache()  # simulate a fresh process lifetime
+        reset_kernel_cache_stats()
+        warm = build_kernel()
+        stats = kernel_cache_stats()
+        assert stats["tabulations"] == 0
+        assert stats["store_hits"] == 1
+        assert warm.mode == cold.mode
+        assert warm.sigs == cold.sigs
+        assert (warm.trans == cold.trans).all()
+        assert (warm.pref_class == cold.pref_class).all()
+
+    def test_corrupt_row_degrades_to_rebuild(self, tmp_path):
+        path = str(tmp_path / "kernels.sqlite")
+        configure_kernel_store(path)
+        build_kernel()
+        # Trash the stored payload behind the cache's back.
+        store = batch_mod._active_store()
+        store._conn.execute("UPDATE kernels SET payload = ?",
+                            (pickle.dumps({"not": "a kernel"}),))
+        store._conn.commit()
+        clear_kernel_cache()
+        reset_kernel_cache_stats()
+        kernel = build_kernel()
+        assert kernel is not None  # rebuilt, not crashed
+        stats = kernel_cache_stats()
+        assert stats["tabulations"] == 1
+        assert stats["store_misses"] == 1
+
+    def test_unusable_store_path_degrades_to_memory(self, tmp_path):
+        configure_kernel_store(str(tmp_path))  # a directory, not a db
+        assert batch_mod._active_store() is None
+        assert build_kernel() is not None
+
+    def test_env_fallback_configures_store(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.sqlite")
+        monkeypatch.setenv(batch_mod.KERNEL_CACHE_ENV, path)
+        configure_kernel_store(None)
+        assert batch_mod._active_store() is not None
+        build_kernel()
+        store = KernelStore(path, retention=NO_RETENTION)
+        assert len(store) == 1
+        store.close()

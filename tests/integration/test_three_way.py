@@ -34,8 +34,10 @@ def report(request):
     clear_verdict_cache()
     specs = ScenarioGenerator(request.param,
                               profile="quick").generate(CAMPAIGN_SIZE)
+    # auto_batch off: this suite pins the exact two-backend shape; the
+    # auto-routed batch rider has its own coverage in test_runner.py.
     return CampaignRunner(CampaignConfig(
-        jobs=1, backends=("gpv", "ndlog"))).run(specs)
+        jobs=1, backends=("gpv", "ndlog"), auto_batch=False)).run(specs)
 
 
 def test_campaign_completes_cleanly(report):
