@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..algebra.product import LexicalProduct
+from ..algebra.secure import SecureAlgebra
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .safety import SafetyAnalyzer, SafetyReport
@@ -77,4 +78,35 @@ def analyze_product(product: LexicalProduct,
         detail=(f"A ({product.first.name}) is only monotonic and B "
                 f"({product.second.name}) is not strictly monotonic; the "
                 "product is deemed unsafe"),
+    )
+
+
+def analyze_secure(secure: SecureAlgebra,
+                   analyzer: "SafetyAnalyzer") -> "SafetyReport":
+    """Secure-transformer composition rule: the wrapper inherits the base.
+
+    Secured preference is lexicographic on ``(penalty, base)``, the
+    penalty component is monotone non-decreasing under ⊕ (sticky) and the
+    validation state never affects preference, so the wrapper is
+    (strictly) monotonic exactly when the wrapped algebra is — recursing
+    keeps analysis O(base) instead of enumerating the 6×-lifted Σ.
+    """
+    from .safety import SafetyReport
+
+    base_report = analyzer.analyze(secure.base)
+    return SafetyReport(
+        algebra_name=secure.name,
+        safe=base_report.safe,
+        method="composition",
+        strictly_monotonic=base_report.strictly_monotonic,
+        monotonic=base_report.monotonic,
+        core=base_report.core,
+        core_atoms=base_report.core_atoms,
+        detail=(f"secure transformer ({secure.variant}/{secure.mode}) "
+                "adds a sticky lexicographic penalty, preserving the "
+                f"wrapped algebra's verdict: {secure.base.name} is "
+                + ("strictly monotonic"
+                   if base_report.strictly_monotonic else
+                   ("monotonic but not strict" if base_report.monotonic
+                    else "not monotonic"))),
     )

@@ -33,7 +33,7 @@ state budget.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..algebra.spp import Path, SPPInstance
 

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..algebra.base import RoutingAlgebra
 from ..algebra.product import LexicalProduct
+from ..algebra.secure import SecureAlgebra
 from ..algebra.spp import SPPAlgebra
 from ..smt import Atom, SolverStats
 from ..smt.solver import IncrementalSolver
@@ -98,6 +99,9 @@ class CertificateStage(AnalysisStage):
         if isinstance(algebra, LexicalProduct):
             from .composition import analyze_product
             return analyze_product(algebra, analyzer)
+        if isinstance(algebra, SecureAlgebra):
+            from .composition import analyze_secure
+            return analyze_secure(algebra, analyzer)
         if algebra.is_finite:
             return None
         certificate = algebra.closed_form_monotonicity

@@ -38,6 +38,7 @@ from typing import Any, Callable, Hashable, Sequence
 from ..algebra.base import PHI, RoutingAlgebra
 from ..algebra.extended import TableAlgebra
 from ..algebra.product import LexicalProduct
+from ..algebra.secure import SecureAlgebra
 from ..algebra.spp import SPPAlgebra, SPPInstance
 
 Key = Hashable
@@ -67,6 +68,9 @@ def canonical_key(subject: RoutingAlgebra | SPPInstance) -> Key:
         return ("product",
                 canonical_key(subject.first),
                 canonical_key(subject.second))
+    if isinstance(subject, SecureAlgebra):
+        return ("secure", subject.variant, subject.mode, subject.roa,
+                canonical_key(subject.base))
     if isinstance(subject, TableAlgebra):
         return _table_key(subject)
     if not subject.is_finite:

@@ -36,6 +36,7 @@ import traceback
 from dataclasses import dataclass
 
 from ..algebra.base import RoutingAlgebra
+from ..algebra.secure import hijacked_route
 from ..algebra.spp import SPPInstance
 from ..analysis.safety import SafetyAnalyzer
 from ..exec import (
@@ -281,6 +282,7 @@ def evaluate(spec: ScenarioSpec,
             elapsed_s=time.perf_counter() - started,
             outcomes=tuple(outcomes),
             pairwise=_pairwise(scenario, safe, outcomes),
+            hijack=_hijack_verdict(scenario, outcomes),
         )
     except Exception as exc:  # noqa: BLE001 — a worker must survive any spec
         return ScenarioResult(
@@ -323,6 +325,44 @@ def classify_backend_pair(safe: bool | None, first: ExecutionOutcome,
         return AGREE, ""
     status = ROUTE_DIVERGED if safe else MULTI_STABLE
     return status, "; ".join(mismatches)
+
+
+def _hijack_verdict(scenario: Scenario,
+                    outcomes: list[ExecutionOutcome]) -> dict | None:
+    """Per-backend victim counts and "does the hijack win" (primary bit).
+
+    A *victim* is any node other than the attacker whose selected best
+    path toward the hijacked destination runs through the attacker's
+    forged origination (the path tail is ``(..., attacker, dest)``).  The
+    primary backend's count decides ``wins``; sibling backends' counts
+    are recorded, but differing counts across backends are *not* hard
+    divergences — preference-equal ties can legitimately mask whether the
+    tied pick is the hijacked route (a documented false-positive bucket;
+    see ``campaigns/README.md``).  The route tables themselves are still
+    compared signature-wise by the ordinary pairwise cross-check.
+    """
+    attacker = getattr(scenario, "attacker", None)
+    dest = getattr(scenario, "hijack_dest", None)
+    if attacker is None or dest is None or not outcomes:
+        return None
+    victims: dict[str, int] = {}
+    for outcome in outcomes:
+        count = 0
+        for (node, target), path in outcome.routes.items():
+            if target != dest or node == attacker:
+                continue
+            if path is not None and hijacked_route(path, attacker):
+                count += 1
+        victims[outcome.backend] = count
+    spec = scenario.spec
+    return {
+        "attacker": attacker,
+        "dest": dest,
+        "deployment": spec.param("deployment", "none"),
+        "deployment_fraction": spec.param("deployment_fraction", 0.0),
+        "victims": victims,
+        "wins": victims[outcomes[0].backend] > 0,
+    }
 
 
 def _pairwise(scenario: Scenario, safe: bool | None,

@@ -126,6 +126,10 @@ class ScenarioResult:
     error: str = ""
     outcomes: tuple = ()
     pairwise: tuple = ()
+    #: Hijack-campaign verdict (secure families with an attacker event):
+    #: attacker/dest, deployment draw, per-backend victim counts, and the
+    #: primary backend's authoritative ``wins`` bit.  ``None`` elsewhere.
+    hijack: dict | None = None
 
     @property
     def scenario_id(self) -> int:
@@ -187,6 +191,8 @@ def result_record(result: ScenarioResult) -> dict:
     }
     if result.error:
         record["error"] = result.error
+    if result.hijack is not None:
+        record["hijack"] = result.hijack
     divergences = [{"pair": p.pair, "status": p.status, "detail": p.detail}
                    for p in result.divergences]
     if divergences:
@@ -223,6 +229,7 @@ def result_from_record(record: dict) -> ScenarioResult:
         elapsed_s=record.get("elapsed_s", 0.0),
         error=record.get("error", ""),
         pairwise=pairwise,
+        hijack=record.get("hijack"),
     )
 
 
@@ -532,6 +539,12 @@ class CampaignReport:
             detail = " ".join(f"{name}={count}"
                               for name, count in buckets.items() if count)
             lines.append(f"    {family:>10}: {total:>4}  [{detail}]")
+        hijacked = [r for r in self.results if r.hijack]
+        if hijacked:
+            wins = sum(1 for r in hijacked if r.hijack.get("wins"))
+            lines.append(
+                f"  hijack verdicts: {wins}/{len(hijacked)} scenarios won "
+                f"(primary-backend victim count > 0)")
         disagreements = self.disagreements()
         if disagreements:
             lines.append("  disagreement reproducers:")

@@ -157,12 +157,14 @@ class CampaignRunner:
     def run_generated(self, count: int, *, seed: int = 0,
                       families: Sequence[str] | None = None,
                       profile: str = "default",
+                      deployment: str | None = None,
                       shard_index: int = 0, shard_count: int = 1,
                       sink: ResultSink | None = None) -> CampaignReport:
         """Convenience: stream ``count`` generated specs (or this shard's
         stride of them) through the campaign."""
         generator = ScenarioGenerator(seed, families=families,
-                                      profile=profile)
+                                      profile=profile,
+                                      deployment=deployment)
         stream = generator.iter_specs(count, shard_index=shard_index,
                                       shard_count=shard_count)
         return self.run(stream, sink=sink)
@@ -288,6 +290,7 @@ class CampaignRunner:
 def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
                  families: Sequence[str] | None = None,
                  profile: str = "default",
+                 deployment: str | None = None,
                  chunk_size: int = 8,
                  wall_clock_budget_s: float | None = None,
                  abort_on_disagreements: int | None = None,
@@ -325,7 +328,8 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
         auto_batch=auto_batch,
         kernel_cache_path=kernel_cache_path))
     return runner.run_generated(count, seed=seed, families=families,
-                                profile=profile, shard_index=shard_index,
+                                profile=profile, deployment=deployment,
+                                shard_index=shard_index,
                                 shard_count=shard_count, sink=sink)
 
 

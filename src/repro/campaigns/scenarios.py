@@ -30,7 +30,7 @@ Family → oracle wiring:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Hashable
 
 from ..algebra.base import RoutingAlgebra
@@ -45,6 +45,7 @@ from ..algebra.library import (
     safe_backup,
     widest_shortest,
 )
+from ..algebra.secure import SecureAlgebra
 from ..algebra.spp import SPPAlgebra, SPPInstance
 from ..ndlog.codegen import network_from_spp
 from ..net.network import Network
@@ -62,13 +63,19 @@ _BANDWIDTH_CLASS = {"c": 1000, "r": 100, "p": 10}
 
 @dataclass
 class ResolvedEvent:
-    """An event bound to a concrete link of the materialized network."""
+    """An event bound to a concrete link of the materialized network.
+
+    ``kind == "hijack"`` binds to a *virtual* link: ``a`` is the attacker,
+    ``b`` the hijacked destination (never an actual neighbor of ``a``),
+    and ``label`` is the forged origination label the attacker announces
+    under — backends inject the origination without any link existing.
+    """
 
     time: float
-    kind: str  # "fail" | "perturb"
+    kind: str  # "fail" | "perturb" | "hijack"
     a: str
     b: str
-    label: Hashable = None  # new per-direction label for "perturb"
+    label: Hashable = None  # new per-direction label / forged origin label
 
 
 @dataclass
@@ -91,6 +98,10 @@ class Scenario:
     #: routes every second"); None ⇒ advertise per change.
     batch_interval: float | None = None
     events: list[ResolvedEvent] = field(default_factory=list)
+    #: Compromised node injecting a forged origination (secure-hijack).
+    attacker: str | None = None
+    #: Destination whose prefix the attacker forges.
+    hijack_dest: str | None = None
 
 
 def materialize(spec: ScenarioSpec) -> Scenario:
@@ -165,6 +176,13 @@ def _materialize_gadget(spec: ScenarioSpec) -> Scenario:
 def build_library_algebra(spec: ScenarioSpec) -> RoutingAlgebra:
     """Instantiate the library algebra a topology-family spec names."""
     name = spec.algebra
+    if ":" in name:
+        # Secure transformer naming: "<variant>-<mode>:<base algebra>".
+        prefix, base_name = name.split(":", 1)
+        variant, _, mode = prefix.partition("-")
+        base = build_library_algebra(replace(spec, algebra=base_name))
+        return SecureAlgebra(base, variant=variant, mode=mode,
+                             roa=bool(spec.param("roa", True)), name=name)
     if name == "gr-a":
         return gao_rexford_a()
     if name == "gr-b":
@@ -376,6 +394,109 @@ def _materialize_tau_sweep(spec: ScenarioSpec) -> Scenario:
     return scenario
 
 
+# -- secure families ---------------------------------------------------------
+
+
+def resolve_deployment(network: Network, spec: ScenarioSpec) -> set[str]:
+    """The set of validation-deploying nodes a spec's draw describes.
+
+    ``"none"``/``"full"`` are the sweep endpoints; ``"random"`` samples
+    ``deployment_fraction`` of the nodes from a dedicated rng stream (so
+    the bitmap never perturbs destination/label draws), ``"top-degree"``
+    deploys the highest-degree nodes first — the tier-1-first adoption
+    regime the RPKI measurement literature describes.
+    """
+    mode = spec.param("deployment", "none")
+    if mode == "none":
+        return set()
+    nodes = sorted(network.nodes())
+    if mode == "full":
+        return set(nodes)
+    fraction = float(spec.param("deployment_fraction", 0.0))
+    count = min(len(nodes), max(0, round(fraction * len(nodes))))
+    if count == 0:
+        return set()
+    if mode == "random":
+        rng = random.Random(f"{spec.seed}-deployment")
+        return set(rng.sample(nodes, count))
+    if mode == "top-degree":
+        ranked = sorted(
+            nodes, key=lambda n: (-len(list(network.neighbors(n))), n))
+        return set(ranked[:count])
+    raise ValueError(f"unknown deployment mode {mode!r}")
+
+
+def _forged_base_label(base_name: str) -> Hashable:
+    """The base-algebra label the attacker forges its origination under.
+
+    The customer relationship — the most attractive origination the
+    wrapped algebra offers — models the attacker announcing the victim
+    prefix as its own.
+    """
+    return _relationship_label_fn(base_name)("c")
+
+
+def _materialize_secure(spec: ScenarioSpec) -> Scenario:
+    """Secure families: lifted labels, deployment bitmap, maybe a hijack.
+
+    The CAIDA-like AS topology is labelled for the *wrapped* algebra
+    first, then every directed label is lifted to ``(deploy_bit,
+    base_label)`` where the bit says whether the **importing** endpoint
+    deployed validation.  A ``hijack`` event resolves to an attacker
+    drawn from the destination's non-neighbors (so forged routes are
+    identifiable by their path tail at every backend) announcing the
+    forged customer origination.
+    """
+    rng = random.Random(spec.seed)
+    base_name = spec.algebra.split(":", 1)[1]
+    network = caida_like(
+        spec.param("as_count", 12), seed=spec.seed,
+        peer_fraction=spec.param("peer_fraction", 0.15),
+        label_fn=_relationship_label_fn(base_name),
+        jitter_s=0.002)
+    algebra = build_library_algebra(spec)
+    destinations = _pick_destinations(
+        network, spec.param("destinations", 1), rng)
+    deployed = resolve_deployment(network, spec)
+    for link in network.links():
+        for importer, exporter in ((link.a, link.b), (link.b, link.a)):
+            link.labels[(importer, exporter)] = (
+                1 if importer in deployed else 0,
+                link.labels[(importer, exporter)])
+    scenario = Scenario(
+        spec=spec,
+        network=network,
+        algebra=algebra,
+        destinations=destinations,
+        analysis_subject=algebra,
+    )
+    scenario.events = _resolve_events(spec, network, destinations)
+    _resolve_hijacks(spec, network, scenario, base_name)
+    return scenario
+
+
+def _resolve_hijacks(spec: ScenarioSpec, network: Network,
+                     scenario: Scenario, base_name: str) -> None:
+    """Bind hijack events to a concrete attacker (in-place)."""
+    hijacks = [e for e in spec.events if e.kind == "hijack"]
+    if not hijacks or not scenario.destinations:
+        return
+    dest = scenario.destinations[0]
+    pool = sorted(node for node in network.nodes()
+                  if node != dest and not network.has_link(node, dest))
+    if not pool:
+        return  # every node neighbors the destination: nowhere to forge from
+    label = SecureAlgebra.hijack_label(_forged_base_label(base_name))
+    for event in hijacks:
+        attacker = pool[(event.attacker_index or 0) % len(pool)]
+        scenario.events.append(ResolvedEvent(
+            time=event.time, kind="hijack", a=attacker, b=dest,
+            label=label))
+        scenario.attacker = attacker
+        scenario.hijack_dest = dest
+    scenario.events.sort(key=lambda e: e.time)
+
+
 # -- multipath family --------------------------------------------------------
 
 
@@ -482,6 +603,8 @@ def _resolve_events(spec: ScenarioSpec, network: Network,
     resolved = []
     failed: set[frozenset] = set()
     for event in spec.events:
+        if event.kind == "hijack":
+            continue  # bound to an attacker node, not a link (_resolve_hijacks)
         if event.kind == "fail":
             link = fail_pool[event.link_index % len(fail_pool)]
             if link.ends in failed:
@@ -508,4 +631,6 @@ _BUILDERS = {
     "hlp": _materialize_hlp,
     "multipath": _materialize_multipath,
     "tau-sweep": _materialize_tau_sweep,
+    "secure-rov": _materialize_secure,
+    "secure-hijack": _materialize_secure,
 }

@@ -35,7 +35,7 @@ from typing import Any, Iterator, Sequence
 
 #: Topology families a spec can name.
 FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp", "hlp",
-            "multipath", "tau-sweep")
+            "multipath", "tau-sweep", "secure-rov", "secure-hijack")
 
 #: Topology shapes the multipath (top-k) family rides on.
 MULTIPATH_SHAPES = ("caida", "hierarchy", "rocketfuel")
@@ -57,6 +57,15 @@ INTRADOMAIN_ALGEBRAS = ("shortest-path", "hop-count")
 #: Base gadgets the gadget family perturbs and replicates.
 GADGETS = ("disagree", "bad", "good", "figure3", "figure3-fixed", "chain")
 
+#: Wrapped algebras the secure families draw — finite-vocabulary *and*
+#: strictly monotonic bases, so the secured wrapper stays batch-admissible
+#: and tier-0 certifiable (plain gr-a/gr-b are monotone-not-strict and
+#: would flood the FALSE_POSITIVE bucket).
+SECURE_BASE_ALGEBRAS = ("gr-a-hopcount", "gr-b-hopcount", "widest-shortest")
+
+#: How the deployment bitmap is drawn at materialization time.
+DEPLOYMENT_MODES = ("none", "random", "top-degree", "full")
+
 #: Workload profiles: event/time budgets and topology size ranges.
 PROFILES = ("default", "quick")
 
@@ -67,16 +76,21 @@ class LinkEventSpec:
 
     ``link_index`` indexes the network's deterministically sorted link list
     (modulo its length), so the spec stays valid for any realized topology
-    size.  ``kind`` is ``"fail"`` (BGP session failure at ``time``) or
+    size.  ``kind`` is ``"fail"`` (BGP session failure at ``time``),
     ``"perturb"`` (re-label both directions with ``weight`` — only used by
     integer-labelled families, where any in-vocabulary weight keeps the
-    analyzed algebra unchanged).
+    analyzed algebra unchanged), or ``"hijack"`` (a compromised node
+    injects a forged origination for the scenario's first destination at
+    ``time``; ``attacker_index`` picks the attacker from the sorted
+    non-neighbors of that destination, modulo their count, so the spec —
+    and therefore the reproducer seed — pins the attacker node).
     """
 
     time: float
     kind: str
     link_index: int
     weight: int | None = None
+    attacker_index: int | None = None
 
 
 @dataclass(frozen=True)
@@ -110,7 +124,7 @@ class ScenarioSpec:
             "params": dict(self.params),
             "events": [
                 {"time": e.time, "kind": e.kind, "link_index": e.link_index,
-                 "weight": e.weight}
+                 "weight": e.weight, "attacker_index": e.attacker_index}
                 for e in self.events
             ],
         }
@@ -134,7 +148,8 @@ class ScenarioSpec:
                        for key, value in (data.get("params") or {}).items())
         events = tuple(
             LinkEventSpec(time=e["time"], kind=e["kind"],
-                          link_index=e["link_index"], weight=e.get("weight"))
+                          link_index=e["link_index"], weight=e.get("weight"),
+                          attacker_index=e.get("attacker_index"))
             for e in data.get("events") or ())
         return cls(
             scenario_id=data["scenario_id"],
@@ -166,7 +181,8 @@ class ScenarioGenerator:
 
     def __init__(self, seed: int = 0, *,
                  families: Sequence[str] | None = None,
-                 profile: str = "default"):
+                 profile: str = "default",
+                 deployment: str | None = None):
         chosen = tuple(families) if families else FAMILIES
         unknown = [f for f in chosen if f not in FAMILIES]
         if unknown:
@@ -175,10 +191,16 @@ class ScenarioGenerator:
         if profile not in PROFILES:
             raise ValueError(f"unknown profile {profile!r}; "
                              f"choose from {list(PROFILES)}")
+        if deployment is not None and deployment not in DEPLOYMENT_MODES:
+            raise ValueError(f"unknown deployment mode {deployment!r}; "
+                             f"choose from {list(DEPLOYMENT_MODES)}")
         self.seed = seed
         self.families = chosen
         self.profile = profile
         self.quick = profile == "quick"
+        #: When set, every secure-family spec uses this deployment mode
+        #: instead of drawing one (the CLI's ``--deployment`` sweep knob).
+        self.deployment = deployment
 
     # -- public API ----------------------------------------------------------
 
@@ -381,6 +403,71 @@ class ScenarioGenerator:
             seed=rng.randrange(2**31), params=params,
             until=60.0, max_events=30_000 if self.quick else 120_000,
             events=self._maybe_failures(rng, count=rng.randint(0, 1)))
+
+    def _make_secure_rov(self, index: int,
+                         rng: random.Random) -> ScenarioSpec:
+        """Partial-deployment origin/path validation, no attacker.
+
+        The classic differential under a secured algebra: a
+        :class:`~repro.algebra.secure.SecureAlgebra` wraps one of the
+        strictly monotonic library bases, nodes are deployed per the drawn
+        deployment mode, and every backend must still agree on the stable
+        state (tier-0 certifies the wrapper compositionally).
+        """
+        algebra = self._secure_algebra_draw(rng)
+        params = (
+            ("as_count", rng.randint(8, 12 if self.quick else 20)),
+            ("peer_fraction", round(rng.uniform(0.05, 0.3), 2)),
+            ("destinations", 1),
+            ("roa", rng.random() < 0.7),
+        ) + self._deployment_params(rng) + self._batch_params(rng)
+        return ScenarioSpec(
+            scenario_id=index, family="secure-rov", algebra=algebra,
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=self._maybe_failures(rng, count=rng.randint(0, 1)))
+
+    def _make_secure_hijack(self, index: int,
+                            rng: random.Random) -> ScenarioSpec:
+        """Prefix hijack under partial validation deployment.
+
+        Rides the secure-rov shape and adds one ``hijack`` event: a node
+        drawn from the destination's non-neighbors injects a forged
+        origination mid-run.  The oracle then answers "does the hijack
+        win at each victim?" on top of the classic differential.
+        """
+        algebra = self._secure_algebra_draw(rng)
+        params = (
+            ("as_count", rng.randint(8, 12 if self.quick else 20)),
+            ("peer_fraction", round(rng.uniform(0.05, 0.3), 2)),
+            ("destinations", 1),
+            ("roa", rng.random() < 0.7),
+        ) + self._deployment_params(rng) + self._batch_params(rng)
+        events = list(self._maybe_failures(rng, count=rng.randint(0, 1)))
+        events.append(LinkEventSpec(
+            time=round(rng.uniform(0.1, 0.5), 3), kind="hijack",
+            link_index=0, attacker_index=rng.randrange(64)))
+        events.sort(key=lambda e: e.time)
+        return ScenarioSpec(
+            scenario_id=index, family="secure-hijack", algebra=algebra,
+            seed=rng.randrange(2**31), params=params,
+            until=60.0, max_events=30_000 if self.quick else 120_000,
+            events=tuple(events))
+
+    def _secure_algebra_draw(self, rng: random.Random) -> str:
+        """``<variant>-<mode>:<base>`` — the library's secure naming."""
+        base = rng.choice(SECURE_BASE_ALGEBRAS)
+        variant = rng.choice(("rov", "bgpsec"))
+        mode = rng.choice(("filter", "deprioritize"))
+        return f"{variant}-{mode}:{base}"
+
+    def _deployment_params(self, rng: random.Random
+                           ) -> tuple[tuple[str, Any], ...]:
+        mode = self.deployment or rng.choice(DEPLOYMENT_MODES)
+        fraction = {"none": 0.0, "full": 1.0}.get(mode)
+        if fraction is None:
+            fraction = rng.choice((0.25, 0.5, 0.75))
+        return (("deployment", mode), ("deployment_fraction", fraction))
 
     def _make_ibgp(self, index: int, rng: random.Random) -> ScenarioSpec:
         routers = rng.randint(14, 16 if self.quick else 24)

@@ -194,6 +194,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             families=families,
             profile=args.profile,
+            deployment=args.deployment,
             chunk_size=args.chunk_size,
             wall_clock_budget_s=args.budget_s,
             abort_on_disagreements=args.abort_on_disagreements,
@@ -469,9 +470,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--families", nargs="+", default=None, metavar="FAMILY",
                    help="restrict to these scenario families, space- or "
                         "comma-separated (gadget, caida, hierarchy, "
-                        "rocketfuel, ibgp, hlp, multipath)")
+                        "rocketfuel, ibgp, hlp, multipath, tau-sweep, "
+                        "secure-rov, secure-hijack)")
     p.add_argument("--profile", default="default",
                    help="workload profile: default or quick")
+    p.add_argument("--deployment", default=None,
+                   choices=("none", "random", "top-degree", "full"),
+                   help="pin the secure families' validation-deployment "
+                        "draw (default: per-scenario random sweep over all "
+                        "modes); non-secure families ignore this")
     p.add_argument("--chunk-size", type=int, default=8,
                    help="scenarios per worker chunk")
     p.add_argument("--budget-s", type=float, default=None,

@@ -48,7 +48,7 @@ import sqlite3
 import time
 from dataclasses import dataclass, field, replace
 
-from .bus import ABORT, DISAGREEMENT, DisagreementBus
+from .bus import ABORT, DisagreementBus
 
 COORDINATOR_DB = "coordinator.sqlite"
 SHARED_VERDICTS = "verdicts.sqlite"

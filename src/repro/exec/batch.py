@@ -587,6 +587,12 @@ def _scan_topology(scenario: "Scenario") -> tuple[set, set, list]:
         if event.kind == "perturb" and event.label is not None:
             keys.add(_transfer_key(algebra, event.label, event.label))
             origin_labels.add(event.label)
+        elif event.kind == "hijack" and event.label is not None:
+            # Forged origination: the attacker's pseudo-label enters the
+            # origin vocabulary (its forged signature seeds the closure)
+            # but adds no transfer key — the hijacked route propagates
+            # over the ordinary link vocabulary.
+            origin_labels.add(event.label)
     return keys, origin_labels, edges
 
 
@@ -605,6 +611,8 @@ def _patch_edges(scenario: "Scenario", edges: list,
     paired = isinstance(algebra, ExtendedAlgebra)
     touched = set()
     for event in events:
+        if event.kind == "hijack":
+            continue  # no link behind a forged origination
         touched.add((event.a, event.b))
         touched.add((event.b, event.a))
     patched = []
@@ -629,6 +637,8 @@ def _apply_events(network, events: Iterable["ResolvedEvent"],
     for event in sorted(events, key=lambda e: e.time):
         if until is not None and event.time > until:
             continue  # the scalar timeline would never reach it either
+        if event.kind == "hijack":
+            continue  # topology-free; seeded via _Problem.origin_candidates
         if not network.has_link(event.a, event.b):
             continue  # already failed (or never materialized): a no-op
         if event.kind == "fail":
@@ -642,12 +652,16 @@ class _Problem:
     """One scenario compiled to integer arrays (all destinations)."""
 
     __slots__ = ("scenario", "kernel", "nodes", "node_index", "dests",
-                 "edge_src", "edge_dst", "edge_lab", "state",
+                 "edge_src", "edge_dst", "edge_lab", "state", "hijacks",
                  "_edge_src_list", "_edge_src_nodes", "_edge_dst_nodes")
 
-    def __init__(self, scenario: "Scenario", kernel: _Kernel, edges: list):
+    def __init__(self, scenario: "Scenario", kernel: _Kernel, edges: list,
+                 hijacks: list | None = None):
         self.scenario = scenario
         self.kernel = kernel
+        #: Active forged originations as ``(attacker, dest, label)`` —
+        #: hijack events whose fire time is within the run budget.
+        self.hijacks = list(hijacks or ())
         network = scenario.network
         self.nodes = sorted(network.nodes())
         self.node_index = {node: i for i, node in enumerate(self.nodes)}
@@ -684,6 +698,15 @@ class _Problem:
             oid = kernel.origin_id[label]
             if oid != kernel.phi_id:
                 candidates.append((self.node_index[neighbor], oid))
+        for attacker, target, label in self.hijacks:
+            # A forged origination is an extra seed at the attacker — no
+            # link behind it, competing with anything the attacker learns
+            # legitimately, exactly the scalar engines' inject_route.
+            if target != dest:
+                continue
+            oid = kernel.origin_id[label]
+            if oid != kernel.phi_id:
+                candidates.append((self.node_index[attacker], oid))
         return candidates
 
     # -- outcome rendering ------------------------------------------------------
@@ -819,7 +842,10 @@ class VectorizedBatchSession(BatchExecutionSession):
             _apply_events(scenario.network, events, until)
             if events:
                 edges = _patch_edges(scenario, edges, events)
-            problems.append(_Problem(scenario, kernel, edges))
+            hijacks = [(e.a, e.b, e.label) for e in events
+                       if e.kind == "hijack" and e.label is not None
+                       and (until is None or e.time <= until)]
+            problems.append(_Problem(scenario, kernel, edges, hijacks))
         groups: dict[int, list[_Problem]] = {}
         for problem in problems:
             groups.setdefault(id(problem.kernel), []).append(problem)

@@ -37,6 +37,11 @@ class GPVSession(ExecutionSession):
         return self.engine.route_log
 
     def apply_event(self, event: "ResolvedEvent") -> None:
+        if event.kind == "hijack":
+            # The attacker-destination pair is never a link — the forged
+            # origination is injected before any link-existence guard.
+            self.engine.inject_route(event.a, event.b, event.label)
+            return
         if not self.network.has_link(event.a, event.b):
             return  # already failed (or never materialized)
         if event.kind == "fail":

@@ -72,6 +72,11 @@ class NDlogSession(ExecutionSession):
     # -- events ---------------------------------------------------------------
 
     def apply_event(self, event: "ResolvedEvent") -> None:
+        if event.kind == "hijack":
+            # Attacker-destination is never a link — inject the forged
+            # origination before any link-existence guard.
+            self.inject_route(event.a, event.b, event.label)
+            return
         if not self.network.has_link(event.a, event.b):
             return  # already failed (or never materialized)
         if event.kind == "fail":
@@ -79,6 +84,24 @@ class NDlogSession(ExecutionSession):
         elif event.kind == "perturb":
             self.perturb_link(event.a, event.b,
                               label_ab=event.label, label_ba=event.label)
+
+    def inject_route(self, node: str, dest: str, label) -> None:
+        """Forged origination (hijack): a ``sig`` fact with no link behind it.
+
+        Mirrors the origination replay of :meth:`perturb_link` — the delta
+        flows through the generated aggregate/send rules like any other
+        locally originated route.
+        """
+        try:
+            sig = self.algebra.origin_signature(label)
+        except (KeyError, NotImplementedError):
+            return
+        if sig is PHI:
+            return
+        forged = (node, node, dest, sig, (node, dest))
+        if self.top_k > 1:
+            forged += (0,)
+        self.runtime.apply_delta(node, "sig", forged)
 
     def fail_link(self, a: str, b: str) -> None:
         """BGP session failure: withdraw everything learned over (a, b)."""

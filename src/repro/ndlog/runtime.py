@@ -23,7 +23,7 @@ simulator messages.  Semantics follow P2/RapidNet:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from ..algebra.base import PHI, rank_routes

@@ -127,6 +127,24 @@ class GPVEngine:
         self.start()
         return self.sim.run(until=until, max_events=max_events)
 
+    def inject_route(self, node: str, dest: str, label) -> None:
+        """Plant a forged origination at ``node`` for ``dest`` (hijack).
+
+        The node behaves as if it held a one-hop path to the destination
+        over ``label`` — no link to the destination is required (that is
+        the forgery) — and the route propagates through the normal
+        advertisement machinery from the current sim time on.
+        """
+        try:
+            sig = self.algebra.origin_signature(label)
+        except (KeyError, NotImplementedError):
+            return
+        if sig is PHI:
+            return
+        state = self._states[node]
+        state.rib_in[(node, dest)] = ((sig, (node, dest)),)
+        self._reselect(node, dest)
+
     # -- queries ----------------------------------------------------------------
 
     def best_route(self, node: str, dest: str) -> Route | None:

@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.algebra import PHI, AlgebraTables, Pref, TableAlgebra
+from repro.algebra import PHI, AlgebraTables, TableAlgebra
 from repro.algebra.laws import validate_algebra
 from repro.analysis import SafetyAnalyzer
 

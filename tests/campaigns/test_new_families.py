@@ -3,7 +3,6 @@ backend applicability, and route-set comparison semantics."""
 
 import pytest
 
-from repro.algebra.base import PHI, Pref
 from repro.algebra.hlp import HLPCostAlgebra
 from repro.campaigns import (
     FAMILIES,

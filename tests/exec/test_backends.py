@@ -13,7 +13,6 @@ import pytest
 
 from repro.campaigns import (
     LinkEventSpec,
-    ScenarioGenerator,
     ScenarioSpec,
     materialize,
 )

@@ -6,7 +6,6 @@ from repro.algebra.base import PHI
 from repro.ndlog import (
     Aggregate,
     Assignment,
-    Atom,
     Condition,
     Const,
     FuncCall,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra import (
-    PHI,
     bad_gadget,
     disagree,
     good_gadget,

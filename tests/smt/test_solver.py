@@ -1,6 +1,5 @@
 """Unit tests for the difference-logic solver (repro.smt.solver)."""
 
-import pytest
 
 from repro.smt import Atom, ConstraintSystem, DifferenceSolver, IntVar, Verdict, solve
 
