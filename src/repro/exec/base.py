@@ -163,9 +163,19 @@ class BatchExecutionSession(ABC):
     scenarios: list
 
     @abstractmethod
-    def run(self) -> list[ExecutionOutcome]:
+    def run(self, *, partial: bool = False
+            ) -> "list[ExecutionOutcome | None]":
         """Execute all scenarios; ``outcomes[i]`` belongs to
-        ``scenarios[i]``."""
+        ``scenarios[i]``.
+
+        With ``partial=True`` a backend *may* yield ``None`` for
+        scenarios it discovers at run time it cannot execute (e.g. the
+        batch backend's run-time declines), instead of failing the whole
+        batch; the caller re-runs those members through a scalar
+        backend.  Backends without that failure mode simply ignore the
+        flag — a sequential session already isolates per-scenario
+        errors as index-aligned ERROR outcomes.
+        """
 
 
 class _SequentialBatchSession(BatchExecutionSession):
@@ -175,7 +185,7 @@ class _SequentialBatchSession(BatchExecutionSession):
         self.backend = backend
         self.scenarios = list(scenarios)
 
-    def run(self) -> list[ExecutionOutcome]:
+    def run(self, *, partial: bool = False) -> list[ExecutionOutcome]:
         outcomes = []
         for scenario in self.scenarios:
             spec = getattr(scenario, "spec", None)

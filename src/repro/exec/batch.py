@@ -57,6 +57,7 @@ campaigns degrade to the scalar engines instead of failing to import.
 
 from __future__ import annotations
 
+import gc
 import os
 import pickle
 import time
@@ -88,6 +89,17 @@ MAX_NODES = 64
 MAX_SIGNATURES = 4096
 MAX_CLOSURE_DEPTH = 64
 
+#: Bounded-hole closure deepening: on a monotone-mode hole-touch the
+#: engine extends the closure horizon along just the offending kernel
+#: rows by ``DEEPEN_STEP`` and restarts the group, up to the hard depth
+#: cap / attempt budget, instead of bailing the whole group to scalar.
+DEEPEN_STEP = 64
+MAX_DEEPEN_DEPTH = 256
+_MAX_DEEPEN_ATTEMPTS = 3
+
+#: Dense v1 relaxation escape hatch (differential tests / bisection).
+DENSE_RELAX_ENV = "REPRO_BATCH_DENSE"
+
 #: algebra canonical key + observed label set -> kernel (None = unsupported).
 _KERNEL_CACHE: dict[tuple, "_Kernel | None"] = {}
 _KERNEL_CACHE_MAX = 256
@@ -108,6 +120,42 @@ _KERNEL_STATS = {
     "tabulation_s": 0.0,
     "runtime_declines": 0,  # monotone-mode BatchDeclined bails
 }
+
+#: Per-phase telemetry of the vectorized session (wall time by phase,
+#: relaxation rounds-per-fixpoint histogram, frontier occupancy, and the
+#: deepening / hazard counters).  Snapshot via :func:`batch_phase_stats`.
+_PHASE_STATS = {
+    "scan_s": 0.0,       # topology scan + problem compilation
+    "tabulate_s": 0.0,   # kernel lookup/tabulation (all cache tiers)
+    "relax_s": 0.0,      # the relaxation proper
+    "render_s": 0.0,     # outcome (route table) rendering
+    "rounds": {},        # rounds-to-fixpoint -> group count
+    "frontier_cells": 0,   # Σ active cells over all frontier rounds
+    "frontier_rounds": 0,  # frontier rounds executed
+    "state_cells": 0,      # Σ state-vector length over all groups
+    "deepenings": 0,       # bounded-hole closure deepenings performed
+    "hazard_declines": 0,  # Jacobi tie-hazard bails (subset of declines)
+}
+
+
+def batch_phase_stats() -> dict:
+    """Snapshot of per-phase timing/occupancy counters."""
+    out = dict(_PHASE_STATS)
+    out["rounds"] = dict(_PHASE_STATS["rounds"])
+    return out
+
+
+def reset_batch_phase_stats() -> None:
+    for key, value in _PHASE_STATS.items():
+        if key == "rounds":
+            value.clear()
+        else:
+            _PHASE_STATS[key] = 0.0 if key.endswith("_s") else 0
+
+
+def _note_rounds(rounds: int) -> None:
+    hist = _PHASE_STATS["rounds"]
+    hist[rounds] = hist.get(rounds, 0) + 1
 
 #: Persistent store state (fork-guarded; see configure_kernel_store).
 _STORE = None
@@ -194,13 +242,26 @@ class _Kernel:
     that (so it can never win a min).  ``mode`` records which relaxation
     the gate licensed: ``"isotone"`` (accumulating min, exact) or
     ``"monotone"`` (synchronous Jacobi with run-time hole bail-out).
+
+    ``hazard`` marks monotone kernels admitted past the tie-respect
+    gate: their Jacobi rounds additionally verify (via ``tie_class``,
+    the bisimulation refinement of ``pref_class`` under ``trans``) that
+    no preference tie between behaviorally distinct signatures ever
+    competes for one node — the condition under which the batch answer
+    could diverge from the scalar engines' arrival-order tie-break.
+    ``depth`` is the closure horizon the tables were tabulated to
+    (grows under bounded-hole deepening); ``algebra`` / ``cache_key``
+    let the deepening rebuild and persist the tables in place.
     """
 
     __slots__ = ("sigs", "sig_id", "phi_id", "hole_id", "key_id", "trans",
-                 "origin_id", "pref_class", "mode", "hole_count")
+                 "origin_id", "pref_class", "mode", "hole_count",
+                 "tie_class", "hazard", "depth", "algebra", "cache_key")
 
     def __init__(self, sigs: list, key_id: dict, trans, origin_id: dict,
-                 pref_class, mode: str, hole_count: int):
+                 pref_class, mode: str, hole_count: int, *,
+                 tie_class=None, hazard: bool = False,
+                 depth: int = MAX_CLOSURE_DEPTH):
         self.sigs = sigs
         self.sig_id = {sig: i for i, sig in enumerate(sigs)}
         self.phi_id = len(sigs)
@@ -211,6 +272,11 @@ class _Kernel:
         self.pref_class = pref_class
         self.mode = mode
         self.hole_count = hole_count
+        self.tie_class = tie_class
+        self.hazard = hazard
+        self.depth = depth
+        self.algebra = None    # attached by _kernel_for (not serialized)
+        self.cache_key = None  # repr of the store key (not serialized)
 
 
 def _pref_classes(algebra: RoutingAlgebra, sigs: list):
@@ -226,29 +292,70 @@ def _pref_classes(algebra: RoutingAlgebra, sigs: list):
     return classes
 
 
+def _tie_classes(trans, pref_class):
+    """Bisimulation refinement of ``pref_class`` under ``trans``.
+
+    Two ids share a tie class iff they compare preference-EQUAL *and*
+    every one-key extension lands them in preference-equal (recursively:
+    tie-equal) ids — i.e. the coarsest refinement of the preference
+    partition that ``trans`` cannot distinguish.  A preference tie
+    between distinct tie classes is exactly the situation where the
+    scalar engines' arrival-order tie-break could pick a signature whose
+    *future* extensions differ from the batch fixpoint's pick; the
+    hazard-mode Jacobi checks for it at run time.  φ and the hole keep
+    their own classes throughout.  Ids are deterministic (first-seen
+    order over the rank-sorted ids).
+    """
+    cls = pref_class.astype(_np.int64)
+    distinct = int(_np.unique(cls).size)
+    n_keys = trans.shape[0]
+    while True:
+        behavior = _np.empty((cls.size, n_keys + 1), dtype=_np.int64)
+        behavior[:, 0] = cls
+        behavior[:, 1:] = cls[trans].T
+        _, refined = _np.unique(behavior, axis=0, return_inverse=True)
+        refined_distinct = int(refined.max()) + 1
+        if refined_distinct == distinct:
+            return cls.astype(_np.int32)
+        cls = refined.astype(_np.int64)
+        distinct = refined_distinct
+
+
 def _classify_kernel(trans, pref_class, phi_id: int, hole_id: int
-                     ) -> str | None:
+                     ) -> tuple[str, bool, "object | None"]:
     """Which relaxation the rank tables license: the hole-aware gate.
 
-    ``"isotone"`` — every row, restricted to its non-hole entries, is
-    non-decreasing in *preference class* and preference-constant within
-    each input tie class (i.e. the true algebra is isotone on the whole
-    tabulated closure, ties included, with genuine φ as the worst
-    class).  Then accumulating min-relaxation is exact: every stable or
-    simple-path value uses ≤ ``MAX_NODES - 1`` transfers and so lives
-    inside the depth-``MAX_CLOSURE_DEPTH`` closure, holes only ever
-    appear on loopy transients and rank below φ, and the classical
-    de-looping argument needs isotonicity only at in-table points.
+    Returns ``(mode, hazard, tie_class)``:
 
-    ``"monotone"`` — not isotone, but every row *respects ties*: within
-    each input tie class the non-hole outputs are preference-EQUAL and
-    holes don't mix with non-holes (a mix would leave tie-respect
-    unverifiable).  Strict monotonicity + tie-respect make the stable
-    state unique up to preference-equality, which licenses the Jacobi
-    iteration — provided no transient reads a hole, enforced at run
-    time.
+    ``("isotone", False, None)`` — every row, restricted to its non-hole
+    entries, is non-decreasing in *preference class* and
+    preference-constant within each input tie class (i.e. the true
+    algebra is isotone on the whole tabulated closure, ties included,
+    with genuine φ as the worst class).  Then accumulating
+    min-relaxation is exact: every stable or simple-path value uses ≤
+    ``MAX_NODES - 1`` transfers and so lives inside the closure, holes
+    only ever appear on loopy transients and rank below φ, and the
+    classical de-looping argument needs isotonicity only at in-table
+    points.
 
-    ``None`` — neither; the algebra stays on the scalar engines.
+    ``("monotone", False, None)`` — not isotone, but every row *respects
+    ties*: within each input tie class the non-hole outputs are
+    preference-EQUAL and holes don't mix with non-holes.  Strict
+    monotonicity + tie-respect make the stable state unique up to
+    preference-equality, which licenses the Jacobi iteration
+    unconditionally — provided no transient reads a hole, enforced at
+    run time.
+
+    ``("monotone", True, tie_class)`` — strictly monotonic but *not*
+    statically tie-respecting (deployed filter-mode secure wrappers land
+    here: the deployment bit gives two importer columns whose outputs
+    diverge within one preference class).  The Jacobi iteration is still
+    a fair activation schedule of the protocol; divergence from the
+    scalar engines requires a preference tie between behaviorally
+    distinct signatures to actually compete at some node, which the
+    hazard-mode rounds detect via ``tie_class`` and decline on.  This
+    admission is guarded empirically (hazard check + the campaign
+    differential), not by a static proof.
     """
     n = phi_id  # number of real signature ids
     in_cls = pref_class[:n]
@@ -268,112 +375,215 @@ def _classify_kernel(trans, pref_class, phi_id: int, hole_id: int
                 isotone = False
                 break
     if isotone:
-        return "isotone"
-    # Tie-respect alone: per row, per input tie class — no hole/non-hole
-    # mix, and all non-hole outputs in one preference class.
-    for row in trans[:, :n]:
-        boundaries = _np.flatnonzero(_np.diff(in_cls)) + 1
-        for seg in _np.split(_np.arange(n), boundaries):
-            entries = row[seg]
-            holes = entries == hole_id
-            if bool(_np.any(holes)):
-                if not bool(_np.all(holes)):
-                    return None  # mixed class: tie-respect unverifiable
+        return "isotone", False, None
+    # Static tie-respect: per row, per input tie class — no
+    # hole/non-hole mix, and all non-hole outputs in one preference
+    # class.  Kernels passing it keep the unguarded v1 Jacobi.
+    # Vectorized as one segmented min/max per row: the hole sentinel has
+    # its own preference class, so "segment collapses to one class"
+    # simultaneously rejects multi-class outputs and hole/non-hole mixes
+    # while accepting pure all-hole segments — exactly the old
+    # per-segment scan, without its thousands of tiny ``np.unique``s.
+    seg_starts = _np.concatenate(
+        ([0], _np.flatnonzero(_np.diff(in_cls)) + 1))
+    out_cls = pref_class[trans[:, :n]]
+    lo = _np.minimum.reduceat(out_cls, seg_starts, axis=1)
+    hi = _np.maximum.reduceat(out_cls, seg_starts, axis=1)
+    if bool((lo == hi).all()):
+        return "monotone", False, None
+    return "monotone", True, _tie_classes(trans, pref_class)
+
+
+class _Unbatchable(Exception):
+    """Internal: the closure/tables violate a batchability invariant."""
+
+
+def _close_signatures(algebra: RoutingAlgebra, ordered_keys: list,
+                      seen: set, frontier: list, depth_budget: int,
+                      ext: dict) -> None:
+    """BFS the reachable signature closure up to ``depth_budget`` hops.
+
+    ``seen``/``frontier`` are mutated in place (``frontier`` is consumed)
+    and every computed ``(key, sig) -> extended`` transfer is memoized in
+    ``ext`` — the table fill reuses them, halving the algebra calls.
+    Each non-φ extension is strictness-verified on the spot; a violation
+    (or a closure past the size budget) raises :class:`_Unbatchable`.
+    """
+    depth = 0
+    while frontier:
+        depth += 1
+        if depth > depth_budget:
+            break  # deeper values are holes: tabulated past the horizon
+        fresh = []
+        for sig in frontier:
+            for key in ordered_keys:
+                extended = _transfer(algebra, key, sig)
+                ext[(key, sig)] = extended
+                if extended is PHI:
+                    continue
+                if algebra.preference(sig, extended) is not Pref.BETTER:
+                    raise _Unbatchable("not strictly monotonic")
+                if extended not in seen:
+                    seen.add(extended)
+                    fresh.append(extended)
+                    if len(seen) > MAX_SIGNATURES:
+                        raise _Unbatchable("closure over size budget")
+        frontier = fresh
+
+
+def _finish_kernel(algebra: RoutingAlgebra, ordered_keys: list,
+                   origin: dict, seen: set, ext: dict,
+                   depth: int) -> _Kernel:
+    """Rank-sort a closed ``seen`` set and fill/classify the tables."""
+    sigs = rank_sort(algebra, sorted(seen, key=repr))
+    sig_id = {sig: i for i, sig in enumerate(sigs)}
+    phi_id = len(sigs)
+    hole_id = phi_id + 1
+    key_id = {key: i for i, key in enumerate(ordered_keys)}
+    # trans columns: real ids, then φ (absorbing), then hole (absorbing).
+    trans = _np.full((max(len(ordered_keys), 1), hole_id + 1), phi_id,
+                     dtype=_np.int32)
+    trans[:, hole_id] = hole_id
+    hole_count = 0
+    _missing = object()
+    ext_get = ext.get
+    id_get = sig_id.get
+    for key, ki in key_id.items():
+        for sig, si in sig_id.items():
+            extended = ext_get((key, sig), _missing)
+            if extended is _missing:
+                # Frontier-at-horizon signatures never extended in the
+                # BFS; compute (and strictness-check) here.
+                extended = _transfer(algebra, key, sig)
+                if extended is not PHI \
+                        and algebra.preference(sig, extended) \
+                        is not Pref.BETTER:
+                    raise _Unbatchable("not strictly monotonic")
+            if extended is PHI:
                 continue
-            if _np.unique(pref_class[entries]).size > 1:
-                return None
-    return "monotone"
+            ti = id_get(extended)
+            if ti is None:
+                # Beyond the depth horizon: an explicit hole (strictness
+                # was verified when the extension was computed).
+                trans[ki, si] = hole_id
+                hole_count += 1
+                continue
+            if ti <= si:  # a rank tie would break the id ordering
+                raise _Unbatchable("rank tie")
+            trans[ki, si] = ti
+    pref_class = _pref_classes(algebra, sigs)
+    # The hole-aware gate: which relaxation the tables license.  Strict
+    # inflation alone does not make min-relaxation exact (BGP-like
+    # algebras are famously non-isotone); isotone tables get the
+    # accumulating min, tie-respecting tables the unguarded Jacobi, and
+    # everything else the hazard-guarded Jacobi.
+    mode, hazard, tie_class = _classify_kernel(
+        trans, pref_class, phi_id, hole_id)
+    origin_id = {
+        label: (phi_id if sig is PHI else sig_id[sig])
+        for label, sig in origin.items()
+    }
+    return _Kernel(sigs, key_id, trans, origin_id, pref_class, mode,
+                   hole_count, tie_class=tie_class, hazard=hazard,
+                   depth=depth)
 
 
 def _build_kernel(algebra: RoutingAlgebra, keys: Iterable[Hashable],
-                  origin_labels: Iterable[Hashable]) -> "_Kernel | None":
+                  origin_labels: Iterable[Hashable],
+                  depth: int = MAX_CLOSURE_DEPTH) -> "_Kernel | None":
     """Tabulate ``algebra`` over a transfer vocabulary; None if unbatchable.
 
     Unsupported means: the reachable closure does not stay within the
-    size budget, some tabulated extension is not *strictly* worse than
-    its source signature (without strict monotonicity the fixpoint need
-    not equal the protocol's outcome, or even be unique), or the rank
-    tables pass neither leg of the hole-aware gate
-    (:func:`_classify_kernel`).
+    size budget, or some tabulated extension is not *strictly* worse
+    than its source signature (without strict monotonicity the fixpoint
+    need not equal the protocol's outcome, or even be unique).
 
     The closure is *depth*-truncated, not required to be closed:
     additive metrics (shortest-path, hop counts) have infinite signature
     spaces, but every stable-state and simple-path value on a
     ``MAX_NODES``-bounded topology uses at most ``MAX_NODES - 1``
-    transfers and so lies within the depth-``MAX_CLOSURE_DEPTH``
-    closure.  Extensions past the horizon are tabulated as the explicit
-    **hole** sentinel (strictness still preference-verified), so the
-    gate can reason about them instead of conflating them with φ.
+    transfers and so lies within the depth-``depth`` closure.
+    Extensions past the horizon are tabulated as the explicit **hole**
+    sentinel (strictness still preference-verified), so the relaxation
+    can reason about them instead of conflating them with φ — and
+    bounded-hole deepening (:func:`_deepen_kernel`) can later push the
+    horizon out along just the rows a Jacobi transient actually touched.
     """
     ordered_keys = sorted(set(keys), key=repr)
     try:
         origin = {label: _origin_sig(algebra, label)
                   for label in sorted(set(origin_labels), key=repr)}
         seen = {sig for sig in origin.values() if sig is not PHI}
-        frontier = list(seen)
-        depth = 0
-        while frontier:
-            depth += 1
-            if depth > MAX_CLOSURE_DEPTH:
-                break  # deeper values are loopy-walk-only: tabulate as φ
-            fresh = []
-            for sig in frontier:
-                for key in ordered_keys:
-                    extended = _transfer(algebra, key, sig)
-                    if extended is PHI:
-                        continue
-                    if algebra.preference(sig, extended) is not Pref.BETTER:
-                        return None  # not strictly monotonic
-                    if extended not in seen:
-                        seen.add(extended)
-                        fresh.append(extended)
-                        if len(seen) > MAX_SIGNATURES:
-                            return None
-            frontier = fresh
-        sigs = rank_sort(algebra, sorted(seen, key=repr))
-        sig_id = {sig: i for i, sig in enumerate(sigs)}
-        phi_id = len(sigs)
-        hole_id = phi_id + 1
-        key_id = {key: i for i, key in enumerate(ordered_keys)}
-        # trans columns: real ids, then φ (absorbing), then hole (absorbing).
-        trans = _np.full((max(len(ordered_keys), 1), hole_id + 1), phi_id,
-                         dtype=_np.int32)
-        trans[:, hole_id] = hole_id
-        hole_count = 0
-        for key, ki in key_id.items():
-            for sig, si in sig_id.items():
-                extended = _transfer(algebra, key, sig)
-                if extended is PHI:
-                    continue
-                ti = sig_id.get(extended)
-                if ti is None:
-                    # Beyond the depth horizon: an explicit hole, still
-                    # required to strictly worsen its source.
-                    if algebra.preference(sig, extended) is not Pref.BETTER:
-                        return None
-                    trans[ki, si] = hole_id
-                    hole_count += 1
-                    continue
-                if ti <= si:  # a rank tie would break the id ordering
-                    return None
-                trans[ki, si] = ti
-        pref_class = _pref_classes(algebra, sigs)
-        # The hole-aware gate: which relaxation (if any) the tables
-        # license.  Strict inflation alone does not make min-relaxation
-        # exact (BGP-like algebras are famously non-isotone); isotone
-        # tables get the accumulating min, tie-respecting tables get the
-        # Jacobi iteration, everything else stays scalar.
-        mode = _classify_kernel(trans, pref_class, phi_id, hole_id)
-        if mode is None:
-            return None
-        origin_id = {
-            label: (phi_id if sig is PHI else sig_id[sig])
-            for label, sig in origin.items()
-        }
+        ext: dict = {}
+        _close_signatures(algebra, ordered_keys, seen, list(seen),
+                          depth, ext)
+        return _finish_kernel(algebra, ordered_keys, origin, seen, ext,
+                              depth)
     except Exception:  # noqa: BLE001 - exotic algebra => scalar engines
         return None
-    return _Kernel(sigs, key_id, trans, origin_id, pref_class, mode,
-                   hole_count)
+
+
+def _deepen_kernel(kernel: _Kernel, offending: set) -> bool:
+    """Bounded-hole closure deepening: push the horizon past ``offending``.
+
+    ``offending`` is the set of ``(key_id, sig_id)`` cells whose hole
+    entries a Jacobi transient actually read.  The closure is re-seeded
+    from just those cells' extensions and grown another
+    ``DEEPEN_STEP`` hops (every key — a deepened signature's own
+    extensions must be tabulable too), the tables are rebuilt, and the
+    kernel is mutated **in place** so every cache tier holding this
+    object serves the deepened tables.  Returns False when the depth cap
+    is reached, the rebuild fails, or the kernel lacks its algebra ref
+    (then the caller declines to scalar as before).
+    """
+    algebra = kernel.algebra
+    if algebra is None or kernel.depth >= MAX_DEEPEN_DEPTH:
+        return False
+    new_depth = min(kernel.depth + DEEPEN_STEP, MAX_DEEPEN_DEPTH)
+    ordered_keys = sorted(kernel.key_id, key=kernel.key_id.get)
+    try:
+        origin = {label: (PHI if oid == kernel.phi_id
+                          else kernel.sigs[oid])
+                  for label, oid in kernel.origin_id.items()}
+        seen = set(kernel.sigs)
+        ext: dict = {}
+        # Seed the deepening frontier with the offending cells'
+        # beyond-horizon extensions only — the bounded part of the bound.
+        frontier = []
+        for ki, si in offending:
+            key = ordered_keys[ki]
+            sig = kernel.sigs[si]
+            extended = _transfer(algebra, key, sig)
+            ext[(key, sig)] = extended
+            if extended is PHI:
+                continue
+            if algebra.preference(sig, extended) is not Pref.BETTER:
+                return False
+            if extended not in seen:
+                seen.add(extended)
+                frontier.append(extended)
+        _close_signatures(algebra, ordered_keys, seen, frontier,
+                          DEEPEN_STEP, ext)
+        rebuilt = _finish_kernel(algebra, ordered_keys, origin, seen, ext,
+                                 new_depth)
+    except Exception:  # noqa: BLE001 - deepening is best-effort
+        return False
+    # In-place mutation: the per-instance memo, the process cache and
+    # every _Problem in flight hold *this* object.
+    for slot in ("sigs", "sig_id", "phi_id", "hole_id", "key_id", "trans",
+                 "origin_id", "pref_class", "mode", "hole_count",
+                 "tie_class", "hazard", "depth"):
+        setattr(kernel, slot, getattr(rebuilt, slot))
+    _PHASE_STATS["deepenings"] += 1
+    # Write-through: later processes decode the deepened tables directly.
+    store = _active_store()
+    if store is not None and kernel.cache_key is not None:
+        try:
+            store.put_deeper(kernel.cache_key, _encode_kernel(kernel),
+                             kernel.depth)
+        except Exception:  # noqa: BLE001 - cache write, best-effort
+            pass
+    return True
 
 
 def _timed_build(algebra: RoutingAlgebra, keys: Iterable[Hashable],
@@ -437,6 +647,10 @@ def _encode_kernel(kernel: "_Kernel | None") -> bytes | None:
         "pref_class": kernel.pref_class.tobytes(),
         "mode": kernel.mode,
         "hole_count": kernel.hole_count,
+        "tie_class": (None if kernel.tie_class is None
+                      else kernel.tie_class.tobytes()),
+        "hazard": kernel.hazard,
+        "depth": kernel.depth,
     }, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -448,8 +662,16 @@ def _decode_kernel(payload: bytes | None) -> "_Kernel | None":
         .reshape(body["shape"]).copy()
     pref_class = _np.frombuffer(body["pref_class"], dtype=_np.int32).copy()
     key_id = {key: i for i, key in enumerate(body["keys"])}
+    # v1 payloads lack the v2 fields; their stored monotone kernels are
+    # exactly the statically tie-respecting (hazard-free) ones.
+    raw_tie = body.get("tie_class")
+    tie_class = (None if raw_tie is None
+                 else _np.frombuffer(raw_tie, dtype=_np.int32).copy())
     return _Kernel(body["sigs"], key_id, trans, body["origin_id"],
-                   pref_class, body["mode"], body["hole_count"])
+                   pref_class, body["mode"], body["hole_count"],
+                   tie_class=tie_class,
+                   hazard=body.get("hazard", False),
+                   depth=body.get("depth", MAX_CLOSURE_DEPTH))
 
 
 def _canonical_repr(algebra: RoutingAlgebra) -> str:
@@ -495,7 +717,10 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
     try:
         key = (_canonical_repr(algebra),) + vocab
     except Exception:  # noqa: BLE001 - uncanonicalizable => uncacheable
-        return _timed_build(algebra, keys, origin_labels)
+        kernel = _timed_build(algebra, keys, origin_labels)
+        if kernel is not None:
+            kernel.algebra = algebra  # deepening works; no store key
+        return kernel
     if key in _KERNEL_CACHE:
         _KERNEL_STATS["cache_hits"] += 1
     else:
@@ -518,11 +743,18 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
             kernel = _timed_build(algebra, keys, origin_labels)
             if store is not None:
                 try:
-                    store.put(repr(key), _encode_kernel(kernel))
+                    store.put(repr(key), _encode_kernel(kernel),
+                              depth=0 if kernel is None else kernel.depth)
                 except Exception:  # noqa: BLE001 - cache write, best-effort
                     pass
         _KERNEL_CACHE[key] = kernel
     kernel = _KERNEL_CACHE[key]
+    if kernel is not None:
+        # Late attachment: deepening needs a live algebra to extend the
+        # closure with, and the store key to write the result through.
+        if kernel.algebra is None:
+            kernel.algebra = algebra
+        kernel.cache_key = repr(key)
     try:
         if memo is None:
             memo = algebra._batch_kernel_memo = {}
@@ -575,14 +807,22 @@ def _scan_topology(scenario: "Scenario") -> tuple[set, set, list]:
     keys: set = set()
     origin_labels: set = set()
     edges: list = []
+    add_key = keys.add
+    add_origin = origin_labels.add
+    add_edge = edges.append
     for link in scenario.network.links():
-        for u, v in ((link.a, link.b), (link.b, link.a)):
-            out_label = link.labels.get((u, v))
-            in_label = link.labels.get((v, u))
-            key = (out_label, in_label) if paired else in_label
-            keys.add(key)
-            origin_labels.add(in_label)
-            edges.append((u, v, key))
+        a, b = link.a, link.b
+        get_label = link.labels.get
+        ab = get_label((a, b))
+        ba = get_label((b, a))
+        key = (ab, ba) if paired else ba
+        add_key(key)
+        add_origin(ba)
+        add_edge((a, b, key))
+        key = (ba, ab) if paired else ab
+        add_key(key)
+        add_origin(ab)
+        add_edge((b, a, key))
     for event in getattr(scenario, "events", ()):
         if event.kind == "perturb" and event.label is not None:
             keys.add(_transfer_key(algebra, event.label, event.label))
@@ -653,7 +893,7 @@ class _Problem:
 
     __slots__ = ("scenario", "kernel", "nodes", "node_index", "dests",
                  "edge_src", "edge_dst", "edge_lab", "state", "hijacks",
-                 "_edge_src_list", "_edge_src_nodes", "_edge_dst_nodes")
+                 "origin_cache", "parents")
 
     def __init__(self, scenario: "Scenario", kernel: _Kernel, edges: list,
                  hijacks: list | None = None):
@@ -672,21 +912,20 @@ class _Problem:
         # send/receive convention.
         node_index = self.node_index
         key_id = kernel.key_id
-        src, dst, lab = [], [], []
-        for u, v, key in edges:
-            src.append(node_index[u])
-            dst.append(node_index[v])
-            lab.append(key_id[key])
-        self.edge_src = _np.asarray(src, dtype=_np.int64)
-        self.edge_dst = _np.asarray(dst, dtype=_np.int64)
-        self.edge_lab = _np.asarray(lab, dtype=_np.int64)
-        # Plain-python mirrors for the witness scan (numpy scalar access
-        # in the rendering loop costs more than the relaxation itself).
-        self._edge_src_list = src
-        self._edge_src_nodes = [self.nodes[i] for i in src]
-        self._edge_dst_nodes = [self.nodes[i] for i in dst]
-        #: Filled by the relaxation: (dest, node) -> ordinal id.
+        self.edge_src = _np.asarray(
+            [node_index[u] for u, _v, _k in edges], dtype=_np.int64)
+        self.edge_dst = _np.asarray(
+            [node_index[v] for _u, v, _k in edges], dtype=_np.int64)
+        self.edge_lab = _np.asarray(
+            [key_id[k] for _u, _v, k in edges], dtype=_np.int64)
+        #: Filled by the relaxation: (dest, node) -> ordinal id, plus the
+        #: per-(dest, node) witness parent index (see _scatter_state).
         self.state = None
+        self.parents = None
+        #: dest -> origin_candidates(dest), refreshed by _assemble_group
+        #: (ids shift when bounded-hole deepening rebuilds the kernel);
+        #: outcome rendering reuses the relaxation's own seed scan.
+        self.origin_cache: dict = {}
 
     def origin_candidates(self, dest: str) -> list[tuple[int, int]]:
         """(node_index, ordinal id) injected by origination at ``dest``."""
@@ -707,6 +946,7 @@ class _Problem:
             oid = kernel.origin_id[label]
             if oid != kernel.phi_id:
                 candidates.append((self.node_index[attacker], oid))
+        self.origin_cache[dest] = candidates
         return candidates
 
     # -- outcome rendering ------------------------------------------------------
@@ -716,19 +956,46 @@ class _Problem:
         sigs: dict = {}
         kernel = self.kernel
         phi = kernel.phi_id
+        ksigs = kernel.sigs
+        nodes = self.nodes
+        n = len(nodes)
         for di, dest in enumerate(self.dests):
             row = self.state[di]
-            next_hop = self._next_hops(dest, row)
-            paths = {dest: (dest,)}
-            for node, sid in zip(self.nodes, row.tolist()):
-                if node == dest:
+            ids = row.tolist()
+            parent = self.parents[di].tolist()
+            dest_idx = self.node_index[dest]
+            # Origination overlay: it wins over any witness neighbor
+            # when it explains the node's id (parent = destination).
+            candidates = self.origin_cache.get(dest)
+            if candidates is None:
+                candidates = self.origin_candidates(dest)
+            for node_idx, oid in candidates:
+                if ids[node_idx] == oid:
+                    parent[node_idx] = dest_idx
+            # One ascending-rank pass builds every path tuple: a witness
+            # next hop's id is strictly smaller than its downstream
+            # node's (strict monotonicity), so each node's parent path is
+            # complete before the node itself is visited.
+            paths: list = [None] * n
+            paths[dest_idx] = (dest,)
+            for sid, i in sorted(zip(ids, range(n))):
+                if i == dest_idx:
                     continue
+                node = nodes[i]
                 if sid == phi:
                     routes[(node, dest)] = None
                     sigs[(node, dest)] = None
-                else:
-                    routes[(node, dest)] = self._path(node, next_hop, paths)
-                    sigs[(node, dest)] = kernel.sigs[sid]
+                    continue
+                pi = parent[i]
+                base = paths[pi] if pi >= 0 else None
+                if base is None:
+                    # Unreachable with a verified kernel.
+                    raise RuntimeError(
+                        f"no witness next hop for {node}->{dest} at rank "
+                        f"{sid}")
+                paths[i] = path = (node,) + base
+                routes[(node, dest)] = path
+                sigs[(node, dest)] = ksigs[sid]
         return ExecutionOutcome(
             backend=BatchBackend.name,
             converged=True,
@@ -736,66 +1003,6 @@ class _Problem:
             routes=routes,
             sigs=sigs,
         )
-
-    def _next_hops(self, dest: str, row) -> dict:
-        """One witness next hop per routed node, deterministically.
-
-        Origination wins when it explains the node's id; otherwise the
-        neighbor with the smallest ``(id, name)`` whose extension equals
-        the node's id.  Ids strictly decrease along the chain (strict
-        monotonicity), so following it always terminates at ``dest``.
-        The witness test runs vectorized over the problem's edge arrays
-        (one ``trans`` gather per destination) — table rendering used to
-        dominate the whole batch run when done link-by-link in Python.
-        """
-        kernel = self.kernel
-        phi = kernel.phi_id
-        ids = row.tolist()
-        nodes = self.nodes
-        next_hop: dict = {}
-        for node_idx, oid in self.origin_candidates(dest):
-            if ids[node_idx] == oid:
-                next_hop[nodes[node_idx]] = dest
-        dest_idx = self.node_index[dest]
-        src, dst, lab = self.edge_src, self.edge_dst, self.edge_lab
-        witness = ((src != dest_idx) & (dst != dest_idx)
-                   & (row[dst] != phi)
-                   & (kernel.trans[lab, row[src]] == row[dst]))
-        src_nodes, dst_nodes = self._edge_src_nodes, self._edge_dst_nodes
-        src_idx = self._edge_src_list
-        best: dict = {}
-        for i in _np.nonzero(witness)[0].tolist():
-            node = dst_nodes[i]
-            if node in next_hop:  # origination already explains it
-                continue
-            candidate = (ids[src_idx[i]], src_nodes[i])
-            if node not in best or candidate < best[node]:
-                best[node] = candidate
-        for node, (_nid, neighbor) in best.items():
-            next_hop[node] = neighbor
-        for node_idx, node in enumerate(nodes):
-            if node != dest and node not in next_hop \
-                    and ids[node_idx] != phi:
-                # Unreachable with a verified kernel.
-                raise RuntimeError(
-                    f"no witness next hop for {node}->{dest} at rank "
-                    f"{ids[node_idx]}")
-        return next_hop
-
-    def _path(self, node: str, next_hop: dict, paths: dict) -> tuple:
-        """Path via ``next_hop``, memoizing shared suffixes in ``paths``."""
-        chain = []
-        cursor = node
-        while cursor not in paths:
-            chain.append(cursor)
-            cursor = next_hop[cursor]
-            if len(chain) > len(self.nodes):
-                raise RuntimeError(f"next-hop cycle: {chain}")
-        suffix = paths[cursor]
-        for hop in reversed(chain):
-            suffix = (hop,) + suffix
-            paths[hop] = suffix
-        return paths[node]
 
 
 class VectorizedBatchSession(BatchExecutionSession):
@@ -828,10 +1035,30 @@ class VectorizedBatchSession(BatchExecutionSession):
         chunk precompute uses this so one hole-touching scenario cannot
         take the rest of the chunk off the fast path.
         """
+        # The run allocates large bursts of short-lived tuples (route
+        # paths, per-cell witnesses); cyclic GC passes triggered by the
+        # churn cost ~25% of the batch wall time while collecting
+        # nothing.  Nothing here creates reference cycles, so pause
+        # collection for the duration and restore on the way out.
+        paused = gc.isenabled()
+        if paused:
+            gc.disable()
+        try:
+            return self._run(partial=partial)
+        finally:
+            if paused:
+                gc.enable()
+
+    def _run(self, *, partial: bool) -> "list[ExecutionOutcome | None]":
         problems = []
         for index, scenario in enumerate(self.scenarios):
+            tick = time.perf_counter()
             keys, origin_labels, edges = _scan_topology(scenario)
+            tock = time.perf_counter()
+            _PHASE_STATS["scan_s"] += tock - tick
             kernel = _kernel_for(scenario.algebra, keys, origin_labels)
+            tick = time.perf_counter()
+            _PHASE_STATS["tabulate_s"] += tick - tock
             if kernel is None:
                 raise ValueError(
                     f"scenario {getattr(scenario.spec, 'scenario_id', '?')} "
@@ -846,10 +1073,12 @@ class VectorizedBatchSession(BatchExecutionSession):
                        if e.kind == "hijack" and e.label is not None
                        and (until is None or e.time <= until)]
             problems.append(_Problem(scenario, kernel, edges, hijacks))
+            _PHASE_STATS["scan_s"] += time.perf_counter() - tick
         groups: dict[int, list[_Problem]] = {}
         for problem in problems:
             groups.setdefault(id(problem.kernel), []).append(problem)
         declined: set[int] = set()
+        tick = time.perf_counter()
         for gid, group in groups.items():
             try:
                 _relax_group(group)
@@ -858,29 +1087,39 @@ class VectorizedBatchSession(BatchExecutionSession):
                 if not partial:
                     raise
                 declined.add(gid)
-        return [None if id(problem.kernel) in declined else problem.outcome()
-                for problem in problems]
+        tock = time.perf_counter()
+        _PHASE_STATS["relax_s"] += tock - tick
+        outcomes = [
+            None if id(problem.kernel) in declined else problem.outcome()
+            for problem in problems]
+        _PHASE_STATS["render_s"] += time.perf_counter() - tock
+        return outcomes
 
 
-def _relax_group(group: list["_Problem"]) -> None:
-    """Relax one kernel's scenarios over flat struct-of-arrays state.
+class _HoleTouch(Exception):
+    """Internal: a Jacobi transient read a hole entry.
 
-    Isotone kernels run accumulating ``np.minimum.at`` rounds: state
-    only ever improves, holes rank above φ and so can never enter the
-    state, and the fixpoint is exactly the scalar engines' stable state.
+    Carries the offending ``(key_id, sig_id)`` cells so bounded-hole
+    deepening can extend the closure along exactly those rows before the
+    group is restarted.
+    """
 
-    Monotone-only kernels run the synchronous Jacobi iteration — every
-    node simultaneously re-selects the best of its neighbors' *current*
-    routes, a fair activation schedule of the protocol itself, so the
-    settled state is a stable state and (strict monotonicity +
-    tie-respect) *the* stable state up to preference-equality.  The
-    iteration is only faithful while every transient stays inside the
-    tabulated closure: reading a hole entry, or failing to settle within
-    the round budget, raises :class:`BatchDeclined`.
+    def __init__(self, offending: set):
+        super().__init__("transient value crossed the closure horizon")
+        self.offending = offending
+
+
+def _assemble_group(group: list["_Problem"]):
+    """Stack one kernel's scenarios into flat struct-of-arrays form.
+
+    Returns ``(seeds, src, dst, lab, blocks)`` where the arrays span
+    every (scenario, destination, node) cell of the group and ``blocks``
+    records each destination copy's flat offset for the scatter-back.
+    Re-run after a deepening restart: signature ids shift when the
+    closure grows, so the origin seeds must be re-read from the kernel.
     """
     kernel = group[0].kernel
     phi = kernel.phi_id
-    hole = kernel.hole_id
     src_parts, dst_parts, lab_parts = [], [], []
     orig_pos, orig_val = [], []
     blocks = []  # (problem, dest index, flat offset)
@@ -905,19 +1144,257 @@ def _relax_group(group: list["_Problem"]) -> None:
     if orig_pos:
         _np.minimum.at(seeds, _np.asarray(orig_pos, dtype=_np.int64),
                        _np.asarray(orig_val, dtype=_np.int32))
-    state = seeds.copy()
     if src_parts:
         src = _np.concatenate(src_parts)
         dst = _np.concatenate(dst_parts)
         lab = _np.concatenate(lab_parts)
+    else:
+        src = dst = lab = _np.empty(0, dtype=_np.int64)
+    return seeds, src, dst, lab, blocks
+
+
+def _scatter_state(blocks: list, state, src, dst, lab, kernel) -> None:
+    """Scatter the flat fixpoint back per problem, with witness parents.
+
+    The witness test — which neighbor's current route explains each
+    node's id — runs once, vectorized over the *whole group's* edge
+    arrays (they already exclude destination-touching edges per copy),
+    instead of once per (problem, destination) in the rendering loop.
+    ``parents[di][i]`` is the local index of node ``i``'s next hop, or
+    ``-1`` (no witness: φ nodes, and origination-explained nodes the
+    rendering pass overlays).  Tie-break: smallest ``(id, src index)``;
+    global src order within one copy equals local (hence name) order, so
+    it matches the old per-edge scan exactly.
+    """
+    ncells = state.size
+    top = _np.iinfo(_np.int64).max
+    best = _np.full(ncells, top, dtype=_np.int64)
+    if src.size:
+        witness = _np.flatnonzero(
+            (state[dst] != kernel.phi_id)
+            & (kernel.trans[lab, state[src]] == state[dst]))
+        if witness.size:
+            wsrc = src[witness]
+            _np.minimum.at(best, dst[witness],
+                           state[wsrc].astype(_np.int64) * ncells + wsrc)
+    parent = _np.where(best == top, _np.int64(-1), best % ncells)
+    for problem, di, off in blocks:
+        width = len(problem.nodes)
+        if problem.state is None:
+            problem.state = _np.empty((len(problem.dests), width),
+                                      dtype=_np.int32)
+            problem.parents = _np.empty((len(problem.dests), width),
+                                        dtype=_np.int64)
+        problem.state[di] = state[off:off + width]
+        block = parent[off:off + width]
+        problem.parents[di] = _np.where(block < 0, block, block - off)
+
+
+def _relax_isotone_frontier(kernel: "_Kernel", seeds, src, dst, lab):
+    """Frontier-driven accumulating min-relaxation (exact).
+
+    State only ever improves and each ⊕ strictly increases the rank, so
+    an edge's offer changes only when its source cell's state changed —
+    relaxing just the adjacency of last round's improved cells reaches
+    the same unique fixpoint as the dense sweep, with the expensive
+    scatter confined to O(Σ changed-adjacency) edges.  Cells seeded at φ
+    start outside the frontier: their offers are ``trans[:, φ] == φ``
+    (the absorbing column) and can never win a min.  Hole entries rank
+    above φ, so ``minimum.at`` silently discards them.
+    """
+    state = seeds.copy()
+    if src.size == 0:
+        _note_rounds(0)
+        return state
+    trans = kernel.trans
+    phi = kernel.phi_id
+    ncells = state.size
+    # Frontier selection is one boolean gather over the source column —
+    # O(E) per round but branch-free and allocation-light, which beats
+    # building a CSR index (argsort + bincount) on the 2–4 round
+    # fixpoints these sparse graphs converge in.  The expensive part of
+    # a round is ``minimum.at`` (a buffered scatter), and that runs only
+    # over the selected edges; once a round would touch most of the edge
+    # list anyway, the plain dense sweep skips the selection too.
+    dense_cut = src.size // 2
+    mask = _np.zeros(ncells, dtype=bool)
+    active = _np.flatnonzero(state != phi)
+    rounds = 0
+    budget = ncells * (phi + 2) + 1  # ≥1 cell strictly improves per round
+    while active.size:
+        rounds += 1
+        if rounds > budget:  # pragma: no cover - verified-kernel invariant
+            raise RuntimeError("batch relaxation failed to reach fixpoint")
+        _PHASE_STATS["frontier_cells"] += int(active.size)
+        _PHASE_STATS["frontier_rounds"] += 1
+        mask[:] = False
+        mask[active] = True
+        edge_sel = mask[src]
+        before = state.copy()
+        if int(_np.count_nonzero(edge_sel)) > dense_cut:
+            _np.minimum.at(state, dst, trans[lab, state[src]])
+        else:
+            sel = _np.flatnonzero(edge_sel)
+            _np.minimum.at(state, dst[sel],
+                           trans[lab[sel], state[src[sel]]])
+        active = _np.flatnonzero(state < before)
+    _note_rounds(rounds)
+    return state
+
+
+def _relax_jacobi_frontier(kernel: "_Kernel", seeds, src, dst, lab):
+    """Frontier-driven synchronous Jacobi iteration.
+
+    Semantically the dense v1 Jacobi — every node simultaneously
+    re-selects the best of its neighbors' *current* routes each round —
+    but each round only recomputes the offers of edges whose source cell
+    changed last round, against a cached per-edge offer array whose
+    invariant (``vals[e] == trans[lab[e], state[src[e]]]`` at all times)
+    makes the two provably identical round for round.  Hole entries are
+    checked exactly when an offer is (re)computed, which covers every
+    hole the dense sweep would see; a touch raises :class:`_HoleTouch`
+    with the offending cells so the caller can deepen and restart.
+
+    Hazard-mode kernels additionally verify, every round including the
+    settling one, that no preference tie between behaviorally distinct
+    signatures (``tie_class``) competes at any node — the only situation
+    where the batch fixpoint could diverge from the scalar engines'
+    arrival-order tie-break.  Ambiguity raises :class:`BatchDeclined`
+    (conservative: transient ties decline too; never a wrong answer).
+    """
+    state = seeds.copy()
+    if src.size == 0:
+        _note_rounds(0)
+        return state
+    trans = kernel.trans
+    phi = kernel.phi_id
+    hole = kernel.hole_id
+    ncells = state.size
+    # Cached offers: a φ-state source offers trans[lab, φ] == φ (the
+    # absorbing column), so initializing to φ satisfies the invariant
+    # for every not-yet-recomputed edge.
+    vals = _np.full(src.size, phi, dtype=_np.int32)
+    changed = _np.flatnonzero(state != phi)
+    mask = _np.zeros(ncells, dtype=bool)
+    hazard = kernel.hazard
+    tie = kernel.tie_class
+    pc = kernel.pref_class
+    round_budget = _MONOTONE_ROUND_SLACK * (phi + 2) + MAX_NODES
+    dense_cut = src.size // 2
+    for _round in range(round_budget):
+        if changed.size:
+            _PHASE_STATS["frontier_cells"] += int(changed.size)
+            _PHASE_STATS["frontier_rounds"] += 1
+            # Stale-offer selection by boolean source mask (see
+            # _relax_isotone_frontier for why this beats a CSR index).
+            mask[:] = False
+            mask[changed] = True
+            edge_sel = mask[src]
+            if int(_np.count_nonzero(edge_sel)) > dense_cut:
+                # Most offers are stale anyway: recompute them all in one
+                # dense gather instead of assembling the selection.
+                new_vals = trans[lab, state[src]]
+                holes = new_vals == hole
+                if bool(holes.any()):
+                    raise _HoleTouch(set(zip(
+                        lab[holes].tolist(),
+                        state[src[holes]].tolist())))
+                vals = new_vals
+            else:
+                sel = _np.flatnonzero(edge_sel)
+                if sel.size:
+                    new_vals = trans[lab[sel], state[src[sel]]]
+                    holes = new_vals == hole
+                    if bool(holes.any()):
+                        raise _HoleTouch(set(zip(
+                            lab[sel][holes].tolist(),
+                            state[src[sel]][holes].tolist())))
+                    vals[sel] = new_vals
+        fresh = seeds.copy()
+        _np.minimum.at(fresh, dst, vals)
+        if hazard:
+            # A losing offer preference-tied with the winner but in a
+            # different tie class means the scalar engines could have
+            # kept the other route — the batch answer is not unique up
+            # to preference-equality and must not be trusted.
+            fresh_d = fresh[dst]
+            ambiguous = (pc[vals] == pc[fresh_d]) \
+                & (tie[vals] != tie[fresh_d])
+            seed_amb = (pc[seeds] == pc[fresh]) & (tie[seeds] != tie[fresh])
+            if bool(ambiguous.any()) or bool(seed_amb.any()):
+                _PHASE_STATS["hazard_declines"] += 1
+                raise BatchDeclined(
+                    "preference tie between behaviorally distinct "
+                    "routes; falling back to scalar engines")
+        changed = _np.flatnonzero(fresh != state)
+        if changed.size == 0:
+            _note_rounds(_round + 1)
+            return fresh
+        state = fresh
+    raise BatchDeclined(
+        "Jacobi iteration did not settle within the round budget; "
+        "falling back to scalar engines")
+
+
+def _relax_group(group: list["_Problem"]) -> None:
+    """Relax one kernel's scenarios over flat struct-of-arrays state.
+
+    The v2 engine: frontier-driven sparse rounds over the fused group
+    (:func:`_relax_isotone_frontier` / :func:`_relax_jacobi_frontier`),
+    with bounded-hole closure deepening — a monotone-mode hole-touch
+    deepens the kernel along just the offending rows
+    (:func:`_deepen_kernel`) and restarts the group, declining to scalar
+    only when the depth cap or attempt budget is exhausted.  Setting
+    ``$REPRO_BATCH_DENSE`` dispatches to the dense v1 engine instead
+    (:func:`_relax_group_dense`) — the differential oracle for engine
+    equivalence tests.
+    """
+    if os.environ.get(DENSE_RELAX_ENV):
+        return _relax_group_dense(group)
+    kernel = group[0].kernel
+    for attempt in range(_MAX_DEEPEN_ATTEMPTS + 1):
+        seeds, src, dst, lab, blocks = _assemble_group(group)
+        _PHASE_STATS["state_cells"] += int(seeds.size)
+        try:
+            if kernel.mode == "isotone":
+                state = _relax_isotone_frontier(kernel, seeds, src, dst, lab)
+            else:
+                state = _relax_jacobi_frontier(kernel, seeds, src, dst, lab)
+        except _HoleTouch as touch:
+            if attempt >= _MAX_DEEPEN_ATTEMPTS \
+                    or not _deepen_kernel(kernel, touch.offending):
+                raise BatchDeclined(
+                    "transient value crossed the closure depth horizon "
+                    "and deepening is exhausted; falling back to scalar "
+                    "engines") from None
+            continue  # deepened in place: reassemble (ids shifted), retry
+        _scatter_state(blocks, state, src, dst, lab, kernel)
+        return
+
+
+def _relax_group_dense(group: list["_Problem"]) -> None:
+    """The dense v1 relaxation, kept as the engine-equivalence oracle.
+
+    Identical to the pre-frontier engine — full-edge sweeps, no
+    deepening (a hole-touch declines outright) — except that hazard-mode
+    kernels get the same per-round tie-ambiguity check as the frontier
+    Jacobi, so the dense↔frontier differential is meaningful on the
+    deployed-secure families too.
+    """
+    kernel = group[0].kernel
+    phi = kernel.phi_id
+    hole = kernel.hole_id
+    seeds, src, dst, lab, blocks = _assemble_group(group)
+    _PHASE_STATS["state_cells"] += int(seeds.size)
+    state = seeds.copy()
+    if src.size:
         trans = kernel.trans
         if kernel.mode == "isotone":
             # Ranks only ever improve, and each ⊕ strictly increases the
             # rank, so the accumulating iteration reaches the unique
             # fixpoint in at most |Σ| rounds; the +2 cap is a pure safety
             # net.  Hole entries rank above φ, so minimum.at silently
-            # discards them — exactly the masked min-relaxation the gate
-            # licensed.
+            # discards them.
             for _round in range(phi + 2):
                 before = state.copy()
                 _np.minimum.at(state, dst, trans[lab, state[src]])
@@ -927,10 +1404,9 @@ def _relax_group(group: list["_Problem"]) -> None:
                 raise RuntimeError(
                     "batch relaxation failed to reach fixpoint")
         else:
-            # Jacobi: recompute every node's selection from scratch each
-            # round (no accumulation — with a non-isotone table, keeping
-            # a stale better-ranked offer whose advertiser has since
-            # re-routed computes a state no protocol run can reach).
+            hazard = kernel.hazard
+            tie = kernel.tie_class
+            pc = kernel.pref_class
             rounds = _MONOTONE_ROUND_SLACK * (phi + 2) + MAX_NODES
             for _round in range(rounds):
                 vals = trans[lab, state[src]]
@@ -940,19 +1416,27 @@ def _relax_group(group: list["_Problem"]) -> None:
                         "horizon; falling back to scalar engines")
                 fresh = seeds.copy()
                 _np.minimum.at(fresh, dst, vals)
+                if hazard:
+                    fresh_d = fresh[dst]
+                    ambiguous = (pc[vals] == pc[fresh_d]) \
+                        & (tie[vals] != tie[fresh_d])
+                    seed_amb = (pc[seeds] == pc[fresh]) \
+                        & (tie[seeds] != tie[fresh])
+                    if bool(ambiguous.any()) or bool(seed_amb.any()):
+                        _PHASE_STATS["hazard_declines"] += 1
+                        raise BatchDeclined(
+                            "preference tie between behaviorally "
+                            "distinct routes; falling back to scalar "
+                            "engines")
                 if _np.array_equal(fresh, state):
+                    _note_rounds(_round + 1)
                     break
                 state = fresh
             else:
                 raise BatchDeclined(
                     "Jacobi iteration did not settle within the round "
                     "budget; falling back to scalar engines")
-    for problem, di, off in blocks:
-        if problem.state is None:
-            problem.state = _np.empty((len(problem.dests),
-                                       len(problem.nodes)),
-                                      dtype=_np.int32)
-        problem.state[di] = state[off:off + len(problem.nodes)]
+    _scatter_state(blocks, state, src, dst, lab, kernel)
 
 
 class BatchSession(ExecutionSession):

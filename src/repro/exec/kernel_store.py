@@ -1,4 +1,4 @@
-"""Cross-process persistence for tabulated batch kernels (schema v1).
+"""Cross-process persistence for tabulated batch kernels (schema v2).
 
 The process caches in :mod:`repro.exec.batch` pay for each distinct
 (algebra, transfer vocabulary) closure once per worker *lifetime*; this
@@ -32,14 +32,15 @@ import sqlite3
 import time
 from dataclasses import dataclass
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS kernels (
     key        TEXT PRIMARY KEY,
     payload    BLOB,
     created_at REAL NOT NULL,
-    hits       INTEGER NOT NULL DEFAULT 0
+    hits       INTEGER NOT NULL DEFAULT 0,
+    depth      INTEGER NOT NULL DEFAULT 0
 )
 """
 
@@ -109,28 +110,41 @@ class KernelStore:
         self._conn.execute(_SCHEMA)
         self._conn.execute(_META_SCHEMA)
         self._conn.commit()
-        if self.retention.mutates_on_open:
-            # Serialize racing openers (parallel fleet workers all open
-            # the store): take the write lock up front, then re-check
-            # versions/timestamps under it.
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                self._migrate()
+        # Migration always runs — a v1 store opened with NO_RETENTION
+        # still needs the depth column before any write can succeed —
+        # while retention stays opt-out.  Serialize racing openers
+        # (parallel fleet workers all open the store): take the write
+        # lock up front, then re-check versions/timestamps under it.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._migrate()
+            if self.retention.mutates_on_open:
                 self._apply_retention(
                     now if now is not None else time.time())
-            except BaseException:
-                self._conn.rollback()
-                raise
-            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        self._conn.commit()
 
     # -- schema migration -----------------------------------------------------
 
     def _migrate(self) -> None:
-        """Future format changes re-key or drop rows here, gated on
-        ``PRAGMA user_version`` exactly like the verdict store's v2→v3
-        pass.  v1 only stamps the version; unknown *newer* versions drop
-        the table rather than misread payloads (kernels are pure cache —
-        losing them costs one re-tabulation each)."""
+        """Format changes re-key or drop rows here, gated on ``PRAGMA
+        user_version`` exactly like the verdict store's v2→v3 pass.
+        Unknown *newer* versions drop the table rather than misread
+        payloads (kernels are pure cache — losing them costs one
+        re-tabulation each).
+
+        v1→v2: add the ``depth`` column (bounded-hole deepening
+        write-through) and drop cached *negative* rows.  v1 negatives
+        encode "unbatchable under the v1 tie-respect gate", which the
+        v2 hazard-guarded admission deliberately widens — keeping them
+        would permanently pin newly admissible algebras to the scalar
+        engines.  Positive rows are preserved verbatim: v1 payloads
+        decode with conservative v2 defaults (a v1-stored monotone
+        kernel is exactly a hazard-free one), so a warm fleet store
+        re-tabulates nothing it already knows.
+        """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version > SCHEMA_VERSION:
             dropped = self._conn.execute(
@@ -139,6 +153,19 @@ class KernelStore:
                 self.last_retention["format_dropped"] = dropped
         elif version == SCHEMA_VERSION:
             return
+        elif version == 1:
+            columns = {row[1] for row in self._conn.execute(
+                "PRAGMA table_info(kernels)")}
+            if "depth" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE kernels ADD COLUMN "
+                    "depth INTEGER NOT NULL DEFAULT 0")
+            negatives = self._conn.execute(
+                "DELETE FROM kernels WHERE payload IS NULL").rowcount
+            if negatives:
+                self.last_retention["negative_dropped"] = negatives
+        # version 0 is a fresh database: _SCHEMA already carries the
+        # current shape, only the stamp is missing.
         self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
 
     # -- automatic retention --------------------------------------------------
@@ -215,15 +242,31 @@ class KernelStore:
 
     # -- writes ---------------------------------------------------------------
 
-    def put(self, key: str, payload: bytes | None) -> None:
+    def put(self, key: str, payload: bytes | None,
+            depth: int = 0) -> None:
         """Record one tabulated kernel (or negative result); racing
         duplicates are ignored, not errors — both workers tabulated the
         same tables from the same canonical key."""
         self._retry_locked(
             lambda: self._conn.execute(
-                "INSERT OR IGNORE INTO kernels (key, payload, created_at) "
-                "VALUES (?, ?, ?)",
-                (key, payload, time.time())))
+                "INSERT OR IGNORE INTO kernels "
+                "(key, payload, created_at, depth) VALUES (?, ?, ?, ?)",
+                (key, payload, time.time(), depth)))
+
+    def put_deeper(self, key: str, payload: bytes | None,
+                   depth: int) -> None:
+        """Upsert a *deepened* kernel: replaces the stored payload only
+        when ``depth`` strictly exceeds the row's — racing workers that
+        deepened to different horizons converge on the deepest tables,
+        and a late shallow writer can never clobber a deeper one."""
+        self._retry_locked(
+            lambda: self._conn.execute(
+                "INSERT INTO kernels (key, payload, created_at, depth) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "payload = excluded.payload, depth = excluded.depth "
+                "WHERE excluded.depth > kernels.depth",
+                (key, payload, time.time(), depth)))
 
     def _retry_locked(self, write, attempts: int = 5) -> None:
         """Run one write+commit, retrying transient lock errors (same

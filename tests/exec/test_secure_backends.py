@@ -3,9 +3,12 @@
 The forged origination has no link behind it, so every backend needs an
 injection path distinct from the fail/perturb machinery; the batch
 backend additionally seeds the attacker through the kernel's origin
-vocabulary — but only where its tie-respect gate still holds (deployed
-filtering makes preference-equal signatures diverge in reachability, so
-deployed secure scenarios stay on the scalar engines).
+vocabulary.  Deployed import filtering makes preference-equal
+signatures diverge in reachability (the deployment bit gives each
+importer its own kernel column); the v2 engine admits those kernels
+under the hazard-guarded Jacobi — declining at run time only if a
+preference tie between behaviorally distinct routes actually competes —
+so deployed filter-mode scenarios run batched, verified batch≡gpv here.
 """
 
 from repro.algebra.secure import hijacked_route
@@ -61,13 +64,27 @@ class TestBatchSupport:
         scenario = materialize(hijack_spec("none", 0.0))
         assert get_backend("batch").supports(scenario)
 
-    def test_deployed_filtering_falls_back_to_scalar(self):
+    def test_deployed_filtering_runs_batched_and_matches_gpv(self):
         # Deployed import filtering acts on the validation state, which
-        # preference cannot see: the rank tables stop respecting ties and
-        # the kernel gate correctly declines.
+        # preference cannot see: the rank tables stop *statically*
+        # respecting ties, but the hazard-guarded Jacobi admits them —
+        # the deployment bit is a per-importer kernel column — and the
+        # batch fixpoint must stay preference-equal to scalar GPV.
         for mode, fraction in (("random", 0.5), ("full", 1.0)):
-            scenario = materialize(hijack_spec(mode, fraction))
-            assert not get_backend("batch").supports(scenario)
+            spec = hijack_spec(mode, fraction)
+            scenario = materialize(spec)
+            assert get_backend("batch").supports(scenario), (mode, fraction)
+            _, batch_outcome = run_backend("batch", spec)
+            scenario, gpv_outcome = run_backend("gpv", spec)
+            algebra = scenario.algebra
+            for key, sig in gpv_outcome.sigs.items():
+                other = batch_outcome.sigs.get(key)
+                if sig is None:
+                    assert other is None, (mode, fraction, key)
+                else:
+                    assert other is not None, (mode, fraction, key)
+                    assert algebra.preference(sig, other).name == "EQUAL", \
+                        (mode, fraction, key)
 
     def test_batch_outcome_matches_gpv_on_undeployed_hijack(self):
         spec = hijack_spec("none", 0.0)
