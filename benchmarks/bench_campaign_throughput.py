@@ -363,14 +363,19 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
     from repro.exec import get_backend, route_mismatches, schedule_events
     from repro.exec.batch import (
         DENSE_RELAX_ENV,
-        batch_phase_stats,
         clear_kernel_cache,
         kernel_cache_stats,
         reset_batch_phase_stats,
         reset_kernel_cache_stats,
     )
+    from repro.obs import metrics as obs_metrics
 
     import time as _time
+
+    def _relax_seconds() -> float:
+        return obs_metrics.snapshot_value(
+            obs_metrics.snapshot(),
+            "repro_batch_phase_seconds_total", phase="relax")
 
     batch = get_backend("batch")
     gpv = get_backend("gpv")
@@ -428,7 +433,10 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
     outcomes, batch_s = benchmark.pedantic(batched_run, rounds=1,
                                            iterations=1)
     cold_stats = kernel_cache_stats()
-    phase_cold = batch_phase_stats()
+    # The phase sections come straight from the metrics registry — the
+    # same ``repro-metrics/1`` snapshot the live dashboards render — so
+    # the bench has no bookkeeping of its own to keep in sync.
+    phase_cold = obs_metrics.snapshot()
 
     # Warm pass: the production steady state, in the oracle's exact
     # shape — materialize once, filter with ``supports()`` (which finds
@@ -444,13 +452,13 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         scenarios = [materialize(spec) for spec in specs]
         kept = [s for s in scenarios if batch.supports(s)]
         assert len(kept) == len(scenarios)
-        relax_before = batch_phase_stats()["relax_s"]
+        relax_before = _relax_seconds()
         started = _time.perf_counter()
         batch.prepare_batch(kept).run()
         warm_s[family_key] = _time.perf_counter() - started
-        relax_warm[family_key] = batch_phase_stats()["relax_s"] - relax_before
+        relax_warm[family_key] = _relax_seconds() - relax_before
     warm_stats = kernel_cache_stats()
-    phase_warm = batch_phase_stats()
+    phase_warm = obs_metrics.snapshot()
     # The three cache tiers must report disjoint, honest counts: warm
     # ``run()`` hits the instance memo written by ``supports()`` (once
     # per scenario), never re-tabulates, and the ``supports()`` lookups
@@ -472,10 +480,9 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         for family_key, specs in supported.items():
             scenarios = [materialize(spec) for spec in specs]
             kept = [s for s in scenarios if batch.supports(s)]
-            relax_before = batch_phase_stats()["relax_s"]
+            relax_before = _relax_seconds()
             batch.prepare_batch(kept).run()
-            relax_dense[family_key] = (
-                batch_phase_stats()["relax_s"] - relax_before)
+            relax_dense[family_key] = _relax_seconds() - relax_before
     finally:
         if dense_prior is None:
             del os.environ[DENSE_RELAX_ENV]
@@ -512,24 +519,38 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         for key in supported
     }
 
-    def phase_summary(snapshot):
-        rounds = snapshot["rounds"]
+    def phase_summary(snap):
+        def phase(name):
+            return obs_metrics.snapshot_value(
+                snap, "repro_batch_phase_seconds_total", phase=name)
+        events = {
+            entry["labels"].get("event", "?"): int(entry["value"])
+            for entry in obs_metrics.snapshot_family(
+                snap, "repro_batch_relax_events_total")}
+        rounds = {
+            int(entry["labels"]["rounds"]): int(entry["value"])
+            for entry in obs_metrics.snapshot_family(
+                snap, "repro_batch_relax_rounds_total")}
         groups = sum(rounds.values())
         return {
-            "scan_s": round(snapshot["scan_s"], 6),
-            "tabulate_s": round(snapshot["tabulate_s"], 6),
-            "relax_s": round(snapshot["relax_s"], 6),
-            "render_s": round(snapshot["render_s"], 6),
+            "scan_s": round(phase("scan"), 6),
+            "tabulate_s": round(phase("tabulate"), 6),
+            "relax_s": round(phase("relax"), 6),
+            "render_s": round(phase("render"), 6),
             "rounds_hist": {str(k): v for k, v in sorted(rounds.items())},
             "mean_rounds": (sum(k * v for k, v in rounds.items()) / groups
                             if groups else 0.0),
             "mean_frontier_cells": (
-                snapshot["frontier_cells"] / snapshot["frontier_rounds"]
-                if snapshot["frontier_rounds"] else 0.0),
-            "state_cells": snapshot["state_cells"],
-            "deepenings": snapshot["deepenings"],
-            "hazard_declines": snapshot["hazard_declines"],
+                events.get("frontier_cells", 0)
+                / events["frontier_rounds"]
+                if events.get("frontier_rounds") else 0.0),
+            "state_cells": events.get("state_cells", 0),
+            "deepenings": events.get("deepenings", 0),
+            "hazard_declines": events.get("hazard_declines", 0),
         }
+
+    cold_summary = phase_summary(phase_cold)
+    warm_summary = phase_summary(phase_warm)
     amortized = [key for key in supported if key != "tau-sweep/hlp-tau"]
     gated_n = sum(family_counts[key] for key in amortized)
     gated_scalar_s = sum(scalar_s[key] for key in amortized)
@@ -558,14 +579,14 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         f"{warm_stats['tabulations']} tabulations, "
         f"{warm_stats['memo_hits']} memo + {warm_stats['cache_hits']} "
         f"process-cache hits",
-        f"phases:     cold scan {phase_cold['scan_s']:.3f}s "
-        f"tabulate {phase_cold['tabulate_s']:.3f}s "
-        f"relax {phase_cold['relax_s']:.3f}s "
-        f"render {phase_cold['render_s']:.3f}s; "
+        f"phases:     cold scan {cold_summary['scan_s']:.3f}s "
+        f"tabulate {cold_summary['tabulate_s']:.3f}s "
+        f"relax {cold_summary['relax_s']:.3f}s "
+        f"render {cold_summary['render_s']:.3f}s; "
         f"warm mean frontier "
-        f"{phase_summary(phase_warm)['mean_frontier_cells']:.0f} cells, "
-        f"mean rounds {phase_summary(phase_warm)['mean_rounds']:.1f}, "
-        f"deepenings {phase_warm['deepenings']}",
+        f"{warm_summary['mean_frontier_cells']:.0f} cells, "
+        f"mean rounds {warm_summary['mean_rounds']:.1f}, "
+        f"deepenings {warm_summary['deepenings']}",
     ] + [
         f"  {key}: {stats['speedup']:.1f}x cold / "
         f"{stats['warm_speedup']:.1f}x warm, "
@@ -596,8 +617,8 @@ def test_batch_backend_equality_and_speedup(benchmark, save_result, smoke):
         "kernel_stats_setup": setup_stats,
         "kernel_stats_cold": cold_stats,
         "kernel_stats_warm": warm_stats,
-        "phase_cold": phase_summary(phase_cold),
-        "phase_warm": phase_summary(phase_warm),
+        "phase_cold": cold_summary,
+        "phase_warm": warm_summary,
         "per_family": per_family,
     }
     pathlib.Path("BENCH_batch.json").write_text(
@@ -732,7 +753,11 @@ def test_per_family_throughput(benchmark, save_result, smoke):
         assert report.scenario_count == per_family
         assert report.disagreement_count == 0, report.summary()
         rate = report.scenarios_per_second
+        # Errored scenarios never ran the differential check — surface
+        # them per family instead of letting them hide in the rate.
+        errors = report.error_count
         lines.append(f"{family:>11}: {rate:>8.1f} scenarios/s "
-                     f"({report.wall_clock_s:.2f}s)")
+                     f"({report.wall_clock_s:.2f}s, errors={errors})")
         benchmark.extra_info[f"sps_{family}"] = rate
+        benchmark.extra_info[f"errors_{family}"] = errors
     save_result("campaign_family_throughput", "\n".join(lines))

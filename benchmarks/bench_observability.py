@@ -1,0 +1,97 @@
+"""Observability overhead: instrumentation must be nearly free.
+
+The obs plane's contract is that it can stay wired into every hot path
+permanently: with metrics disabled and no trace sink configured the
+call sites are no-ops, and even fully instrumented (registry enabled,
+spans streaming to a JSONL sink) a serial campaign may not slow down
+by more than 5%.  This bench runs the same fixed-seed campaign in both
+configurations, alternating rounds to cancel drift, and gates on the
+median ratio.
+"""
+
+import statistics
+import time
+
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioGenerator,
+    clear_verdict_cache,
+)
+from repro.campaigns.oracle import reset_analyzer
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import configure_tracing, read_spans
+
+SEED = 11
+ROUNDS = 5
+OVERHEAD_CEILING = 0.05
+
+
+def _run_once(specs, trace_dir=None) -> float:
+    # Clear the verdict memo and analyzer LRU so every round does the
+    # full evaluation work — otherwise the first round would be the only
+    # one that pays for analysis and the comparison would be noise.
+    clear_verdict_cache()
+    reset_analyzer()
+    started = time.perf_counter()
+    report = CampaignRunner(CampaignConfig(
+        jobs=1, keep_results=False, trace_dir=trace_dir)).run(specs)
+    elapsed = time.perf_counter() - started
+    assert report.scenario_count == len(specs)
+    return elapsed
+
+
+def test_instrumentation_overhead(benchmark, save_result, smoke, tmp_path):
+    count = 24 if smoke else 64
+    specs = ScenarioGenerator(SEED, profile="quick").generate(count)
+    trace_dir = str(tmp_path / "traces")
+
+    def measure():
+        # Warmup outside the clock: imports, kernel tabulation, and any
+        # first-touch allocation happen before either side is timed.
+        obs_metrics.set_metrics_enabled(True)
+        _run_once(specs)
+
+        disabled, instrumented = [], []
+        try:
+            for _ in range(ROUNDS):
+                obs_metrics.set_metrics_enabled(False)
+                configure_tracing(None)
+                disabled.append(_run_once(specs))
+                obs_metrics.set_metrics_enabled(True)
+                instrumented.append(_run_once(specs, trace_dir=trace_dir))
+        finally:
+            obs_metrics.set_metrics_enabled(True)
+            configure_tracing(None)
+        return disabled, instrumented
+
+    disabled, instrumented = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+
+    # The instrumented rounds must actually have instrumented: spans on
+    # disk and scenario counters in the registry, else the gate is
+    # vacuously comparing two disabled runs.
+    assert read_spans(trace_dir), "instrumented rounds emitted no spans"
+    snap = obs_metrics.snapshot()
+    counted = sum(entry["value"] for entry in obs_metrics.snapshot_family(
+        snap, "repro_scenarios_total"))
+    assert counted >= count
+
+    base = statistics.median(disabled)
+    instr = statistics.median(instrumented)
+    overhead = instr / base - 1.0
+    save_result(
+        "observability_overhead",
+        f"scenarios: {count} (fixed seed {SEED}, {ROUNDS} rounds each)\n"
+        f"disabled:     median {base:.3f}s "
+        f"(min {min(disabled):.3f}s, max {max(disabled):.3f}s)\n"
+        f"instrumented: median {instr:.3f}s "
+        f"(min {min(instrumented):.3f}s, max {max(instrumented):.3f}s)\n"
+        f"overhead:     {overhead:+.1%} (ceiling {OVERHEAD_CEILING:.0%})")
+    benchmark.extra_info["disabled_median_s"] = base
+    benchmark.extra_info["instrumented_median_s"] = instr
+    benchmark.extra_info["overhead"] = overhead
+
+    assert overhead <= OVERHEAD_CEILING, (
+        f"instrumentation costs {overhead:.1%} over the disabled path "
+        f"(disabled {base:.3f}s, instrumented {instr:.3f}s)")

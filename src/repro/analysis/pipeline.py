@@ -47,10 +47,20 @@ from ..algebra.base import RoutingAlgebra
 from ..algebra.product import LexicalProduct
 from ..algebra.secure import SecureAlgebra
 from ..algebra.spp import SPPAlgebra
+from ..obs import metrics as _obs_metrics
+from ..obs.trace import TRACER
 from ..smt import Atom, SolverStats
 from ..smt.solver import IncrementalSolver
 from .dispute import build_dispute_digraph, cycle_constraint_sources
 from .encoder import encode
+
+#: Which tier decided each analysis, and tier-2 warm-prefix reuse.
+_DECIDED_FAMILY = "repro_analysis_decided_total"
+_PREFIX_LOOKUPS = {
+    result: _obs_metrics.counter("repro_analysis_prefix_total",
+                                 result=result)
+    for result in ("hit", "miss")
+}
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .safety import SafetyAnalyzer, SafetyReport
@@ -232,9 +242,11 @@ class SmtStage(AnalysisStage):
         entry = self._solvers.get(key)
         if entry is not None:
             self.prefix_hits += 1
+            _PREFIX_LOOKUPS["hit"].inc()
             self._solvers.move_to_end(key)
             return entry
         self.prefix_misses += 1
+        _PREFIX_LOOKUPS["miss"].inc()
         solver = IncrementalSolver()
         base_atoms = list(prefix)
         solver.add(base_atoms)
@@ -318,7 +330,10 @@ class AnalysisPipeline:
         timings: list[StageTiming] = []
         for stage in self.stages:
             started = time.perf_counter()
-            report = stage.try_analyze(algebra, self.analyzer)
+            with TRACER.span(f"analysis:tier{stage.tier}",
+                             stage=stage.name) as stage_span:
+                report = stage.try_analyze(algebra, self.analyzer)
+                stage_span.annotate(decided=report is not None)
             elapsed = time.perf_counter() - started
             if report is None:
                 timings.append(StageTiming(
@@ -327,6 +342,8 @@ class AnalysisPipeline:
                 continue
             timings.append(StageTiming(
                 stage.name, stage.tier, elapsed, True, report.method))
+            _obs_metrics.counter(_DECIDED_FAMILY, tier=stage.tier,
+                                 method=report.method).inc()
             report.tier = stage.tier
             report.stages = tuple(timings)
             return report
@@ -334,8 +351,17 @@ class AnalysisPipeline:
             f"no pipeline stage decided {algebra.name!r}")
 
     def solver_stats(self) -> SolverStats:
-        """Tier-2 solver statistics (zeros when SMT never ran)."""
+        """Tier-2 solver statistics (zeros when SMT never ran).
+
+        Reads bridge the aggregate into ``repro_smt_*`` registry gauges,
+        so snapshot consumers see solver totals without the solver hot
+        path paying for per-operation metric updates.
+        """
         for stage in self.stages:
             if isinstance(stage, SmtStage):
-                return stage.solver_stats()
+                stats = stage.solver_stats()
+                for field in stats.__dataclass_fields__:
+                    _obs_metrics.gauge(f"repro_smt_{field}").set(
+                        getattr(stats, field))
+                return stats
         return SolverStats()

@@ -49,6 +49,8 @@ from ..exec import (
 )
 from ..exec.batch import BatchDeclined, configure_kernel_store, kernel_key_of
 from ..experiments.extraction import extract_spp
+from ..obs import metrics as _obs_metrics
+from ..obs.trace import TRACER, configure_tracing
 from .canonical import canonical_key
 from .report import (
     AGREE,
@@ -81,6 +83,15 @@ _STORE_PID: int | None = None
 _PENDING_HITS: dict[str, int] = {}
 _PENDING_HITS_FLUSH_AT = 256
 
+#: Which cache tier served each safety verdict (memo / shared store /
+#: fresh analyzer solve) and what each scenario classified as.
+_VERDICT_LOOKUPS = {
+    tier: _obs_metrics.counter("repro_verdict_lookups_total", tier=tier)
+    for tier in ("memo", "store", "solved")
+}
+_SCENARIOS_FAMILY = "repro_scenarios_total"
+_DISAGREEMENTS = _obs_metrics.counter("repro_disagreements_total")
+
 
 @dataclass(frozen=True)
 class EvaluationOptions:
@@ -91,6 +102,9 @@ class EvaluationOptions:
     #: Persistent tabulated-kernel store for the batch backend (None
     #: falls back to ``$REPRO_BATCH_KERNEL_CACHE``, unset = in-memory).
     kernel_store_path: str | None = None
+    #: Structured-tracing sink directory (None = tracing off).  Carried
+    #: in the options so ProcessPool workers configure their own sink.
+    trace_dir: str | None = None
 
 
 def _analyzer() -> SafetyAnalyzer:
@@ -171,6 +185,7 @@ def cached_verdict(
     """``(safe, method, cache_hit)`` for the subject's constraint system."""
     key = repr(canonical_key(subject))
     hit = key in _VERDICT_CACHE
+    tier = "memo" if hit else "solved"
     if not hit and _STORE is not None:
         # Read-through: the attach-time bulk load only saw rows that
         # existed then; in a shared write-through fleet a *sibling worker*
@@ -180,6 +195,7 @@ def cached_verdict(
         if stored is not None:
             _VERDICT_CACHE[key] = stored
             hit = True
+            tier = "store"
     if not hit:
         report = _analyzer().analyze(subject)
         _VERDICT_CACHE[key] = (report.safe, report.method)
@@ -192,7 +208,9 @@ def cached_verdict(
         _PENDING_HITS[key] = _PENDING_HITS.get(key, 0) + 1
         if sum(_PENDING_HITS.values()) >= _PENDING_HITS_FLUSH_AT:
             flush_store_hits()
+    _VERDICT_LOOKUPS[tier].inc()
     safe, method = _VERDICT_CACHE[key]
+    TRACER.annotate(verdict_tier=tier, method=method, safe=safe)
     return safe, method, hit
 
 
@@ -210,12 +228,23 @@ def evaluate(spec: ScenarioSpec,
     """
     options = options or EvaluationOptions()
     started = time.perf_counter()
+    with TRACER.span("scenario", trace_id=spec.trace_id,
+                     scenario_id=spec.scenario_id, family=spec.family,
+                     algebra=spec.algebra) as scenario_span:
+        return _evaluate_traced(spec, options, precomputed,
+                                started, scenario_span)
+
+
+def _evaluate_traced(spec, options, precomputed, started, scenario_span):
     try:
-        scenario = materialize(spec)
+        with TRACER.span("materialize"):
+            scenario = materialize(spec)
         safe = method = None
         cache_hit = False
         if scenario.analysis_subject is not None:
-            safe, method, cache_hit = cached_verdict(scenario.analysis_subject)
+            with TRACER.span("analysis:verdict"):
+                safe, method, cache_hit = cached_verdict(
+                    scenario.analysis_subject)
 
         # Backends declare per-scenario applicability (the HLP protocol
         # cannot execute, say, an iBGP reflection hierarchy), so one
@@ -234,25 +263,32 @@ def evaluate(spec: ScenarioSpec,
             if precomputed is not None and name in precomputed:
                 sessions.append(None)
                 outcomes.append(precomputed[name])
+                with TRACER.span("backend:run", backend=name,
+                                 precomputed=True):
+                    pass
                 continue
             # Each session owns a mutable network: re-materialize for every
             # backend after the first (materialization is deterministic).
             scn = fresh_scenario if fresh_scenario is not None \
                 else materialize(spec)
             fresh_scenario = None
-            session = get_backend(name).prepare(
-                scn, seed=spec.seed, log_routes=scn.log_routes)
-            schedule_events(session, scn.events)
-            try:
-                outcome = session.run(until=spec.until,
-                                      max_events=spec.max_events)
-            except BatchDeclined:
-                # A monotone-mode kernel bailed at run time (transient
-                # crossed the closure horizon): the scenario is simply
-                # not batchable after all — drop the backend from this
-                # scenario's differential, exactly as if supports() had
-                # said no.  Never an ERROR: the scalar engines carry on.
-                continue
+            with TRACER.span("backend:run", backend=name) as backend_span:
+                session = get_backend(name).prepare(
+                    scn, seed=spec.seed, log_routes=scn.log_routes)
+                schedule_events(session, scn.events)
+                try:
+                    outcome = session.run(until=spec.until,
+                                          max_events=spec.max_events)
+                except BatchDeclined:
+                    # A monotone-mode kernel bailed at run time (transient
+                    # crossed the closure horizon): the scenario is simply
+                    # not batchable after all — drop the backend from this
+                    # scenario's differential, exactly as if supports() had
+                    # said no.  Never an ERROR: the scalar engines carry on.
+                    backend_span.annotate(declined=True)
+                    continue
+                backend_span.annotate(converged=outcome.converged,
+                                      messages=outcome.messages)
             sessions.append(session)
             outcomes.append(outcome)
         if not outcomes:
@@ -265,11 +301,12 @@ def evaluate(spec: ScenarioSpec,
             # backend's route log) and analyze that.  Precomputed outcomes
             # never cover this family (the batch backend declines subjects
             # requiring post-run extraction), so sessions[0] is live.
-            extracted = extract_spp(sessions[0], scenario.extract_dest)
-            safe, method, cache_hit = cached_verdict(extracted)
+            with TRACER.span("analysis:verdict", extracted=True):
+                extracted = extract_spp(sessions[0], scenario.extract_dest)
+                safe, method, cache_hit = cached_verdict(extracted)
 
         primary = outcomes[0]
-        return ScenarioResult(
+        result = ScenarioResult(
             spec=spec,
             classification=classify(safe, primary.converged),
             safe=safe,
@@ -284,7 +321,18 @@ def evaluate(spec: ScenarioSpec,
             pairwise=_pairwise(scenario, safe, outcomes),
             hijack=_hijack_verdict(scenario, outcomes),
         )
+        _obs_metrics.counter(_SCENARIOS_FAMILY,
+                             classification=result.classification).inc()
+        scenario_span.annotate(classification=result.classification)
+        if result.is_disagreement:
+            _DISAGREEMENTS.inc()
+            scenario_span.set_status("error")
+            scenario_span.annotate(disagreement=True)
+        return result
     except Exception as exc:  # noqa: BLE001 — a worker must survive any spec
+        _obs_metrics.counter(_SCENARIOS_FAMILY, classification=ERROR).inc()
+        scenario_span.set_status("error")
+        scenario_span.annotate(error=f"{type(exc).__name__}: {exc}")
         return ScenarioResult(
             spec=spec,
             classification=ERROR,
@@ -415,8 +463,9 @@ def _precompute_batch(specs: list[ScenarioSpec],
     members.sort(key=lambda member: (repr(kernel_key_of(member[1])),
                                      member[0]))
     try:
-        outcomes = backend.prepare_batch(
-            [scenario for _, scenario in members]).run(partial=True)
+        with TRACER.span("batch:chunk", scenarios=len(members)):
+            outcomes = backend.prepare_batch(
+                [scenario for _, scenario in members]).run(partial=True)
     except Exception:  # noqa: BLE001 - scalar fallback keeps the chunk alive
         return {}
     # partial=True yields None for kernel groups that declined at run
@@ -443,6 +492,10 @@ def evaluate_chunk(specs: list[ScenarioSpec],
     """
     options = options or EvaluationOptions()
     configure_verdict_store(options.verdict_store_path)
+    if options.trace_dir is not None:
+        # Each pool process configures its own sink (pid-distinct worker
+        # name), so spans are tagged with their owning worker.
+        configure_tracing(options.trace_dir)
     try:
         batched = _precompute_batch(specs, options)
         return [evaluate(spec, options,

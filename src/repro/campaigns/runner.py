@@ -31,6 +31,7 @@ Budgets:
 from __future__ import annotations
 
 import itertools
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -38,6 +39,9 @@ from typing import Iterable, Iterator, Sequence
 
 from ..exec import DEFAULT_BACKENDS, resolve_backends
 from ..exec.batch import numpy_available
+from ..obs import metrics as _obs_metrics
+from ..obs.live import render_dashboard
+from ..obs.trace import configure_tracing
 from .oracle import (
     EvaluationOptions,
     configure_verdict_store,
@@ -76,6 +80,13 @@ class CampaignConfig:
     #: Optional path of a persistent cross-process kernel cache (sqlite);
     #: also configurable via ``REPRO_BATCH_KERNEL_CACHE``.
     kernel_cache_path: str | None = None
+    #: Optional directory for per-scenario structured trace spans
+    #: (``repro-span/1`` JSONL); ``None`` leaves tracing disabled.
+    trace_dir: str | None = None
+    #: Render a live registry dashboard to stderr while the campaign runs.
+    watch: bool = False
+    #: Seconds between live dashboard refreshes under ``watch``.
+    watch_interval_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -97,7 +108,40 @@ class CampaignConfig:
         return EvaluationOptions(
             backends=self.backends,
             verdict_store_path=self.verdict_cache_path,
-            kernel_store_path=self.kernel_cache_path)
+            kernel_store_path=self.kernel_cache_path,
+            trace_dir=self.trace_dir)
+
+
+class _CampaignWatch:
+    """The live campaign dashboard (``repro campaign --watch``): renders
+    the local registry snapshot to stderr between results.
+
+    In serial mode the registry holds the whole campaign (evaluation is
+    in-process); in parallel mode the scenario counters live in the pool
+    workers, so the headline still tracks progress through the
+    aggregator's extra lines while the registry sections show what the
+    parent observed.  Fleet-wide merged views are the coordinator's
+    ``watch`` command, which merges worker snapshots off the bus.
+    """
+
+    def __init__(self, interval_s: float = 2.0, stream=None):
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._last = 0.0
+
+    def maybe_render(self, state: "_RunState", *,
+                     force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last < self.interval_s:
+            return
+        self._last = now
+        extra = [f"evaluated: {state.aggregator.total}"
+                 f"  disagreements: {state.disagreements}"]
+        if state.aborted:
+            extra.append(f"aborted: {state.aborted}")
+        print(render_dashboard(_obs_metrics.snapshot(), title="campaign",
+                               extra_lines=extra),
+              file=self.stream, flush=True)
 
 
 @dataclass
@@ -109,12 +153,15 @@ class _RunState:
     extra_sink: ResultSink | None = None
     disagreements: int = 0
     aborted: str | None = field(default=None)
+    watch: _CampaignWatch | None = None
 
     def consume(self, result: ScenarioResult) -> None:
         self.aggregator.accept(result)
         if self.extra_sink is not None:
             self.extra_sink.accept(result)
         self.disagreements += result.is_disagreement
+        if self.watch is not None:
+            self.watch.maybe_render(self)
 
 
 class CampaignRunner:
@@ -134,6 +181,10 @@ class CampaignRunner:
         """Evaluate a spec stream; ``sink`` additionally receives every
         result in completion order (e.g. a JSONL writer)."""
         started = time.perf_counter()
+        if self.config.trace_dir is not None:
+            # Serial evaluation runs in this process; pool workers
+            # re-configure themselves from the options they receive.
+            configure_tracing(self.config.trace_dir)
         state = _RunState(
             started=started,
             aggregator=AggregatingSink(
@@ -141,12 +192,16 @@ class CampaignRunner:
                 max_retained=self.config.max_retained,
                 backends=self.config.backends),
             extra_sink=sink,
+            watch=(_CampaignWatch(self.config.watch_interval_s)
+                   if self.config.watch else None),
         )
         spec_iter = iter(specs)
         if self.config.jobs == 1:
             self._run_serial(spec_iter, state)
         else:
             self._run_parallel(spec_iter, state)
+        if state.watch is not None:
+            state.watch.maybe_render(state, force=True)
         return state.aggregator.report(
             wall_clock_s=time.perf_counter() - started,
             jobs=self.config.jobs,
@@ -299,6 +354,8 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
                  verdict_cache_path: str | None = None,
                  auto_batch: bool = True,
                  kernel_cache_path: str | None = None,
+                 trace_dir: str | None = None,
+                 watch: bool = False,
                  shard_index: int = 0, shard_count: int = 1,
                  sink: ResultSink | None = None,
                  coordinator: str | None = None,
@@ -326,7 +383,9 @@ def run_campaign(count: int, *, seed: int = 0, jobs: int = 1,
         keep_results=keep_results,
         verdict_cache_path=verdict_cache_path,
         auto_batch=auto_batch,
-        kernel_cache_path=kernel_cache_path))
+        kernel_cache_path=kernel_cache_path,
+        trace_dir=trace_dir,
+        watch=watch))
     return runner.run_generated(count, seed=seed, families=families,
                                 profile=profile, deployment=deployment,
                                 shard_index=shard_index,

@@ -33,6 +33,8 @@ import random
 from dataclasses import dataclass, replace
 from typing import Any, Iterator, Sequence
 
+from ..obs.trace import scenario_trace_id
+
 #: Topology families a spec can name.
 FAMILIES = ("gadget", "caida", "hierarchy", "rocketfuel", "ibgp", "hlp",
             "multipath", "tau-sweep", "secure-rov", "secure-hijack")
@@ -111,6 +113,14 @@ class ScenarioSpec:
             if k == key:
                 return v
         return default
+
+    @property
+    def trace_id(self) -> str:
+        """The scenario's observability trace ID, minted at spec
+        generation as a pure function of ``(family, scenario_id, seed)``
+        — so a re-generated spec (reclaimed lease, reproducer rerun)
+        lands its spans in the same trace."""
+        return scenario_trace_id(self.family, self.scenario_id, self.seed)
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict rendering used in reproducer reports."""

@@ -33,7 +33,17 @@ import sqlite3
 import time
 from dataclasses import dataclass
 
+from ..obs import metrics as _obs_metrics
+
 SCHEMA_VERSION = 3
+
+#: Store I/O counters (the durable per-row ``hits`` column still drives
+#: eviction; these registry series are the live telemetry view).
+_STORE_OPS = {
+    op: _obs_metrics.counter("repro_store_ops_total", store="verdict",
+                             op=op)
+    for op in ("get_hit", "get_miss", "put", "touch")
+}
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS verdicts (
@@ -248,7 +258,9 @@ class VerdictStore:
             "SELECT safe, method FROM verdicts WHERE key = ?",
             (key,)).fetchone()
         if row is None:
+            _STORE_OPS["get_miss"].inc()
             return None
+        _STORE_OPS["get_hit"].inc()
         return bool(row[0]), row[1]
 
     def __len__(self) -> int:
@@ -259,6 +271,7 @@ class VerdictStore:
 
     def put(self, key: str, safe: bool, method: str) -> None:
         """Record one verdict; racing duplicates are ignored, not errors."""
+        _STORE_OPS["put"].inc()
         self._retry_locked(
             lambda: self._conn.execute(
                 "INSERT OR IGNORE INTO verdicts "
@@ -278,6 +291,7 @@ class VerdictStore:
         """
         if not counts:
             return
+        _STORE_OPS["touch"].inc(sum(counts.values()))
         self._retry_locked(
             lambda: self._conn.executemany(
                 "UPDATE verdicts SET hits = hits + ? WHERE key = ?",

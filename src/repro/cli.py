@@ -29,7 +29,16 @@ Python:
   the shared bus the moment they are found, and every worker honors
   fleet-wide early abort within one chunk latency;
 * ``verdicts <path> [--stats|--compact]`` — inspect a persistent verdict
-  cache's hit statistics, or evict the rows no campaign ever re-used.
+  cache's hit statistics, or evict the rows no campaign ever re-used;
+* ``trace show <scenario-id> [--trace-dir DIR]`` — render the merged
+  span tree a traced campaign (``campaign --trace-dir`` or a coordinator
+  initialized with ``--trace``) recorded for one scenario: spec
+  materialization, every backend run, analysis tiers, verdict, and (in a
+  fleet) the owning lease/worker.  ``campaign --watch`` and
+  ``campaign-coordinator watch`` render live dashboards from the same
+  metrics registry; ``--format json`` on ``verdicts --stats`` and
+  ``campaign-coordinator status`` emits the versioned ``repro-obs/1``
+  envelope.
 
 Exit codes are consistent across subcommands: **0** when the command ran
 and the verdict is good (safe / converged / no disagreement), **1** when
@@ -205,6 +214,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             verdict_cache_path=args.verdict_cache,
             auto_batch=not args.no_batch,
             kernel_cache_path=args.kernel_cache,
+            trace_dir=args.trace_dir,
+            watch=args.watch,
             shard_index=args.shard_index,
             shard_count=args.shard_count,
             sink=sink,
@@ -266,6 +277,31 @@ def _campaign_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace show <scenario-id>``: render one scenario's merged
+    span tree (spec-gen → lease → backends → oracle verdict) from the
+    JSONL trace sink a traced campaign wrote."""
+    import os
+
+    from .obs.trace import TRACE_DIR_ENV, render_span_tree, spans_for_scenario
+    directory = args.trace_dir or os.environ.get(TRACE_DIR_ENV)
+    if not directory:
+        print(f"trace rejected: pass --trace-dir or set {TRACE_DIR_ENV}",
+              file=sys.stderr)
+        return 2
+    if not os.path.isdir(directory):
+        print(f"trace rejected: no such directory: {directory}",
+              file=sys.stderr)
+        return 2
+    spans = spans_for_scenario(directory, args.scenario_id)
+    if not spans:
+        print(f"no spans recorded for scenario {args.scenario_id} "
+              f"in {directory}", file=sys.stderr)
+        return 1
+    print(render_span_tree(spans))
+    return 0
+
+
 def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
     import json as _json
     import time as _time
@@ -294,6 +330,7 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
                 planted=tuple(planted),
                 shared_verdicts=not args.no_shared_verdicts,
                 auto_batch=not args.no_batch,
+                trace=args.trace,
             )
             # Fail bad families/profiles/backends at init time, not in
             # every worker after it leased a unit.
@@ -318,6 +355,9 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
             if plan.planted:
                 print(f"  planted disagreement drill at scenario(s) "
                       f"{sorted(plan.planted)}")
+            if plan.trace:
+                print(f"  tracing enabled: spans land in "
+                      f"{coordinator.trace_dir}")
             print(f"attach workers with: repro campaign --coordinator "
                   f"{args.path}")
         finally:
@@ -332,7 +372,19 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
     try:
         if args.action == "status":
             status = coordinator.status()
-            if args.json:
+            if getattr(args, "format", "text") == "json":
+                # The versioned obs envelope: fleet-merged registry
+                # snapshot plus the control-plane state.  The legacy
+                # --json shape below stays byte-compatible for existing
+                # consumers.
+                from .obs.live import obs_payload
+                payload = obs_payload(
+                    "coordinator-status",
+                    coordinator.fleet_metrics(),
+                    status=status.to_dict(),
+                    report=coordinator.merged_report().to_dict())
+                print(_json.dumps(payload, indent=2, default=repr))
+            elif args.json:
                 payload = status.to_dict()
                 payload["report"] = coordinator.merged_report().to_dict()
                 print(_json.dumps(payload, indent=2, default=repr))
@@ -341,6 +393,7 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
             return 0
         # watch: poll until the fleet drains or aborts, then gate like
         # `repro campaign` — 0 only when the merged report is clean.
+        from .obs.live import render_dashboard
         while True:
             status = coordinator.status()
             print(f"  {status.status}: "
@@ -349,6 +402,12 @@ def cmd_campaign_coordinator(args: argparse.Namespace) -> int:
                   f"{status.units_total}, "
                   f"{status.disagreements} disagreement(s)",
                   flush=True)
+            fleet = coordinator.fleet_metrics()
+            if fleet.get("counters") or fleet.get("gauges") \
+                    or fleet.get("histograms"):
+                # Registry snapshots merged fleet-wide off the bus — the
+                # live dashboard the SSE service plane will stream.
+                print(render_dashboard(fleet, title="fleet"), flush=True)
             if status.finished:
                 break
             # Only workers advance campaign status, so a watch must not
@@ -395,6 +454,19 @@ def cmd_verdicts(args: argparse.Namespace) -> int:
         stats = store.stats()
     finally:
         store.close()
+    if getattr(args, "format", "text") == "json":
+        import json as _json
+
+        from .obs import metrics as _obs_metrics
+        from .obs.live import obs_payload
+        # Same envelope as `campaign-coordinator status --format json`:
+        # the registry snapshot (this process's store-op counters) plus
+        # the store's persistent statistics.
+        print(_json.dumps(obs_payload("verdict-stats",
+                                      _obs_metrics.snapshot(),
+                                      store=stats),
+                          indent=2, default=repr))
+        return 0
     print(f"verdict cache {args.path}:")
     print(f"  schema:   v{stats['schema_version']}")
     if stats["retention"]:
@@ -505,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent sqlite cache of tabulated batch "
                         "kernels (default: $REPRO_BATCH_KERNEL_CACHE "
                         "if set, else in-memory only)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="emit per-scenario structured trace spans "
+                        "(repro-span/1 JSONL) into DIR; inspect them "
+                        "with `repro trace show <scenario-id>`")
+    p.add_argument("--watch", action="store_true",
+                   help="render a live metrics dashboard to stderr "
+                        "while the campaign runs")
     p.add_argument("--shard-index", type=int, default=0,
                    help="this shard's index into the spec stream")
     p.add_argument("--shard-count", type=int, default=1,
@@ -557,12 +636,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shared-verdicts", action="store_true",
                    help="[init] per-worker verdict memos instead of the "
                         "shared write-through store")
+    p.add_argument("--trace", action="store_true",
+                   help="[init] fleet workers emit structured trace "
+                        "spans into the campaign directory's traces/ "
+                        "sink (`repro trace show --trace-dir DIR/traces`)")
     p.add_argument("--interval", type=float, default=2.0,
                    help="[watch] seconds between progress polls")
     p.add_argument("--json", action="store_true",
                    help="[status] machine-readable snapshot incl. the "
-                        "live-merged report")
+                        "live-merged report (legacy shape)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="[status] text (default) or the repro-obs/1 "
+                        "envelope: fleet-merged metrics snapshot plus "
+                        "status and the live-merged report")
     p.set_defaults(fn=cmd_campaign_coordinator)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect structured trace spans from a traced campaign")
+    p.add_argument("action", choices=("show",))
+    p.add_argument("scenario_id", type=int,
+                   help="scenario id whose merged span tree to render")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="trace sink directory (default: $REPRO_TRACE_DIR)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "verdicts",
@@ -574,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compact", action="store_true",
                    help="evict never-hit verdicts and reclaim space, "
                         "then print statistics")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text (default) or the repro-obs/1 envelope: "
+                        "registry snapshot plus store statistics")
     p.set_defaults(fn=cmd_verdicts)
 
     return parser

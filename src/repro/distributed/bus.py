@@ -34,6 +34,11 @@ Event kinds:
     exhausted); carries the reason.
 ``note``
     Free-form breadcrumbs (used by tests and drills).
+``metrics``
+    A worker's ``repro-metrics/1`` registry snapshot (published at unit
+    completion and worker exit).  The coordinator's
+    ``fleet_metrics()`` merges the latest snapshot per worker into the
+    fleet-wide view the watch dashboards and ``--format json`` serve.
 """
 
 from __future__ import annotations
@@ -44,10 +49,13 @@ import sqlite3
 import time
 from dataclasses import dataclass
 
+from ..obs import metrics as _obs_metrics
+
 #: Event kinds with protocol meaning (anything else is a note).
 DISAGREEMENT = "disagreement"
 ABORT = "abort"
 NOTE = "note"
+METRICS = "metrics"
 
 _BUS_SCHEMA = """
 CREATE TABLE IF NOT EXISTS bus_events (
@@ -130,6 +138,7 @@ class DisagreementBus:
             "VALUES (?, ?, ?, ?, ?)",
             (stamp, worker, kind, scenario_id, detail))
         self._conn.commit()
+        _obs_metrics.counter("repro_bus_events_total", kind=kind).inc()
         return BusEvent(cursor.lastrowid, stamp, worker, kind,
                         scenario_id, detail)
 
@@ -206,6 +215,20 @@ class DisagreementBus:
                 if kind is None or record.get("kind") == kind:
                     records.append(record)
         return records
+
+    def latest_metrics_payloads(self) -> dict[str, dict]:
+        """The newest ``metrics`` snapshot per worker.
+
+        Workers publish cumulative registry snapshots, so merging the
+        *latest* per worker (never summing successive ones) yields the
+        fleet totals.
+        """
+        latest: dict[str, dict] = {}
+        for record in self.read_payloads(METRICS):
+            payload = record.get("payload")
+            if isinstance(payload, dict):
+                latest[record.get("worker", "?")] = payload
+        return latest
 
     def close(self) -> None:
         self._conn.close()

@@ -48,11 +48,20 @@ import sqlite3
 import time
 from dataclasses import dataclass, field, replace
 
+from ..obs import metrics as _obs_metrics
 from .bus import ABORT, DisagreementBus
 
 COORDINATOR_DB = "coordinator.sqlite"
 SHARED_VERDICTS = "verdicts.sqlite"
 SHARED_KERNELS = "kernels.sqlite"
+TRACE_DIR = "traces"
+
+#: Lease-protocol telemetry (acquisitions, crash reclaims, completions,
+#: first-wins duplicate discards).
+_LEASES = {
+    kind: _obs_metrics.counter("repro_fleet_leases_total", kind=kind)
+    for kind in ("acquired", "reclaimed", "completed", "duplicate")
+}
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS plan (
@@ -133,6 +142,10 @@ class CampaignPlan:
     #: when ``shared_verdicts`` allows shared files at all).
     auto_batch: bool = True
     max_retained: int = 200
+    #: Structured tracing: workers emit ``repro-span/1`` JSONL into the
+    #: campaign directory's ``traces/`` sink (per-worker files, so no
+    #: shared-file gate applies).
+    trace: bool = False
     created_at: float = 0.0
 
     def __post_init__(self):
@@ -177,6 +190,7 @@ class CampaignPlan:
             "shared_verdicts": self.shared_verdicts,
             "auto_batch": self.auto_batch,
             "max_retained": self.max_retained,
+            "trace": self.trace,
             "created_at": self.created_at,
         }
         return json.dumps(body)
@@ -389,6 +403,14 @@ class CampaignCoordinator:
             return None
         return os.path.join(self.directory, SHARED_KERNELS)
 
+    @property
+    def trace_dir(self) -> str | None:
+        """The campaign's span sink, or None when the plan leaves
+        tracing off."""
+        if not self.plan().trace:
+            return None
+        return os.path.join(self.directory, TRACE_DIR)
+
     # -- lease protocol -------------------------------------------------------
 
     def _lease_clock(self, now: float | None) -> float:
@@ -431,6 +453,9 @@ class CampaignCoordinator:
                 "reclaims = reclaims + ? WHERE unit_id = ?",
                 (LEASED, worker, now + ttl, int(reclaimed), unit_id))
             self._touch_worker(worker, now)
+        _LEASES["acquired"].inc()
+        if reclaimed:
+            _LEASES["reclaimed"].inc()
         return WorkUnit(unit_id, start, stop, now + ttl, reclaimed)
 
     def heartbeat(self, worker: str, unit_id: int, *,
@@ -468,6 +493,7 @@ class CampaignCoordinator:
             if state is None:
                 raise ValueError(f"unknown unit {unit_id}")
             if state[0] == DONE:
+                _LEASES["duplicate"].inc()
                 return False
             self._conn.execute(
                 "UPDATE units SET state = ?, report = ?, completed_at = ?, "
@@ -489,6 +515,7 @@ class CampaignCoordinator:
                     "UPDATE plan SET status = ? "
                     "WHERE id = 1 AND status = ?",
                     (FINISHED, RUNNING))
+        _LEASES["completed"].inc()
         return True
 
     # -- fleet state ----------------------------------------------------------
@@ -622,6 +649,14 @@ class CampaignCoordinator:
             },
         }
         return merged
+
+    def fleet_metrics(self) -> dict:
+        """The fleet-wide ``repro-metrics/1`` snapshot: the latest
+        registry snapshot each worker published on the bus, merged.
+        Empty-but-valid when no worker has published yet."""
+        payloads = self.bus.latest_metrics_payloads()
+        return _obs_metrics.merge_snapshots(
+            [payloads[worker] for worker in sorted(payloads)])
 
     def all_units_done(self) -> bool:
         return self._conn.execute(

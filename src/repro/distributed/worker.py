@@ -49,8 +49,13 @@ from ..campaigns.sink import AggregatingSink, BusSink, ResultSink
 from ..campaigns.spec import ScenarioGenerator
 from ..exec import resolve_backends
 from ..exec.batch import numpy_available
-from .bus import ABORT, DISAGREEMENT
+from ..obs import metrics as _obs_metrics
+from ..obs.trace import TRACER, configure_tracing
+from .bus import ABORT, DISAGREEMENT, METRICS
 from .coordinator import ABORTED, CampaignCoordinator, WorkUnit
+
+#: Fleet-wide bus notification latency (publish → first observation).
+_BUS_LATENCY = _obs_metrics.histogram("repro_bus_latency_seconds")
 
 
 def default_worker_id() -> str:
@@ -99,8 +104,14 @@ class DistributedWorker:
         options = EvaluationOptions(
             backends=self.backends,
             verdict_store_path=coordinator.verdict_cache_path,
-            kernel_store_path=coordinator.kernel_cache_path)
+            kernel_store_path=coordinator.kernel_cache_path,
+            trace_dir=coordinator.trace_dir)
         configure_verdict_store(options.verdict_store_path)
+        if options.trace_dir is not None:
+            # Spans this worker emits carry its fleet identity, not the
+            # default hostname-pid (they are the same process here, but
+            # the lease ledger and the trace must agree on names).
+            configure_tracing(options.trace_dir, worker=self.worker_id)
         bus_sink = BusSink(coordinator.bus, self.worker_id)
         # Latency samples must measure *notification* latency, so the
         # cursor starts at join time; abort decisions use the bus-wide
@@ -123,6 +134,7 @@ class DistributedWorker:
                 self._run_unit(unit, options, bus_sink)
         finally:
             flush_store_hits()
+            self._publish_metrics()
             latency = (sum(self._latency_samples)
                        / len(self._latency_samples)
                        if self._latency_samples else None)
@@ -137,6 +149,16 @@ class DistributedWorker:
 
     def _run_unit(self, unit: WorkUnit, options: EvaluationOptions,
                   bus_sink: BusSink) -> None:
+        # Every span a lease produces is stamped with the unit's identity
+        # (the ambient scope), so a reclaimed unit's two attempts are
+        # distinguishable inside the one merged per-scenario trace.
+        with TRACER.ambient(unit_id=unit.unit_id, lease_worker=self.worker_id):
+            with TRACER.span("unit:lease", start=unit.start, stop=unit.stop,
+                             reclaimed=unit.reclaimed):
+                self._run_unit_leased(unit, options, bus_sink)
+
+    def _run_unit_leased(self, unit: WorkUnit, options: EvaluationOptions,
+                         bus_sink: BusSink) -> None:
         plan = self.plan
         generator = ScenarioGenerator(plan.seed, families=plan.families,
                                       profile=plan.profile)
@@ -160,6 +182,7 @@ class DistributedWorker:
             if not self.coordinator.heartbeat(
                     self.worker_id, unit.unit_id,
                     scenarios=chunk_stop - chunk_start):
+                TRACER.annotate(abandoned="lease reclaimed")
                 return  # lease reclaimed: the new owner re-derives the unit
             self.aborted = self._fleet_stop()
             if self.aborted:
@@ -170,6 +193,18 @@ class DistributedWorker:
         if self.coordinator.complete(self.worker_id, unit.unit_id,
                                      report.to_state()):
             self.units_done += 1
+            self._publish_metrics()
+
+    def _publish_metrics(self) -> None:
+        """Put this worker's cumulative registry snapshot on the bus; the
+        coordinator merges the latest per worker into the fleet view."""
+        try:
+            self.coordinator.bus.publish(
+                METRICS, self.worker_id,
+                detail=f"units={self.units_done}",
+                payload=_obs_metrics.snapshot())
+        except OSError:
+            pass  # telemetry must never kill a worker
 
     def _plant(self, result: ScenarioResult) -> ScenarioResult:
         """The fleet drill: rewrite a planted scenario into a synthetic
@@ -216,7 +251,9 @@ class DistributedWorker:
             self._bus_cursor = event.event_id
             if event.worker != self.worker_id \
                     and event.kind in (DISAGREEMENT, ABORT):
-                self._latency_samples.append(max(0.0, now - event.time))
+                sample = max(0.0, now - event.time)
+                self._latency_samples.append(sample)
+                _BUS_LATENCY.observe(sample)
 
 
 def run_distributed_worker(directory: str, *,

@@ -73,6 +73,7 @@ from ..algebra.extended import ExtendedAlgebra
 from ..algebra.hlp import HLPCostAlgebra
 from ..algebra.spp import SPPAlgebra
 from ..net.simulator import StopReason
+from ..obs import metrics as _obs_metrics
 from .base import (
     BatchExecutionSession,
     ExecutionBackend,
@@ -110,52 +111,82 @@ KERNEL_CACHE_ENV = "REPRO_BATCH_KERNEL_CACHE"
 #: Round budget multiplier for the monotone-mode Jacobi iteration.
 _MONOTONE_ROUND_SLACK = 4
 
-_KERNEL_STATS = {
-    "memo_hits": 0,        # per-algebra-instance memo
-    "cache_hits": 0,       # process-wide canonical-key cache
-    "cache_misses": 0,
-    "store_hits": 0,       # persistent kernel store
-    "store_misses": 0,
-    "tabulations": 0,      # closures actually computed this process
-    "tabulation_s": 0.0,
-    "runtime_declines": 0,  # monotone-mode BatchDeclined bails
+#: Kernel amortization counters, now series of the process metrics
+#: registry (``repro_batch_kernel_events_total{event=...}`` plus the
+#: tabulation wall-clock total).  The dict views below keep their
+#: historical shapes; the registry is the single source of truth.
+_KERNEL_EVENTS = {
+    name: _obs_metrics.counter("repro_batch_kernel_events_total",
+                               event=name)
+    for name in (
+        "memo_hits",        # per-algebra-instance memo
+        "cache_hits",       # process-wide canonical-key cache
+        "cache_misses",
+        "store_hits",       # persistent kernel store
+        "store_misses",
+        "tabulations",      # closures actually computed this process
+        "runtime_declines",  # monotone-mode BatchDeclined bails
+    )
 }
+_TABULATION_SECONDS = _obs_metrics.counter(
+    "repro_batch_tabulation_seconds_total")
 
 #: Per-phase telemetry of the vectorized session (wall time by phase,
 #: relaxation rounds-per-fixpoint histogram, frontier occupancy, and the
 #: deepening / hazard counters).  Snapshot via :func:`batch_phase_stats`.
-_PHASE_STATS = {
-    "scan_s": 0.0,       # topology scan + problem compilation
-    "tabulate_s": 0.0,   # kernel lookup/tabulation (all cache tiers)
-    "relax_s": 0.0,      # the relaxation proper
-    "render_s": 0.0,     # outcome (route table) rendering
-    "rounds": {},        # rounds-to-fixpoint -> group count
-    "frontier_cells": 0,   # Σ active cells over all frontier rounds
-    "frontier_rounds": 0,  # frontier rounds executed
-    "state_cells": 0,      # Σ state-vector length over all groups
-    "deepenings": 0,       # bounded-hole closure deepenings performed
-    "hazard_declines": 0,  # Jacobi tie-hazard bails (subset of declines)
+_PHASE_SECONDS = {
+    phase: _obs_metrics.counter("repro_batch_phase_seconds_total",
+                                phase=phase)
+    for phase in (
+        "scan",      # topology scan + problem compilation
+        "tabulate",  # kernel lookup/tabulation (all cache tiers)
+        "relax",     # the relaxation proper
+        "render",    # outcome (route table) rendering
+    )
 }
+_PHASE_EVENTS = {
+    name: _obs_metrics.counter("repro_batch_relax_events_total",
+                               event=name)
+    for name in (
+        "frontier_cells",   # Σ active cells over all frontier rounds
+        "frontier_rounds",  # frontier rounds executed
+        "state_cells",      # Σ state-vector length over all groups
+        "deepenings",       # bounded-hole closure deepenings performed
+        "hazard_declines",  # Jacobi tie-hazard bails (subset of declines)
+    )
+}
+
+#: rounds-to-fixpoint histogram family; labeled per observed round count,
+#: so handles are re-acquired in :func:`_note_rounds` and the reset drops
+#: the dynamically-created series.
+_ROUNDS_FAMILY = "repro_batch_relax_rounds_total"
 
 
 def batch_phase_stats() -> dict:
-    """Snapshot of per-phase timing/occupancy counters."""
-    out = dict(_PHASE_STATS)
-    out["rounds"] = dict(_PHASE_STATS["rounds"])
+    """Snapshot of per-phase timing/occupancy counters (a registry view)."""
+    rounds = {
+        int(dict(labels)["rounds"]): int(metric.value)
+        for labels, metric in
+        _obs_metrics.get_registry().family(_ROUNDS_FAMILY).items()
+    }
+    out = {f"{phase}_s": handle.value
+           for phase, handle in _PHASE_SECONDS.items()}
+    out["rounds"] = rounds
+    out.update((name, int(handle.value))
+               for name, handle in _PHASE_EVENTS.items())
     return out
 
 
 def reset_batch_phase_stats() -> None:
-    for key, value in _PHASE_STATS.items():
-        if key == "rounds":
-            value.clear()
-        else:
-            _PHASE_STATS[key] = 0.0 if key.endswith("_s") else 0
+    for handle in _PHASE_SECONDS.values():
+        handle.reset()
+    for handle in _PHASE_EVENTS.values():
+        handle.reset()
+    _obs_metrics.get_registry().reset(_ROUNDS_FAMILY, drop=True)
 
 
 def _note_rounds(rounds: int) -> None:
-    hist = _PHASE_STATS["rounds"]
-    hist[rounds] = hist.get(rounds, 0) + 1
+    _obs_metrics.counter(_ROUNDS_FAMILY, rounds=rounds).inc()
 
 #: Persistent store state (fork-guarded; see configure_kernel_store).
 _STORE = None
@@ -177,13 +208,17 @@ class BatchDeclined(RuntimeError):
 
 
 def kernel_cache_stats() -> dict:
-    """Snapshot of kernel amortization counters (benchmark/CI telemetry)."""
-    return dict(_KERNEL_STATS)
+    """Snapshot of kernel amortization counters (a registry view)."""
+    out = {name: int(handle.value)
+           for name, handle in _KERNEL_EVENTS.items()}
+    out["tabulation_s"] = _TABULATION_SECONDS.value
+    return out
 
 
 def reset_kernel_cache_stats() -> None:
-    for key in _KERNEL_STATS:
-        _KERNEL_STATS[key] = 0.0 if key == "tabulation_s" else 0
+    for handle in _KERNEL_EVENTS.values():
+        handle.reset()
+    _TABULATION_SECONDS.reset()
 
 
 def numpy_available() -> bool:
@@ -574,7 +609,7 @@ def _deepen_kernel(kernel: _Kernel, offending: set) -> bool:
                  "origin_id", "pref_class", "mode", "hole_count",
                  "tie_class", "hazard", "depth"):
         setattr(kernel, slot, getattr(rebuilt, slot))
-    _PHASE_STATS["deepenings"] += 1
+    _PHASE_EVENTS["deepenings"].inc()
     # Write-through: later processes decode the deepened tables directly.
     store = _active_store()
     if store is not None and kernel.cache_key is not None:
@@ -590,8 +625,8 @@ def _timed_build(algebra: RoutingAlgebra, keys: Iterable[Hashable],
                  origin_labels: Iterable[Hashable]) -> "_Kernel | None":
     started = time.perf_counter()
     kernel = _build_kernel(algebra, keys, origin_labels)
-    _KERNEL_STATS["tabulations"] += 1
-    _KERNEL_STATS["tabulation_s"] += time.perf_counter() - started
+    _KERNEL_EVENTS["tabulations"].inc()
+    _TABULATION_SECONDS.inc(time.perf_counter() - started)
     return kernel
 
 
@@ -712,7 +747,7 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
     # is paid once per scenario, not once per call.
     memo = getattr(algebra, "_batch_kernel_memo", None)
     if memo is not None and vocab in memo:
-        _KERNEL_STATS["memo_hits"] += 1
+        _KERNEL_EVENTS["memo_hits"].inc()
         return memo[vocab]
     try:
         key = (_canonical_repr(algebra),) + vocab
@@ -722,9 +757,9 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
             kernel.algebra = algebra  # deepening works; no store key
         return kernel
     if key in _KERNEL_CACHE:
-        _KERNEL_STATS["cache_hits"] += 1
+        _KERNEL_EVENTS["cache_hits"].inc()
     else:
-        _KERNEL_STATS["cache_misses"] += 1
+        _KERNEL_EVENTS["cache_misses"].inc()
         if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
             _KERNEL_CACHE.clear()
         kernel = _UNSET = object()
@@ -734,11 +769,11 @@ def _kernel_for(algebra: RoutingAlgebra, keys: Iterable[Hashable],
             if found:
                 try:
                     kernel = _decode_kernel(payload)
-                    _KERNEL_STATS["store_hits"] += 1
+                    _KERNEL_EVENTS["store_hits"].inc()
                 except Exception:  # noqa: BLE001 - stale/corrupt row
                     kernel = _UNSET
             if kernel is _UNSET:
-                _KERNEL_STATS["store_misses"] += 1
+                _KERNEL_EVENTS["store_misses"].inc()
         if kernel is _UNSET:
             kernel = _timed_build(algebra, keys, origin_labels)
             if store is not None:
@@ -1055,10 +1090,10 @@ class VectorizedBatchSession(BatchExecutionSession):
             tick = time.perf_counter()
             keys, origin_labels, edges = _scan_topology(scenario)
             tock = time.perf_counter()
-            _PHASE_STATS["scan_s"] += tock - tick
+            _PHASE_SECONDS["scan"].inc(tock - tick)
             kernel = _kernel_for(scenario.algebra, keys, origin_labels)
             tick = time.perf_counter()
-            _PHASE_STATS["tabulate_s"] += tick - tock
+            _PHASE_SECONDS["tabulate"].inc(tick - tock)
             if kernel is None:
                 raise ValueError(
                     f"scenario {getattr(scenario.spec, 'scenario_id', '?')} "
@@ -1073,7 +1108,7 @@ class VectorizedBatchSession(BatchExecutionSession):
                        if e.kind == "hijack" and e.label is not None
                        and (until is None or e.time <= until)]
             problems.append(_Problem(scenario, kernel, edges, hijacks))
-            _PHASE_STATS["scan_s"] += time.perf_counter() - tick
+            _PHASE_SECONDS["scan"].inc(time.perf_counter() - tick)
         groups: dict[int, list[_Problem]] = {}
         for problem in problems:
             groups.setdefault(id(problem.kernel), []).append(problem)
@@ -1083,16 +1118,16 @@ class VectorizedBatchSession(BatchExecutionSession):
             try:
                 _relax_group(group)
             except BatchDeclined:
-                _KERNEL_STATS["runtime_declines"] += 1
+                _KERNEL_EVENTS["runtime_declines"].inc()
                 if not partial:
                     raise
                 declined.add(gid)
         tock = time.perf_counter()
-        _PHASE_STATS["relax_s"] += tock - tick
+        _PHASE_SECONDS["relax"].inc(tock - tick)
         outcomes = [
             None if id(problem.kernel) in declined else problem.outcome()
             for problem in problems]
-        _PHASE_STATS["render_s"] += time.perf_counter() - tock
+        _PHASE_SECONDS["render"].inc(time.perf_counter() - tock)
         return outcomes
 
 
@@ -1225,8 +1260,8 @@ def _relax_isotone_frontier(kernel: "_Kernel", seeds, src, dst, lab):
         rounds += 1
         if rounds > budget:  # pragma: no cover - verified-kernel invariant
             raise RuntimeError("batch relaxation failed to reach fixpoint")
-        _PHASE_STATS["frontier_cells"] += int(active.size)
-        _PHASE_STATS["frontier_rounds"] += 1
+        _PHASE_EVENTS["frontier_cells"].inc(int(active.size))
+        _PHASE_EVENTS["frontier_rounds"].inc()
         mask[:] = False
         mask[active] = True
         edge_sel = mask[src]
@@ -1283,8 +1318,8 @@ def _relax_jacobi_frontier(kernel: "_Kernel", seeds, src, dst, lab):
     dense_cut = src.size // 2
     for _round in range(round_budget):
         if changed.size:
-            _PHASE_STATS["frontier_cells"] += int(changed.size)
-            _PHASE_STATS["frontier_rounds"] += 1
+            _PHASE_EVENTS["frontier_cells"].inc(int(changed.size))
+            _PHASE_EVENTS["frontier_rounds"].inc()
             # Stale-offer selection by boolean source mask (see
             # _relax_isotone_frontier for why this beats a CSR index).
             mask[:] = False
@@ -1322,7 +1357,7 @@ def _relax_jacobi_frontier(kernel: "_Kernel", seeds, src, dst, lab):
                 & (tie[vals] != tie[fresh_d])
             seed_amb = (pc[seeds] == pc[fresh]) & (tie[seeds] != tie[fresh])
             if bool(ambiguous.any()) or bool(seed_amb.any()):
-                _PHASE_STATS["hazard_declines"] += 1
+                _PHASE_EVENTS["hazard_declines"].inc()
                 raise BatchDeclined(
                     "preference tie between behaviorally distinct "
                     "routes; falling back to scalar engines")
@@ -1354,7 +1389,7 @@ def _relax_group(group: list["_Problem"]) -> None:
     kernel = group[0].kernel
     for attempt in range(_MAX_DEEPEN_ATTEMPTS + 1):
         seeds, src, dst, lab, blocks = _assemble_group(group)
-        _PHASE_STATS["state_cells"] += int(seeds.size)
+        _PHASE_EVENTS["state_cells"].inc(int(seeds.size))
         try:
             if kernel.mode == "isotone":
                 state = _relax_isotone_frontier(kernel, seeds, src, dst, lab)
@@ -1385,7 +1420,7 @@ def _relax_group_dense(group: list["_Problem"]) -> None:
     phi = kernel.phi_id
     hole = kernel.hole_id
     seeds, src, dst, lab, blocks = _assemble_group(group)
-    _PHASE_STATS["state_cells"] += int(seeds.size)
+    _PHASE_EVENTS["state_cells"].inc(int(seeds.size))
     state = seeds.copy()
     if src.size:
         trans = kernel.trans
@@ -1423,7 +1458,7 @@ def _relax_group_dense(group: list["_Problem"]) -> None:
                     seed_amb = (pc[seeds] == pc[fresh]) \
                         & (tie[seeds] != tie[fresh])
                     if bool(ambiguous.any()) or bool(seed_amb.any()):
-                        _PHASE_STATS["hazard_declines"] += 1
+                        _PHASE_EVENTS["hazard_declines"].inc()
                         raise BatchDeclined(
                             "preference tie between behaviorally "
                             "distinct routes; falling back to scalar "

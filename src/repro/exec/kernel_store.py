@@ -32,7 +32,17 @@ import sqlite3
 import time
 from dataclasses import dataclass
 
+from ..obs import metrics as _obs_metrics
+
 SCHEMA_VERSION = 2
+
+#: Store I/O counters (the durable per-row ``hits`` column still drives
+#: eviction; these registry series are the live telemetry view).
+_STORE_OPS = {
+    op: _obs_metrics.counter("repro_store_ops_total", store="kernel",
+                             op=op)
+    for op in ("get_hit", "get_miss", "put")
+}
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS kernels (
@@ -226,7 +236,9 @@ class KernelStore:
         row = self._conn.execute(
             "SELECT payload FROM kernels WHERE key = ?", (key,)).fetchone()
         if row is None:
+            _STORE_OPS["get_miss"].inc()
             return False, None
+        _STORE_OPS["get_hit"].inc()
         try:
             self._retry_locked(
                 lambda: self._conn.execute(
@@ -247,6 +259,7 @@ class KernelStore:
         """Record one tabulated kernel (or negative result); racing
         duplicates are ignored, not errors — both workers tabulated the
         same tables from the same canonical key."""
+        _STORE_OPS["put"].inc()
         self._retry_locked(
             lambda: self._conn.execute(
                 "INSERT OR IGNORE INTO kernels "
@@ -259,6 +272,7 @@ class KernelStore:
         when ``depth`` strictly exceeds the row's — racing workers that
         deepened to different horizons converge on the deepest tables,
         and a late shallow writer can never clobber a deeper one."""
+        _STORE_OPS["put"].inc()
         self._retry_locked(
             lambda: self._conn.execute(
                 "INSERT INTO kernels (key, payload, created_at, depth) "

@@ -1,0 +1,102 @@
+"""The live view: dashboard rendering and the ``repro-obs/1`` envelope.
+
+Two consumers share this module.  ``repro campaign --watch`` and
+``campaign-coordinator watch`` call :func:`render_dashboard` on a metrics
+snapshot (single-process, or fleet-merged via
+:func:`~repro.obs.metrics.merge_snapshots` from the per-worker snapshots
+workers publish on the disagreement bus).  The ``--format json`` paths of
+``repro verdicts --stats`` and ``campaign-coordinator status`` call
+:func:`obs_payload` to wrap the same snapshot in the versioned envelope
+the future SSE service plane will stream — machine-readable today,
+servable tomorrow.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import snapshot_family, snapshot_value
+
+#: Envelope format for ``--format json`` outputs and future SSE frames.
+OBS_FORMAT = "repro-obs/1"
+
+
+def obs_payload(kind: str, metrics: dict, **extra) -> dict:
+    """Wrap a ``repro-metrics/1`` snapshot in the versioned obs envelope."""
+    payload = {
+        "format": OBS_FORMAT,
+        "kind": kind,
+        "generated_unix": time.time(),
+        "metrics": metrics,
+    }
+    payload.update(extra)
+    return payload
+
+
+def _family_lines(snapshot: dict, name: str, label: str,
+                  heading: str, *, seconds: bool = False) -> list[str]:
+    entries = snapshot_family(snapshot, name)
+    if not entries:
+        return []
+    # Aggregate over any labels other than the one displayed (e.g. the
+    # decisions family carries both ``tier`` and ``method``).
+    totals: dict[str, float] = {}
+    for entry in entries:
+        key = str(entry.get("labels", {}).get(label, "?"))
+        totals[key] = totals.get(key, 0.0) + entry.get("value", 0.0)
+    lines = [f"  {heading}"]
+    for key, value in sorted(totals.items(), key=lambda kv: -kv[1]):
+        rendered = f"{value:.3f}s" if seconds else f"{value:g}"
+        lines.append(f"    {key:<22} {rendered}")
+    return lines
+
+
+def _histogram_lines(snapshot: dict, name: str, heading: str) -> list[str]:
+    entries = snapshot_family(snapshot, name)
+    lines = []
+    for entry in entries:
+        count = entry.get("count", 0)
+        if not count:
+            continue
+        mean = entry.get("sum", 0.0) / count
+        labels = entry.get("labels", {})
+        suffix = f" {labels}" if labels else ""
+        lines.append(f"  {heading}{suffix}: n={count} mean={mean:.4f}s")
+    return lines
+
+
+def render_dashboard(snapshot: dict, *, title: str = "campaign",
+                     extra_lines: list[str] | None = None) -> str:
+    """One refresh frame of the live campaign dashboard."""
+    lines = [f"== {title} @ {time.strftime('%H:%M:%S')} =="]
+    if extra_lines:
+        lines.extend(f"  {line}" for line in extra_lines)
+
+    scenarios = snapshot_family(snapshot, "repro_scenarios_total")
+    if scenarios:
+        total = sum(entry.get("value", 0.0) for entry in scenarios)
+        disagreed = snapshot_value(snapshot, "repro_disagreements_total")
+        errors = snapshot_value(snapshot, "repro_scenarios_total",
+                                classification="error")
+        lines.append(f"  scenarios {total:g}  disagreements {disagreed:g}"
+                     f"  errors {errors:g}")
+
+    lines += _family_lines(snapshot, "repro_scenarios_total",
+                           "classification", "by classification")
+    lines += _family_lines(snapshot, "repro_verdict_lookups_total",
+                           "tier", "verdict lookups by cache tier")
+    lines += _family_lines(snapshot, "repro_analysis_decided_total",
+                           "tier", "analysis decisions by tier")
+    lines += _family_lines(snapshot, "repro_batch_phase_seconds_total",
+                           "phase", "batch phase wall clock", seconds=True)
+    lines += _family_lines(snapshot, "repro_batch_kernel_events_total",
+                           "event", "batch kernel cache")
+    lines += _family_lines(snapshot, "repro_fleet_leases_total",
+                           "kind", "fleet leases")
+    lines += _family_lines(snapshot, "repro_bus_events_total",
+                           "kind", "bus events")
+    lines += _histogram_lines(snapshot, "repro_bus_latency_seconds",
+                              "bus notification latency")
+    if len(lines) == 1:
+        lines.append("  (no metrics yet)")
+    return "\n".join(lines)

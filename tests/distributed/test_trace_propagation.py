@@ -1,0 +1,164 @@
+"""Trace-ID propagation through the fleet's failure modes.
+
+The trace contract under churn: a scenario's trace ID is a pure function
+of its spec, so a crashed worker's reclaimed unit re-mints the *same*
+trace IDs — the replacement worker's spans land in the same merged trace
+under its own worker tag — while first-completion-wins keeps the merged
+report counting every scenario exactly once.
+"""
+
+import os
+import socket
+import time
+
+import pytest
+
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioGenerator,
+    clear_verdict_cache,
+    configure_verdict_store,
+)
+from repro.campaigns.oracle import EvaluationOptions
+from repro.campaigns.sink import BusSink
+from repro.distributed import (
+    CampaignCoordinator,
+    CampaignPlan,
+    DistributedWorker,
+)
+from repro.obs.trace import (
+    configure_tracing,
+    read_spans,
+    render_span_tree,
+    spans_for_scenario,
+)
+
+FAMILIES = ("gadget",)
+PROFILE = "quick"
+
+
+@pytest.fixture(autouse=True)
+def clean_process_state():
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    yield
+    configure_verdict_store(None)
+    clear_verdict_cache()
+    configure_tracing(None)
+
+
+def make_coordinator(path, **overrides) -> CampaignCoordinator:
+    defaults = dict(scenarios=8, seed=5, families=FAMILIES, profile=PROFILE,
+                    unit_size=4, chunk_size=2, lease_ttl_s=0.05,
+                    abort_on_disagreements=None, trace=True)
+    defaults.update(overrides)
+    return CampaignCoordinator.init(str(path), CampaignPlan(**defaults))
+
+
+class TestLeaseChurn:
+    def test_reclaimed_unit_merges_into_the_same_trace(self, tmp_path):
+        """Crash → lease re-issue → first-completion-wins: the two
+        attempts share scenario trace IDs but carry distinct worker IDs,
+        and the merged report still counts each scenario once."""
+        coordinator = make_coordinator(tmp_path / "c")
+        trace_dir = coordinator.trace_dir
+        assert trace_dir is not None
+
+        # The "crash": worker `doomed` leases unit 0 and evaluates its
+        # first chunk, but its lease is reclaimed under it (the heartbeat
+        # says so), so it abandons the unit — spans already on disk.
+        doomed = DistributedWorker(coordinator, worker_id="doomed")
+        unit = coordinator.acquire("doomed")
+        assert unit is not None and unit.start == 0
+        options = EvaluationOptions(
+            backends=doomed.backends,
+            verdict_store_path=coordinator.verdict_cache_path,
+            kernel_store_path=coordinator.kernel_cache_path,
+            trace_dir=trace_dir)
+        configure_tracing(trace_dir, worker="doomed")
+        original_heartbeat = coordinator.heartbeat
+        coordinator.heartbeat = lambda *a, **k: False
+        try:
+            doomed._run_unit(unit, options, BusSink(coordinator.bus,
+                                                    "doomed"))
+        finally:
+            coordinator.heartbeat = original_heartbeat
+        doomed_spans = [s for s in read_spans(trace_dir)
+                        if s["name"] == "scenario"]
+        assert doomed_spans, "the doomed worker must have evaluated spans"
+        assert {s["worker"] for s in doomed_spans} == {"doomed"}
+
+        time.sleep(0.06)  # past the lease TTL: unit 0 is re-issuable
+        merged = DistributedWorker(coordinator, worker_id="rescuer",
+                                   idle_wait_s=0.01).run()
+
+        # First completion wins: despite the double evaluation, the
+        # merged report counts every scenario exactly once.
+        assert merged.scenario_count == 8
+        assert sum(merged.counters().values()) == 8
+        assert coordinator.status().lease_churn >= 1
+
+        # Both attempts at a chunk-0 scenario share one deterministic
+        # trace ID; the worker tags keep the attempts distinguishable.
+        scenario_id = doomed_spans[0]["attrs"]["scenario_id"]
+        spans = spans_for_scenario(trace_dir, scenario_id)
+        roots = [s for s in spans if s["name"] == "scenario"]
+        assert len(roots) == 2
+        assert len({s["trace_id"] for s in roots}) == 1
+        assert {s["worker"] for s in roots} == {"doomed", "rescuer"}
+        # Every span of the trace is tagged with one of the two workers.
+        assert {s["worker"] for s in spans} == {"doomed", "rescuer"}
+
+        # The rescuer's lease span records that the unit was re-issued.
+        lease_spans = [s for s in read_spans(trace_dir)
+                       if s["name"] == "unit:lease"
+                       and s["worker"] == "rescuer"
+                       and s["attrs"].get("start") == 0]
+        assert lease_spans and lease_spans[0]["attrs"]["reclaimed"] is True
+
+        # The merged tree renders both attempts under one trace header.
+        tree = render_span_tree(spans)
+        assert "worker=doomed" in tree and "worker=rescuer" in tree
+        assert "2 root(s)" in tree
+        coordinator.close()
+
+    def test_untraced_plan_emits_no_spans(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "c", trace=False)
+        assert coordinator.trace_dir is None
+        DistributedWorker(coordinator, worker_id="solo").run()
+        assert not os.path.isdir(os.path.join(str(tmp_path / "c"),
+                                              "traces"))
+        coordinator.close()
+
+
+class TestProcessPool:
+    def test_pool_chunks_tag_spans_with_owning_worker(self, tmp_path):
+        """jobs>1: each pool process configures its own sink, so every
+        span carries the evaluating worker's (pid-distinct) identity —
+        never the parent's."""
+        trace_dir = str(tmp_path / "traces")
+        specs = ScenarioGenerator(5, families=FAMILIES,
+                                  profile=PROFILE).generate(8)
+        report = CampaignRunner(CampaignConfig(
+            jobs=2, chunk_size=2, trace_dir=trace_dir)).run(specs)
+        assert report.scenario_count == 8
+
+        spans = read_spans(trace_dir)
+        scenario_spans = [s for s in spans if s["name"] == "scenario"]
+        assert len(scenario_spans) == 8
+        workers = {s["worker"] for s in spans}
+        assert all(workers), "every span must carry a worker tag"
+        # Evaluation happened in the pool: the parent process's default
+        # worker name never appears on a span.
+        parent = f"{socket.gethostname()}-{os.getpid()}"
+        assert parent not in workers
+        # Each worker's spans live in its own sink file (no interleaved
+        # worker tags within a file).
+        import json
+        for name in os.listdir(trace_dir):
+            with open(os.path.join(trace_dir, name),
+                      encoding="utf-8") as fh:
+                owners = {json.loads(line)["worker"]
+                          for line in fh if line.strip()}
+            assert len(owners) == 1, (name, owners)
